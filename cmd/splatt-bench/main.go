@@ -1,0 +1,79 @@
+// Command splatt-bench regenerates the paper's evaluation artifacts: every
+// table (I-III) and figure (1-10) of §V, plus the repository's ablations
+// (BLAS-pool interference, lock-vs-privatize, CSF allocation, CSF-vs-COO).
+//
+// Reports print measured values at the configured twin scale side by side
+// with the paper's reported full-scale values, so the *shape* of each
+// result (who wins, by what factor, where crossovers fall) can be checked
+// directly. See EXPERIMENTS.md for the recorded comparison.
+//
+// Examples:
+//
+//	splatt-bench -experiment all
+//	splatt-bench -experiment fig4 -scale 0.03 -trials 3
+//	splatt-bench -experiment table3 -tasks 1,2,4
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("splatt-bench: ")
+
+	def := bench.DefaultConfig()
+	var (
+		experiment = flag.String("experiment", "all", "experiment id: "+strings.Join(bench.ExperimentIDs(), "|")+"|all")
+		scale      = flag.Float64("scale", def.Scale, "dataset twin scale factor (1.0 = paper scale)")
+		rank       = flag.Int("rank", def.Rank, "decomposition rank")
+		iters      = flag.Int("iters", def.Iters, "CP-ALS iterations per run")
+		trials     = flag.Int("trials", def.Trials, "trials per configuration (reported: mean)")
+		tasks      = flag.String("tasks", "1,2,4,8,16,32", "comma-separated task sweep")
+		quick      = flag.Bool("quick", false, "tiny smoke configuration")
+	)
+	flag.Parse()
+
+	cfg := bench.Config{
+		Scale:  *scale,
+		Rank:   *rank,
+		Iters:  *iters,
+		Trials: *trials,
+	}
+	var err error
+	cfg.Tasks, err = parseTasks(*tasks)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *quick {
+		cfg = bench.QuickConfig()
+	}
+
+	r, err := bench.NewRunner(cfg, os.Stdout)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := r.Run(*experiment); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func parseTasks(s string) ([]int, error) {
+	parts := strings.Split(s, ",")
+	out := make([]int, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil || v < 1 {
+			return nil, fmt.Errorf("bad task count %q", p)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}

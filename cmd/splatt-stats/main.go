@@ -1,0 +1,72 @@
+// Command splatt-stats prints Table-I style statistics for tensor files
+// and optionally converts between the text (.tns) and binary container
+// formats.
+//
+// Examples:
+//
+//	splatt-stats data.tns another.bin
+//	splatt-stats -convert data.bin data.tns     # binary -> text
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"repro/internal/sptensor"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("splatt-stats: ")
+
+	convert := flag.Bool("convert", false, "convert: splatt-stats -convert <in> <out>")
+	flag.Parse()
+	args := flag.Args()
+
+	if *convert {
+		if len(args) != 2 {
+			log.Fatal("-convert requires exactly <in> <out>")
+		}
+		t, err := sptensor.LoadFile(args[0])
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := sptensor.SaveFile(args[1], t); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("converted %s -> %s (%d nonzeros)\n", args[0], args[1], t.NNZ())
+		return
+	}
+
+	if len(args) == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	fmt.Printf("%-14s %-22s %10s %10s %10s\n", "Name", "Dimensions", "Non-Zeros", "Density", "Memory")
+	for _, path := range args {
+		t, err := sptensor.LoadFile(path)
+		if err != nil {
+			log.Fatalf("%s: %v", path, err)
+		}
+		s := sptensor.ComputeStats(filepath.Base(path), t)
+		fmt.Println(s.Row())
+		for m := range t.Dims {
+			counts := t.SliceCounts(m)
+			var max int64
+			empty := 0
+			for _, c := range counts {
+				if c > max {
+					max = c
+				}
+				if c == 0 {
+					empty++
+				}
+			}
+			fmt.Printf("  mode %d: %7d slices, max %7d nnz/slice, %d empty (skew indicator)\n",
+				m, len(counts), max, empty)
+		}
+	}
+}

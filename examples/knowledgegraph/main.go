@@ -1,0 +1,153 @@
+// Knowledge graph: cluster relational patterns in a NELL-style
+// subject × verb × object tensor.
+//
+// The paper evaluates on NELL-2, whose cells are subject-verb-object
+// occurrence counts from the Never Ending Language Learner. This example
+// builds a synthetic SVO tensor with planted relation families (e.g.
+// "animals eat foods", "people visit places", "companies acquire
+// companies"), decomposes it, and reads the recovered relations out of
+// the rank-one components.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"sort"
+
+	splatt "repro"
+)
+
+// A relation family couples a subject category, verb category, and object
+// category.
+type relation struct {
+	name        string
+	subjects    []int // entity ids acting as subjects
+	verbs       []int
+	objects     []int
+	tripleCount int
+}
+
+const (
+	nEntities = 400 // shared subject/object entity space
+	nVerbs    = 60
+)
+
+func main() {
+	log.SetFlags(0)
+
+	relations := []relation{
+		{name: "animals-eat-foods", subjects: span(0, 50), verbs: span(0, 8), objects: span(200, 260), tripleCount: 5000},
+		{name: "people-visit-places", subjects: span(50, 130), verbs: span(8, 18), objects: span(260, 330), tripleCount: 6000},
+		{name: "companies-acquire-companies", subjects: span(130, 170), verbs: span(18, 24), objects: span(130, 170), tripleCount: 4000},
+		{name: "students-read-books", subjects: span(50, 130), verbs: span(24, 30), objects: span(330, 400), tripleCount: 4500},
+	}
+
+	tensor := buildSVOTensor(relations)
+	fmt.Printf("SVO tensor: %v\n\n", tensor)
+
+	opts := splatt.DefaultOptions()
+	opts.Rank = len(relations)
+	opts.MaxIters = 80
+	opts.Tolerance = 1e-6
+	opts.Tasks = 4
+	opts.NonNegative = true
+
+	model, report, err := splatt.CPD(tensor, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("fit = %.4f after %d iterations\n\n", report.Fit, report.Iterations)
+
+	// Match each component to the planted relation with the best overlap
+	// between top-loading indices and the relation's category spans.
+	for r := 0; r < opts.Rank; r++ {
+		subj := topLoaded(model.Factors[0], r, 10)
+		verb := topLoaded(model.Factors[1], r, 5)
+		obj := topLoaded(model.Factors[2], r, 10)
+		bestName, bestScore := "?", 0.0
+		for _, rel := range relations {
+			score := overlap(subj, rel.subjects) + overlap(verb, rel.verbs) + overlap(obj, rel.objects)
+			if score > bestScore {
+				bestScore, bestName = score, rel.name
+			}
+		}
+		fmt.Printf("component %d (weight %7.2f) -> %-28s match=%.0f%%\n",
+			r, model.Lambda[r], bestName, 100*bestScore/3)
+		fmt.Printf("  subjects %v\n  verbs    %v\n  objects  %v\n", subj, verb, obj)
+	}
+}
+
+// buildSVOTensor samples triples from each relation family plus background
+// noise; cell values are occurrence counts.
+func buildSVOTensor(relations []relation) *splatt.Tensor {
+	rng := rand.New(rand.NewSource(11))
+	var ss, vv, oo []int32
+	var counts []float64
+	sample := func(ids []int) int32 { return int32(ids[rng.Intn(len(ids))]) }
+	for _, rel := range relations {
+		for n := 0; n < rel.tripleCount; n++ {
+			ss = append(ss, sample(rel.subjects))
+			vv = append(vv, sample(rel.verbs))
+			oo = append(oo, sample(rel.objects))
+			counts = append(counts, 1+float64(rng.Intn(5)))
+		}
+	}
+	for n := 0; n < 2000; n++ { // noise triples
+		ss = append(ss, int32(rng.Intn(nEntities)))
+		vv = append(vv, int32(rng.Intn(nVerbs)))
+		oo = append(oo, int32(rng.Intn(nEntities)))
+		counts = append(counts, 1)
+	}
+	t := &splatt.Tensor{
+		Dims: []int{nEntities, nVerbs, nEntities},
+		Inds: [][]int32{ss, vv, oo},
+		Vals: counts,
+	}
+	if err := t.Validate(); err != nil {
+		log.Fatal(err)
+	}
+	return t
+}
+
+func span(lo, hi int) []int {
+	ids := make([]int, hi-lo)
+	for i := range ids {
+		ids[i] = lo + i
+	}
+	return ids
+}
+
+func topLoaded(m *splatt.Matrix, r, k int) []int {
+	idx := make([]int, m.Rows)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool {
+		return m.At(idx[a], r) > m.At(idx[b], r)
+	})
+	if k > len(idx) {
+		k = len(idx)
+	}
+	out := append([]int(nil), idx[:k]...)
+	sort.Ints(out)
+	return out
+}
+
+// overlap reports the fraction of got that falls inside the want id set.
+func overlap(got, want []int) float64 {
+	set := map[int]bool{}
+	for _, w := range want {
+		set[w] = true
+	}
+	hit := 0
+	for _, g := range got {
+		if set[g] {
+			hit++
+		}
+	}
+	if len(got) == 0 {
+		return 0
+	}
+	return float64(hit) / float64(len(got))
+}

@@ -1,0 +1,50 @@
+// Quickstart: decompose a small sparse tensor with CP-ALS and inspect the
+// result — the minimal end-to-end use of the public API.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	splatt "repro"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// A 200×150×100 sparse tensor with ~20k nonzeros. In real use this
+	// would come from splatt.LoadTensor("data.tns").
+	tensor := splatt.NewRandomTensor([]int{200, 150, 100}, 20000, 42)
+	fmt.Printf("input: %v\n", tensor)
+
+	// Decompose: rank-12 CP-ALS, 25 iterations max, stop when the fit
+	// stabilizes, 4 parallel tasks.
+	opts := splatt.DefaultOptions()
+	opts.Rank = 12
+	opts.MaxIters = 25
+	opts.Tolerance = 1e-5
+	opts.Tasks = 4
+
+	model, report, err := splatt.CPD(tensor, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("converged in %d iterations, fit = %.4f\n", report.Iterations, report.Fit)
+	fmt.Printf("MTTKRP time: %.3fs of %.3fs total\n",
+		report.Times["MTTKRP"], report.Times["CPD TOTAL"])
+
+	// The model is a weighted sum of rank-one components. λ orders the
+	// components by importance.
+	fmt.Println("\ncomponent weights (lambda):")
+	for r, l := range model.Lambda {
+		fmt.Printf("  component %2d: %8.3f\n", r, l)
+	}
+
+	// Evaluate the model at the first few stored nonzeros.
+	fmt.Println("\nsample reconstructions (value -> model):")
+	for x := 0; x < 5 && x < tensor.NNZ(); x++ {
+		coord := tensor.Coord(x)
+		fmt.Printf("  X%v = %.3f  ->  %.3f\n", coord, tensor.Vals[x], model.At(coord))
+	}
+}

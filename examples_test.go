@@ -1,0 +1,33 @@
+package splatt_test
+
+import (
+	"os/exec"
+	"testing"
+)
+
+// TestExamplesRun executes every example program end to end. The examples
+// self-check their domain results (e.g. movieratings exits non-zero if the
+// completion model fails to beat the baseline), so a passing run is a
+// behavioural assertion, not just a compile check. Skipped under -short.
+func TestExamplesRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("examples are slow; skipped in -short mode")
+	}
+	for _, dir := range []string{
+		"./examples/quickstart",
+		"./examples/reviews",
+		"./examples/knowledgegraph",
+		"./examples/movieratings",
+	} {
+		dir := dir
+		t.Run(dir, func(t *testing.T) {
+			out, err := exec.Command("go", "run", dir).CombinedOutput()
+			if err != nil {
+				t.Fatalf("example failed: %v\n%s", err, out)
+			}
+			if len(out) == 0 {
+				t.Error("example produced no output")
+			}
+		})
+	}
+}

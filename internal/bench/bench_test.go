@@ -1,0 +1,130 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func quickRunner(t *testing.T) (*Runner, *bytes.Buffer) {
+	t.Helper()
+	var buf bytes.Buffer
+	// Tasks reach 8 so the YELP twin crosses its lock threshold (≥4).
+	cfg := Config{Scale: 1.0 / 1024, Rank: 8, Iters: 2, Trials: 1, Tasks: []int{1, 8}}
+	r, err := NewRunner(cfg, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r, &buf
+}
+
+func TestConfigValidate(t *testing.T) {
+	good := DefaultConfig()
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Config{
+		{Scale: 0, Rank: 8, Iters: 1, Trials: 1, Tasks: []int{1}},
+		{Scale: 2, Rank: 8, Iters: 1, Trials: 1, Tasks: []int{1}},
+		{Scale: 0.1, Rank: 0, Iters: 1, Trials: 1, Tasks: []int{1}},
+		{Scale: 0.1, Rank: 8, Iters: 1, Trials: 1, Tasks: nil},
+		{Scale: 0.1, Rank: 8, Iters: 1, Trials: 1, Tasks: []int{0}},
+	}
+	for i, cfg := range bad {
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("case %d: invalid config accepted", i)
+		}
+	}
+}
+
+func TestUnknownExperimentRejected(t *testing.T) {
+	r, _ := quickRunner(t)
+	if err := r.Run("bogus"); err == nil {
+		t.Error("bogus experiment accepted")
+	}
+}
+
+func TestExperimentIDsAllRunnable(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full experiment sweep in -short mode")
+	}
+	// Every registered experiment must run end to end at smoke scale and
+	// produce non-trivial output.
+	for _, id := range ExperimentIDs() {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			r, buf := quickRunner(t)
+			if err := r.Run(id); err != nil {
+				t.Fatal(err)
+			}
+			out := buf.String()
+			if len(out) < 100 {
+				t.Errorf("experiment %s produced only %d bytes", id, len(out))
+			}
+			if !strings.Contains(out, "====") {
+				t.Errorf("experiment %s missing banner", id)
+			}
+		})
+	}
+}
+
+func TestTable1MentionsAllDatasets(t *testing.T) {
+	r, buf := quickRunner(t)
+	r.Table1()
+	out := buf.String()
+	for _, name := range []string{"YELP", "RATE-BEER", "BEER-ADVOCATE", "NELL-2", "NETFLIX"} {
+		if !strings.Contains(out, name) {
+			t.Errorf("Table 1 missing %s", name)
+		}
+	}
+}
+
+func TestFig4ReportsLockUsage(t *testing.T) {
+	r, buf := quickRunner(t)
+	r.Fig4()
+	out := buf.String()
+	if !strings.Contains(out, "Sync") || !strings.Contains(out, "Atomic") {
+		t.Error("Fig4 missing lock series")
+	}
+	if !strings.Contains(out, "yes") {
+		t.Error("Fig4 never reports lock usage; YELP twin must lock at some task count")
+	}
+}
+
+func TestDatasetCache(t *testing.T) {
+	r, _ := quickRunner(t)
+	a := r.dataset("yelp")
+	b := r.dataset("yelp")
+	if a != b {
+		t.Error("dataset not cached")
+	}
+}
+
+func TestRenderTable(t *testing.T) {
+	var buf bytes.Buffer
+	tbl := newTable("title", "A", "B")
+	tbl.addRow("x", "1.0")
+	tbl.note("hello %d", 7)
+	tbl.render(&buf)
+	out := buf.String()
+	for _, want := range []string{"title", "A", "B", "x", "1.0", "hello 7"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	if secs(123.4) != "123.4" {
+		t.Errorf("secs(123.4) = %s", secs(123.4))
+	}
+	if secs(1.5) != "1.50" {
+		t.Errorf("secs(1.5) = %s", secs(1.5))
+	}
+	if secs(0.1234) != "0.1234" {
+		t.Errorf("secs small = %s", secs(0.1234))
+	}
+	if ratio(2) != "2.00x" || pct(83.4) != "83%" {
+		t.Error("ratio/pct format")
+	}
+}

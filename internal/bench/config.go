@@ -1,0 +1,195 @@
+// Package bench is the experiment harness that regenerates every table and
+// figure of the paper's evaluation (§V) plus the repository's ablations.
+// Each experiment runs the same pipeline the paper timed — sorting, CSF
+// construction, MTTKRP, and full CP-ALS — across the paper's comparison
+// axes, and renders rows/series in the paper's layout with the paper's
+// reported values alongside for shape comparison.
+package bench
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"sort"
+	"strings"
+
+	"repro/internal/sptensor"
+)
+
+// Config scales the experiments. The defaults target a laptop: twins at
+// 1/64 of paper scale, one trial, task counts 1..32 (counts above NumCPU
+// oversubscribe, which the reports flag).
+type Config struct {
+	// Scale is the dataset twin scale factor (1.0 = paper scale).
+	Scale float64
+	// Rank is the decomposition rank (paper: 35).
+	Rank int
+	// Iters is the CP-ALS iteration count (paper: 20).
+	Iters int
+	// Trials is how many times each configuration runs; reports use the
+	// mean (paper: 10).
+	Trials int
+	// Tasks is the thread/task sweep (paper: 1..32).
+	Tasks []int
+}
+
+// DefaultConfig returns the laptop-scale defaults.
+func DefaultConfig() Config {
+	return Config{
+		Scale:  1.0 / 64,
+		Rank:   35,
+		Iters:  20,
+		Trials: 1,
+		Tasks:  []int{1, 2, 4, 8, 16, 32},
+	}
+}
+
+// Quick returns a fast smoke configuration (used by tests and -quick).
+func QuickConfig() Config {
+	return Config{
+		Scale:  1.0 / 512,
+		Rank:   16,
+		Iters:  5,
+		Trials: 1,
+		Tasks:  []int{1, 2, 4},
+	}
+}
+
+// Validate sanity-checks the configuration.
+func (c Config) Validate() error {
+	if c.Scale <= 0 || c.Scale > 1 {
+		return fmt.Errorf("bench: scale %g outside (0, 1]", c.Scale)
+	}
+	if c.Rank <= 0 || c.Iters <= 0 || c.Trials <= 0 {
+		return fmt.Errorf("bench: rank/iters/trials must be positive")
+	}
+	if len(c.Tasks) == 0 {
+		return fmt.Errorf("bench: empty task sweep")
+	}
+	for _, t := range c.Tasks {
+		if t < 1 {
+			return fmt.Errorf("bench: task count %d < 1", t)
+		}
+	}
+	return nil
+}
+
+// Runner executes experiments, caching generated dataset twins.
+type Runner struct {
+	cfg   Config
+	out   io.Writer
+	cache map[string]*sptensor.Tensor
+}
+
+// NewRunner creates a harness writing its reports to out.
+func NewRunner(cfg Config, out io.Writer) (*Runner, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Runner{cfg: cfg, out: out, cache: make(map[string]*sptensor.Tensor)}, nil
+}
+
+// dataset returns the (cached) twin for a registry key.
+func (r *Runner) dataset(name string) *sptensor.Tensor {
+	if t, ok := r.cache[name]; ok {
+		return t
+	}
+	spec, err := sptensor.LookupDataset(name)
+	if err != nil {
+		panic(err)
+	}
+	t := spec.Generate(r.cfg.Scale)
+	r.cache[name] = t
+	return t
+}
+
+// printf writes to the report.
+func (r *Runner) printf(format string, args ...any) {
+	fmt.Fprintf(r.out, format, args...)
+}
+
+// header prints an experiment banner.
+func (r *Runner) header(id, title string) {
+	r.printf("\n================================================================\n")
+	r.printf("%s — %s\n", id, title)
+	r.printf("scale=%g rank=%d iters=%d trials=%d GOMAXPROCS=%d NumCPU=%d\n",
+		r.cfg.Scale, r.cfg.Rank, r.cfg.Iters, r.cfg.Trials,
+		runtime.GOMAXPROCS(0), runtime.NumCPU())
+	r.printf("================================================================\n")
+}
+
+// oversubscribed annotates task counts beyond the physical core count.
+func oversubscribed(tasks int) string {
+	if tasks > runtime.NumCPU() {
+		return "*"
+	}
+	return " "
+}
+
+// Experiments maps experiment ids to runners, in report order.
+var experimentOrder = []string{
+	"table1", "table2", "table3",
+	"fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10",
+	"ablblas", "abllock", "ablcsf", "ablcoo", "abltile", "abldist",
+}
+
+// ExperimentIDs lists every runnable experiment id in report order.
+func ExperimentIDs() []string { return append([]string(nil), experimentOrder...) }
+
+// Run executes one experiment by id ("all" runs everything).
+func (r *Runner) Run(id string) error {
+	id = strings.ToLower(strings.TrimSpace(id))
+	if id == "all" {
+		for _, e := range experimentOrder {
+			if err := r.Run(e); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	switch id {
+	case "table1":
+		r.Table1()
+	case "table2":
+		r.Table2()
+	case "table3":
+		r.Table3()
+	case "fig1":
+		r.Fig1()
+	case "fig2":
+		r.Fig2()
+	case "fig3":
+		r.Fig3()
+	case "fig4":
+		r.Fig4()
+	case "fig5":
+		r.Fig5()
+	case "fig6":
+		r.Fig6()
+	case "fig7":
+		r.Fig7()
+	case "fig8":
+		r.Fig8()
+	case "fig9":
+		r.Fig9()
+	case "fig10":
+		r.Fig10()
+	case "ablblas":
+		r.AblationBLAS()
+	case "abllock":
+		r.AblationLockDecision()
+	case "ablcsf":
+		r.AblationCSFAlloc()
+	case "ablcoo":
+		r.AblationCOOBaseline()
+	case "abltile":
+		r.AblationTiling()
+	case "abldist":
+		r.AblationDistributed()
+	default:
+		ids := append(ExperimentIDs(), "all")
+		sort.Strings(ids)
+		return fmt.Errorf("bench: unknown experiment %q (have %v)", id, ids)
+	}
+	return nil
+}

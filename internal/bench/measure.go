@@ -1,0 +1,121 @@
+package bench
+
+import (
+	"math/rand"
+	"runtime"
+
+	"repro/internal/core"
+	"repro/internal/dense"
+	"repro/internal/perf"
+	"repro/internal/sptensor"
+)
+
+// measure.go holds the two measurement primitives every experiment builds
+// on: an isolated MTTKRP timing loop (Figures 2-4, 9-10) and a full CP-ALS
+// run with per-routine timers (Table III, Figures 5-8).
+
+// benchFactors builds deterministic random factor matrices for a tensor.
+func benchFactors(t *sptensor.Tensor, rank int) []*dense.Matrix {
+	rng := rand.New(rand.NewSource(12345))
+	factors := make([]*dense.Matrix, t.NModes())
+	for m, d := range t.Dims {
+		factors[m] = dense.NewRandomMatrix(d, rank, rng)
+	}
+	return factors
+}
+
+// timeMTTKRP measures the total MTTKRP seconds for `iters` CP-ALS
+// iterations' worth of kernel invocations (one per mode per iteration,
+// matching the paper's "MTTKRP runtime" which accumulates over the full
+// 20-iteration run). CSF construction and sorting are excluded, exactly as
+// the paper's MTTKRP-only figures exclude them. The mean over cfg.Trials
+// is returned.
+func (r *Runner) timeMTTKRP(t *sptensor.Tensor, tasks int, opts core.Options) float64 {
+	opts.Rank = r.cfg.Rank
+	factors := benchFactors(t, r.cfg.Rank)
+	maxDim := 0
+	for _, d := range t.Dims {
+		if d > maxDim {
+			maxDim = d
+		}
+	}
+	out := dense.NewMatrix(maxDim, r.cfg.Rank)
+
+	runner := core.NewMTTKRPRunner(t, r.cfg.Rank, tasks, opts)
+	defer runner.Close()
+
+	// Warm up (page in the CSF, JIT the team) and reset the GC so heap
+	// growth from a previous configuration (the allocation-heavy Initial
+	// profile inflates the GC target) cannot contaminate this one.
+	for mode := 0; mode < t.NModes(); mode++ {
+		sub := dense.NewMatrixFrom(t.Dims[mode], r.cfg.Rank, out.Data[:t.Dims[mode]*r.cfg.Rank])
+		runner.Apply(mode, factors, sub)
+	}
+	runtime.GC()
+
+	trials := make([]float64, 0, r.cfg.Trials)
+	timer := perf.NewTimer(perf.RoutineMTTKRP)
+	for trial := 0; trial < r.cfg.Trials; trial++ {
+		timer.Reset()
+		timer.Start()
+		for it := 0; it < r.cfg.Iters; it++ {
+			for mode := 0; mode < t.NModes(); mode++ {
+				sub := dense.NewMatrixFrom(t.Dims[mode], r.cfg.Rank, out.Data[:t.Dims[mode]*r.cfg.Rank])
+				runner.Apply(mode, factors, sub)
+			}
+		}
+		timer.Stop()
+		trials = append(trials, timer.Seconds())
+	}
+	return perf.Summarize(trials).Mean
+}
+
+// runCPD executes a full CP-ALS run and returns the per-routine seconds
+// (mean over cfg.Trials) plus the last run's report.
+func (r *Runner) runCPD(t *sptensor.Tensor, tasks int, opts core.Options) (map[string]float64, *core.Report) {
+	opts.Rank = r.cfg.Rank
+	opts.MaxIters = r.cfg.Iters
+	opts.Tolerance = 0 // fixed iteration count, like the paper's runs
+	opts.Tasks = tasks
+
+	sums := make(map[string]float64)
+	var last *core.Report
+	for trial := 0; trial < r.cfg.Trials; trial++ {
+		runtime.GC() // isolate trials from prior configurations' heap growth
+		timers := perf.NewRegistry()
+		opts.Timers = timers
+		_, report, err := core.CPD(t, opts)
+		if err != nil {
+			panic(err)
+		}
+		for k, v := range report.Times {
+			sums[k] += v
+		}
+		last = report
+	}
+	for k := range sums {
+		sums[k] /= float64(r.cfg.Trials)
+	}
+	return sums, last
+}
+
+// timeSort measures the pre-processing sort (mean seconds over trials).
+func (r *Runner) timeSort(t *sptensor.Tensor, tasks int, opts core.Options) float64 {
+	trials := make([]float64, 0, r.cfg.Trials)
+	for trial := 0; trial < r.cfg.Trials; trial++ {
+		trials = append(trials, core.SortOnly(t, withTasks(opts, tasks)))
+	}
+	return perf.Summarize(trials).Mean
+}
+
+func withTasks(opts core.Options, tasks int) core.Options {
+	opts.Tasks = tasks
+	return opts
+}
+
+// profileOptions returns DefaultOptions with a profile applied.
+func profileOptions(p core.Profile) core.Options {
+	opts := core.DefaultOptions()
+	opts.ApplyProfile(p)
+	return opts
+}

@@ -1,0 +1,91 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// textTable renders fixed-width report tables.
+type textTable struct {
+	title string
+	cols  []string
+	rows  [][]string
+	notes []string
+}
+
+func newTable(title string, cols ...string) *textTable {
+	return &textTable{title: title, cols: cols}
+}
+
+func (t *textTable) addRow(cells ...string) {
+	t.rows = append(t.rows, cells)
+}
+
+func (t *textTable) note(format string, args ...any) {
+	t.notes = append(t.notes, fmt.Sprintf(format, args...))
+}
+
+func (t *textTable) render(w io.Writer) {
+	widths := make([]int, len(t.cols))
+	for i, c := range t.cols {
+		widths[i] = len(c)
+	}
+	for _, row := range t.rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	if t.title != "" {
+		fmt.Fprintf(w, "\n%s\n", t.title)
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, cell := range cells {
+			if i == 0 {
+				parts[i] = fmt.Sprintf("%-*s", widths[i], cell)
+			} else {
+				parts[i] = fmt.Sprintf("%*s", widths[i], cell)
+			}
+		}
+		fmt.Fprintf(w, "  %s\n", strings.Join(parts, "  "))
+	}
+	line(t.cols)
+	total := 2
+	for _, wd := range widths {
+		total += wd + 2
+	}
+	fmt.Fprintf(w, "  %s\n", strings.Repeat("-", total-2))
+	for _, row := range t.rows {
+		line(row)
+	}
+	for _, n := range t.notes {
+		fmt.Fprintf(w, "  note: %s\n", n)
+	}
+}
+
+// secs formats seconds the way the paper's tables do.
+func secs(s float64) string {
+	switch {
+	case s >= 100:
+		return fmt.Sprintf("%.1f", s)
+	case s >= 1:
+		return fmt.Sprintf("%.2f", s)
+	default:
+		return fmt.Sprintf("%.4f", s)
+	}
+}
+
+// ratio formats a speed-up / relative-performance factor.
+func ratio(v float64) string { return fmt.Sprintf("%.2fx", v) }
+
+// pct formats a percentage.
+func pct(v float64) string { return fmt.Sprintf("%.0f%%", v) }
+
+// humanInt formats an integer.
+func humanInt(v int) string { return fmt.Sprintf("%d", v) }
+
+// sci formats small densities in scientific notation, as Table I does.
+func sci(v float64) string { return fmt.Sprintf("%.3g", v) }

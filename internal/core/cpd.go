@@ -1,0 +1,295 @@
+package core
+
+import (
+	"math"
+
+	"repro/internal/csf"
+	"repro/internal/dense"
+	"repro/internal/mttkrp"
+	"repro/internal/parallel"
+	"repro/internal/perf"
+	"repro/internal/sptensor"
+	"repro/internal/tsort"
+)
+
+// CPD runs CP-ALS (Algorithm 1) on tensor t. It builds the CSF set
+// (timing the sort, as the paper's pre-processing "Sort" routine), then
+// iterates mode-wise least-squares updates until MaxIters or convergence.
+// The input tensor is not modified.
+func CPD(t *sptensor.Tensor, opts Options) (*KruskalTensor, *Report, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, nil, err
+	}
+	if err := t.Validate(); err != nil {
+		return nil, nil, err
+	}
+	tasks := opts.Tasks
+	if tasks < 1 {
+		tasks = 1
+	}
+	timers := opts.Timers
+	if timers == nil {
+		timers = perf.NewRegistry()
+	}
+	team := parallel.NewTeam(tasks)
+	defer team.Close()
+
+	set := buildCSFSet(t, opts, team, timers)
+	d := newDecomposer(t, set, team, opts, timers)
+	k, report := d.run()
+	return k, report, nil
+}
+
+// buildCSFSet sorts clones of t (charged to the Sort timer, the paper's
+// pre-processing step) and assembles the CSF representations (charged to
+// the CSF build timer).
+func buildCSFSet(t *sptensor.Tensor, opts Options, team *parallel.Team, timers *perf.Registry) *csf.Set {
+	roots := csf.RootsFor(t.Dims, opts.Alloc)
+	sortT := timers.Get(perf.RoutineSort)
+	buildT := timers.Get(perf.RoutineCSF)
+	csfs := make([]*csf.CSF, len(roots))
+	for i, root := range roots {
+		clone := t.Clone()
+		sortT.Start()
+		perm := tsort.SortForRoot(clone, root, team, opts.SortVariant)
+		sortT.Stop()
+		buildT.Start()
+		csfs[i] = csf.BuildPresorted(clone, perm)
+		buildT.Stop()
+	}
+	return csf.NewSetFrom(opts.Alloc, csfs)
+}
+
+// decomposer holds the state of one CP-ALS run.
+type decomposer struct {
+	t      *sptensor.Tensor
+	set    *csf.Set
+	team   *parallel.Team
+	opts   Options
+	timers *perf.Registry
+
+	k     *KruskalTensor
+	op    *mttkrp.Operator
+	grams []*dense.Matrix // A(m)ᵀA(m), maintained per mode
+	v     *dense.Matrix   // Hadamard product of the other modes' grams
+	mbuf  *dense.Matrix   // MTTKRP output buffer (maxDim rows used per mode)
+	blas  *dense.BLASPool
+	normX float64
+}
+
+func newDecomposer(t *sptensor.Tensor, set *csf.Set, team *parallel.Team,
+	opts Options, timers *perf.Registry) *decomposer {
+
+	r := opts.Rank
+	d := &decomposer{
+		t: t, set: set, team: team, opts: opts, timers: timers,
+		k:     NewRandomKruskal(t.Dims, r, opts.Seed),
+		grams: make([]*dense.Matrix, t.NModes()),
+		v:     dense.NewMatrix(r, r),
+		normX: t.NormSquared(),
+	}
+	mopts := mttkrp.Options{
+		Access:    opts.Access,
+		Strategy:  opts.Strategy,
+		LockKind:  opts.LockKind,
+		PrivRatio: opts.PrivRatio,
+	}
+	d.op = mttkrp.NewOperator(set, team, r, mopts)
+	maxDim := 0
+	for _, dim := range t.Dims {
+		if dim > maxDim {
+			maxDim = dim
+		}
+	}
+	d.mbuf = dense.NewMatrix(maxDim, r)
+	for m := range d.grams {
+		d.grams[m] = dense.NewMatrix(r, r)
+	}
+	if opts.BLASThreads > 1 || opts.BLASSpin > 0 {
+		d.blas = &dense.BLASPool{Threads: opts.BLASThreads, SpinCount: opts.BLASSpin}
+	}
+	return d
+}
+
+// run executes the ALS loop and assembles the report.
+func (d *decomposer) run() (*KruskalTensor, *Report) {
+	t := d.t
+	order := t.NModes()
+	report := &Report{
+		Strategies: make([]mttkrp.ConflictStrategy, order),
+		CSFBytes:   d.set.MemoryBytes(),
+	}
+	cpdT := d.timers.Get(perf.RoutineCPD)
+	cpdT.Start()
+
+	// Initial Grams for every mode (line 2 setup of Algorithm 1).
+	d.timers.Time(perf.RoutineATA, func() {
+		for m := 0; m < order; m++ {
+			dense.Syrk(d.team, d.k.Factors[m], d.grams[m])
+		}
+	})
+
+	oldFit := 0.0
+	for it := 0; it < d.opts.MaxIters; it++ {
+		for m := 0; m < order; m++ {
+			d.updateMode(m, it, report)
+		}
+		fit := d.computeFit()
+		report.FitHistory = append(report.FitHistory, fit)
+		report.Iterations = it + 1
+		if d.opts.Tolerance > 0 && it > 0 && math.Abs(fit-oldFit) < d.opts.Tolerance {
+			oldFit = fit
+			break
+		}
+		oldFit = fit
+	}
+	cpdT.Stop()
+	report.Fit = oldFit
+	report.Times = d.timers.Snapshot()
+	return d.k, report
+}
+
+// updateMode performs one least-squares factor update (one of lines 4-6,
+// 7-9, or 10-12 of Algorithm 1) for mode m.
+func (d *decomposer) updateMode(m, iter int, report *Report) {
+	r := d.opts.Rank
+	factor := d.k.Factors[m]
+	mrows := dense.NewMatrixFrom(factor.Rows, r, d.mbuf.Data[:factor.Rows*r])
+
+	// V ← ∘_{n≠m} A(n)ᵀA(n) (+ optional ridge).
+	d.timers.Time(perf.RoutineATA, func() {
+		d.v.Fill(1)
+		for n := range d.grams {
+			if n != m {
+				dense.HadamardProduct(d.v, d.grams[n])
+			}
+		}
+		if d.opts.Ridge > 0 {
+			for i := 0; i < r; i++ {
+				d.v.Set(i, i, d.v.At(i, i)+d.opts.Ridge)
+			}
+		}
+	})
+
+	// M ← X(m) · (⊙_{n≠m} A(n)), the MTTKRP.
+	d.timers.Time(perf.RoutineMTTKRP, func() {
+		d.op.Apply(m, d.k.Factors, mrows)
+	})
+	report.Strategies[m] = d.op.LastStrategy()
+
+	// A(m) ← M · V†.
+	d.timers.Time(perf.RoutineInverse, func() {
+		factor.CopyFrom(mrows)
+		if d.blas != nil {
+			dense.SolveNormalsBLAS(d.blas, d.v, factor)
+		} else {
+			dense.SolveNormals(d.team, d.v, factor)
+		}
+	})
+
+	if d.opts.NonNegative {
+		parallel.For(d.team, factor.Rows, func(i int) {
+			row := factor.Row(i)
+			for j, v := range row {
+				if v < 0 {
+					row[j] = 0
+				}
+			}
+		})
+	}
+
+	// Normalize columns, storing norms as λ: 2-norm on the first
+	// iteration, max-norm afterwards (SPLATT's schedule).
+	d.timers.Time(perf.RoutineNorm, func() {
+		kind := dense.NormMax
+		if iter == 0 {
+			kind = dense.Norm2
+		}
+		dense.NormalizeColumns(d.team, factor, d.k.Lambda, kind)
+	})
+
+	// Refresh this mode's Gram for subsequent V products.
+	d.timers.Time(perf.RoutineATA, func() {
+		dense.Syrk(d.team, factor, d.grams[m])
+	})
+}
+
+// computeFit evaluates the fit via SPLATT's cheap inner-product identity:
+// ⟨X, model⟩ = Σ_{i,r} M_last[i,r] · λ_r · A_last[i,r], where M_last is
+// the final mode's MTTKRP output (still resident in mbuf) and A_last its
+// updated, normalized factor. No pass over the nonzeros is needed.
+func (d *decomposer) computeFit() float64 {
+	fit := 0.0
+	d.timers.Time(perf.RoutineFit, func() {
+		last := d.t.NModes() - 1
+		factor := d.k.Factors[last]
+		r := d.opts.Rank
+		mdata := d.mbuf.Data
+
+		tasks := 1
+		if d.team != nil {
+			tasks = d.team.N()
+		}
+		partials := make([]float64, tasks)
+		parallel.ForBlocks(d.team, factor.Rows, func(tid, begin, end int) {
+			acc := 0.0
+			for i := begin; i < end; i++ {
+				frow := factor.Row(i)
+				mrow := mdata[i*r : i*r+r]
+				for j := 0; j < r; j++ {
+					acc += mrow[j] * frow[j] * d.k.Lambda[j]
+				}
+			}
+			partials[tid] = acc
+		})
+		inner := parallel.ReduceSum(partials)
+
+		modelNorm2 := d.modelNormSquared()
+		residual2 := d.normX + modelNorm2 - 2*inner
+		if residual2 < 0 {
+			residual2 = 0
+		}
+		if d.normX > 0 {
+			fit = 1 - math.Sqrt(residual2)/math.Sqrt(d.normX)
+		}
+	})
+	return fit
+}
+
+// modelNormSquared computes λᵀ (∘_m Gram_m) λ from the maintained Grams.
+func (d *decomposer) modelNormSquared() float64 {
+	r := d.opts.Rank
+	g := dense.NewMatrix(r, r)
+	g.Fill(1)
+	for _, gram := range d.grams {
+		dense.HadamardProduct(g, gram)
+	}
+	n := 0.0
+	for i := 0; i < r; i++ {
+		li := d.k.Lambda[i]
+		row := g.Row(i)
+		for j := 0; j < r; j++ {
+			n += li * d.k.Lambda[j] * row[j]
+		}
+	}
+	return n
+}
+
+// SortOnly runs just the pre-processing sort the way CPD would, for the
+// Figure 1 study: it clones t, sorts for the policy's first root, and
+// reports the elapsed seconds.
+func SortOnly(t *sptensor.Tensor, opts Options) float64 {
+	tasks := opts.Tasks
+	if tasks < 1 {
+		tasks = 1
+	}
+	team := parallel.NewTeam(tasks)
+	defer team.Close()
+	clone := t.Clone()
+	timer := perf.NewTimer(perf.RoutineSort)
+	roots := csf.RootsFor(t.Dims, opts.Alloc)
+	timer.Start()
+	tsort.SortForRoot(clone, roots[0], team, opts.SortVariant)
+	timer.Stop()
+	return timer.Seconds()
+}

@@ -1,0 +1,184 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/mttkrp"
+	"repro/internal/sptensor"
+)
+
+func TestKruskalShapeAccessors(t *testing.T) {
+	k := NewRandomKruskal([]int{5, 7, 6}, 4, 1)
+	if k.Rank() != 4 || k.Order() != 3 {
+		t.Fatalf("rank %d order %d", k.Rank(), k.Order())
+	}
+	dims := k.Dims()
+	if dims[0] != 5 || dims[1] != 7 || dims[2] != 6 {
+		t.Fatalf("dims %v", dims)
+	}
+	if err := k.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKruskalNormSquaredMatchesDense(t *testing.T) {
+	k := NewRandomKruskal([]int{6, 5, 4}, 3, 2)
+	for r := range k.Lambda {
+		k.Lambda[r] = float64(r + 1)
+	}
+	d := k.ReconstructDense()
+	var want float64
+	for _, v := range d.Data {
+		want += v * v
+	}
+	got := k.NormSquared()
+	if math.Abs(got-want)/want > 1e-10 {
+		t.Errorf("NormSquared %g vs dense %g", got, want)
+	}
+}
+
+func TestKruskalAtMatchesDense(t *testing.T) {
+	k := NewRandomKruskal([]int{4, 3, 5}, 2, 3)
+	d := k.ReconstructDense()
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 3; j++ {
+			for l := 0; l < 5; l++ {
+				coord := []sptensor.Index{sptensor.Index(i), sptensor.Index(j), sptensor.Index(l)}
+				if math.Abs(k.At(coord)-d.At(coord...)) > 1e-12 {
+					t.Fatalf("At%v deviates from dense", coord)
+				}
+			}
+		}
+	}
+}
+
+func TestKruskalFitPerfectOnOwnReconstruction(t *testing.T) {
+	// A tensor equal to the model's dense reconstruction has fit 1.
+	k := NewRandomKruskal([]int{5, 4, 3}, 2, 5)
+	d := k.ReconstructDense()
+	tt := sptensor.New([]int{5, 4, 3}, 5*4*3)
+	x := 0
+	for i := 0; i < 5; i++ {
+		for j := 0; j < 4; j++ {
+			for l := 0; l < 3; l++ {
+				tt.Inds[0][x] = sptensor.Index(i)
+				tt.Inds[1][x] = sptensor.Index(j)
+				tt.Inds[2][x] = sptensor.Index(l)
+				tt.Vals[x] = d.At(sptensor.Index(i), sptensor.Index(j), sptensor.Index(l))
+				x++
+			}
+		}
+	}
+	if fit := k.Fit(tt); math.Abs(fit-1) > 1e-9 {
+		t.Errorf("self-fit %g, want 1", fit)
+	}
+}
+
+func TestKruskalCloneIndependent(t *testing.T) {
+	k := NewRandomKruskal([]int{4, 4, 4}, 3, 7)
+	c := k.Clone()
+	c.Lambda[0] = 999
+	c.Factors[0].Set(0, 0, 999)
+	if k.Lambda[0] == 999 || k.Factors[0].At(0, 0) == 999 {
+		t.Error("clone aliases original")
+	}
+}
+
+func TestKruskalValidateCatchesCorruption(t *testing.T) {
+	k := NewRandomKruskal([]int{4, 4}, 3, 9)
+	k.Lambda[1] = math.NaN()
+	if err := k.Validate(); err == nil {
+		t.Error("NaN lambda accepted")
+	}
+	k2 := NewRandomKruskal([]int{4, 4}, 3, 9)
+	k2.Factors[1] = k2.Factors[1].Transpose() // wrong column count (4x3 -> 3x4)
+	if err := k2.Validate(); err == nil {
+		t.Error("mismatched factor shape accepted")
+	}
+	empty := &KruskalTensor{}
+	if err := empty.Validate(); err == nil {
+		t.Error("rank-0 accepted")
+	}
+}
+
+func TestKruskalFitQuickBounds(t *testing.T) {
+	// Property: fit against arbitrary sparse tensors is <= 1 and finite.
+	f := func(seed int64) bool {
+		tt := sptensor.Random([]int{6, 5, 4}, 40, seed)
+		k := NewRandomKruskal(tt.Dims, 3, seed+1)
+		fit := k.Fit(tt)
+		return !math.IsNaN(fit) && !math.IsInf(fit, 0) && fit <= 1+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSortOnlyPositive(t *testing.T) {
+	tt := sptensor.Random([]int{30, 25, 40}, 3000, 11)
+	opts := DefaultOptions()
+	if s := SortOnly(tt, opts); s <= 0 {
+		t.Errorf("SortOnly = %g", s)
+	}
+	opts.Tasks = 4
+	if s := SortOnly(tt, opts); s <= 0 {
+		t.Errorf("parallel SortOnly = %g", s)
+	}
+}
+
+func TestProfileParsingAndLabels(t *testing.T) {
+	cases := map[string]Profile{
+		"c": ProfileReference, "reference": ProfileReference, "ref": ProfileReference, "": ProfileReference,
+		"initial": ProfileInitial, "chapel-initial": ProfileInitial,
+		"optimized": ProfileOptimized, "optimize": ProfileOptimized, "chapel-optimize": ProfileOptimized,
+	}
+	for s, want := range cases {
+		got, err := ParseProfile(s)
+		if err != nil || got != want {
+			t.Errorf("ParseProfile(%q) = %v, %v", s, got, err)
+		}
+	}
+	if _, err := ParseProfile("bogus"); err == nil {
+		t.Error("bogus profile accepted")
+	}
+	if ProfileReference.String() != "C" ||
+		ProfileInitial.String() != "Chapel-initial" ||
+		ProfileOptimized.String() != "Chapel-optimize" {
+		t.Error("profile labels must match the paper's series names")
+	}
+}
+
+func TestCPDTileStrategyEndToEnd(t *testing.T) {
+	// Full CP-ALS with the tiling extension matches the default run.
+	tt := sptensor.Random([]int{40, 30, 50}, 3000, 13)
+	base := DefaultOptions()
+	base.Rank = 5
+	base.MaxIters = 6
+	base.Tasks = 4
+	kAuto, _, err := CPD(tt, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tiled := base
+	tiled.Strategy = mttkrp.StrategyTile
+	kTile, report, err := CPD(tt, tiled)
+	if err != nil {
+		t.Fatal(err)
+	}
+	usedTile := false
+	for _, s := range report.Strategies {
+		if s == mttkrp.StrategyTile {
+			usedTile = true
+		}
+	}
+	if !usedTile {
+		t.Errorf("tile strategy never engaged: %v", report.Strategies)
+	}
+	for m := range kAuto.Factors {
+		if d := kAuto.Factors[m].MaxAbsDiff(kTile.Factors[m]); d > 1e-6 {
+			t.Errorf("tiled factor %d deviates by %g", m, d)
+		}
+	}
+}

@@ -1,0 +1,184 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/csf"
+	"repro/internal/locks"
+	"repro/internal/mttkrp"
+	"repro/internal/perf"
+	"repro/internal/tsort"
+)
+
+// Profile bundles the implementation idioms the paper compares: it is the
+// "which code are we running" axis of Table III and Figures 5-10.
+type Profile int
+
+const (
+	// ProfileReference is the C/OpenMP SPLATT analogue: hand-specialized
+	// flat-array kernels, spin locks, fully optimized sort.
+	ProfileReference Profile = iota
+	// ProfileInitial is the unoptimized Chapel port analogue: slicing row
+	// access (copies), parking sync locks, allocation-heavy copying sort.
+	ProfileInitial
+	// ProfileOptimized is the final Chapel port analogue: pointer row
+	// access through the abstraction layer, spin locks, optimized sort.
+	ProfileOptimized
+)
+
+// String returns the series label the paper uses for each code.
+func (p Profile) String() string {
+	switch p {
+	case ProfileReference:
+		return "C"
+	case ProfileInitial:
+		return "Chapel-initial"
+	case ProfileOptimized:
+		return "Chapel-optimize"
+	default:
+		return fmt.Sprintf("Profile(%d)", int(p))
+	}
+}
+
+// ParseProfile converts a CLI string into a Profile.
+func ParseProfile(s string) (Profile, error) {
+	switch s {
+	case "c", "reference", "ref", "":
+		return ProfileReference, nil
+	case "initial", "chapel-initial":
+		return ProfileInitial, nil
+	case "optimized", "optimize", "chapel-optimize":
+		return ProfileOptimized, nil
+	}
+	return ProfileReference, fmt.Errorf("core: unknown profile %q", s)
+}
+
+// Profiles lists all profiles in comparison order.
+var Profiles = []Profile{ProfileReference, ProfileInitial, ProfileOptimized}
+
+// Options configures one CP-ALS run.
+type Options struct {
+	// Rank is the decomposition rank R (the paper uses 35).
+	Rank int
+	// MaxIters caps ALS iterations (the paper runs 20).
+	MaxIters int
+	// Tolerance stops iteration once |fit − fit_prev| < Tolerance.
+	// Zero disables early stopping, matching the paper's fixed-20 runs.
+	Tolerance float64
+	// Tasks is the team size (threads/tasks axis of every figure).
+	// Zero means 1.
+	Tasks int
+	// Seed fixes factor initialization.
+	Seed int64
+
+	// Access selects the MTTKRP kernel family / row access mode.
+	Access mttkrp.AccessMode
+	// LockKind selects the mutex-pool implementation.
+	LockKind locks.Kind
+	// Strategy forces the conflict strategy (StrategyAuto = decide).
+	Strategy mttkrp.ConflictStrategy
+	// PrivRatio overrides the lock-vs-privatize ratio (0 = default).
+	PrivRatio int
+	// SortVariant selects the §V-C sorting implementation.
+	SortVariant tsort.Variant
+	// Alloc selects the CSF allocation policy.
+	Alloc csf.AllocPolicy
+
+	// BLASThreads > 1 runs the inverse routine on an independent BLAS
+	// goroutine pool (the OMP_NUM_THREADS axis of §V-E); BLASSpin is the
+	// post-call spin (QT_SPINCOUNT analogue).
+	BLASThreads int
+	BLASSpin    int
+
+	// NonNegative projects factors onto the nonnegative orthant after
+	// each update (SPLATT's constrained-CP feature, §III).
+	NonNegative bool
+	// Ridge adds Tikhonov regularization λI to the normal equations of
+	// every factor update — SPLATT's regularized/constrained CP option.
+	// Keeps V well-conditioned when factors become collinear. 0 disables.
+	Ridge float64
+
+	// Timers receives per-routine timings; nil allocates a private
+	// registry (available on the Report).
+	Timers *perf.Registry
+}
+
+// DefaultOptions returns the paper's experimental configuration: rank 35,
+// 20 iterations, no early stopping, reference profile, serial.
+func DefaultOptions() Options {
+	return Options{
+		Rank:     35,
+		MaxIters: 20,
+		Tasks:    1,
+		Seed:     1,
+		Access:   mttkrp.AccessReference,
+		LockKind: locks.Spin,
+		Strategy: mttkrp.StrategyAuto,
+		Alloc:    csf.AllocTwo,
+	}
+}
+
+// ApplyProfile overwrites the implementation-idiom fields from a Profile.
+func (o *Options) ApplyProfile(p Profile) {
+	switch p {
+	case ProfileReference:
+		o.Access = mttkrp.AccessReference
+		o.LockKind = locks.Spin
+		o.SortVariant = tsort.AllOpt
+	case ProfileInitial:
+		o.Access = mttkrp.AccessSlice
+		o.LockKind = locks.Sync
+		o.SortVariant = tsort.Initial
+	case ProfileOptimized:
+		o.Access = mttkrp.AccessPointer
+		o.LockKind = locks.Spin
+		o.SortVariant = tsort.AllOpt
+	}
+}
+
+// Validate sanity-checks option values.
+func (o Options) Validate() error {
+	if o.Rank <= 0 {
+		return fmt.Errorf("core: rank %d <= 0", o.Rank)
+	}
+	if o.MaxIters <= 0 {
+		return fmt.Errorf("core: max iterations %d <= 0", o.MaxIters)
+	}
+	if o.Tasks < 0 {
+		return fmt.Errorf("core: tasks %d < 0", o.Tasks)
+	}
+	if o.Tolerance < 0 {
+		return fmt.Errorf("core: tolerance %g < 0", o.Tolerance)
+	}
+	if o.Ridge < 0 {
+		return fmt.Errorf("core: ridge %g < 0", o.Ridge)
+	}
+	return nil
+}
+
+// Report summarizes a CP-ALS run: convergence and per-routine seconds.
+type Report struct {
+	// Iterations actually executed.
+	Iterations int
+	// Fit is the final model fit (1 − relative residual).
+	Fit float64
+	// FitHistory holds the fit after every iteration.
+	FitHistory []float64
+	// Times is the per-routine seconds snapshot (perf.Routine* keys).
+	Times map[string]float64
+	// Strategies records the conflict strategy used per mode — the
+	// observable lock-vs-privatize decision.
+	Strategies []mttkrp.ConflictStrategy
+	// CSFBytes is the total CSF footprint.
+	CSFBytes int64
+}
+
+// UsedLocks reports whether any mode's MTTKRP used the mutex pool.
+func (r *Report) UsedLocks() bool {
+	for _, s := range r.Strategies {
+		if s == mttkrp.StrategyLock {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,56 @@
+package core
+
+import (
+	"repro/internal/csf"
+	"repro/internal/dense"
+	"repro/internal/mttkrp"
+	"repro/internal/parallel"
+	"repro/internal/sptensor"
+)
+
+// MTTKRPRunner packages a CSF set, worker team, and MTTKRP operator for
+// standalone kernel use outside the ALS loop — the public MTTKRP helper
+// and the Figure 2/3/4/9/10 benchmarks (which time MTTKRP in isolation)
+// are built on it.
+type MTTKRPRunner struct {
+	team *parallel.Team
+	set  *csf.Set
+	op   *mttkrp.Operator
+}
+
+// NewMTTKRPRunner builds the CSF set for t (using opts.Alloc and
+// opts.SortVariant) and an operator configured from opts.
+func NewMTTKRPRunner(t *sptensor.Tensor, rank, tasks int, opts Options) *MTTKRPRunner {
+	if tasks < 1 {
+		tasks = 1
+	}
+	team := parallel.NewTeam(tasks)
+	set := csf.NewSet(t, opts.Alloc, team, opts.SortVariant)
+	mopts := mttkrp.Options{
+		Access:    opts.Access,
+		Strategy:  opts.Strategy,
+		LockKind:  opts.LockKind,
+		PrivRatio: opts.PrivRatio,
+	}
+	return &MTTKRPRunner{
+		team: team,
+		set:  set,
+		op:   mttkrp.NewOperator(set, team, rank, mopts),
+	}
+}
+
+// Apply computes out = MTTKRP(mode); out must be Dims[mode]×rank.
+func (r *MTTKRPRunner) Apply(mode int, factors []*dense.Matrix, out *dense.Matrix) {
+	r.op.Apply(mode, factors, out)
+}
+
+// StrategyFor exposes the conflict-strategy decision per mode.
+func (r *MTTKRPRunner) StrategyFor(mode int) mttkrp.ConflictStrategy {
+	return r.op.StrategyFor(mode)
+}
+
+// Set exposes the underlying CSF set (memory accounting, tests).
+func (r *MTTKRPRunner) Set() *csf.Set { return r.set }
+
+// Close releases the worker team.
+func (r *MTTKRPRunner) Close() { r.team.Close() }

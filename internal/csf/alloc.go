@@ -1,0 +1,153 @@
+package csf
+
+import (
+	"fmt"
+
+	"repro/internal/parallel"
+	"repro/internal/sptensor"
+	"repro/internal/tsort"
+)
+
+// AllocPolicy selects how many CSF representations back one tensor —
+// SPLATT's SPLATT_CSF_ALLOC option. More representations trade memory for
+// cheaper MTTKRPs (root-mode kernels need no conflict handling).
+type AllocPolicy int
+
+const (
+	// AllocTwo (SPLATT's default) builds a CSF rooted at the shortest mode
+	// and another rooted at the longest; the two extreme modes get
+	// conflict-free root kernels and the remaining modes use the first CSF.
+	AllocTwo AllocPolicy = iota
+	// AllocOne builds a single CSF rooted at the shortest mode; all other
+	// modes run internal/leaf kernels (minimum memory).
+	AllocOne
+	// AllocAll builds one CSF per mode, so every MTTKRP is a root-mode
+	// kernel (maximum memory, no locks or privatization ever needed).
+	AllocAll
+)
+
+// String names the policy as in SPLATT's option values.
+func (p AllocPolicy) String() string {
+	switch p {
+	case AllocOne:
+		return "one"
+	case AllocTwo:
+		return "two"
+	case AllocAll:
+		return "all"
+	default:
+		return fmt.Sprintf("AllocPolicy(%d)", int(p))
+	}
+}
+
+// ParseAllocPolicy converts a CLI string into an AllocPolicy.
+func ParseAllocPolicy(s string) (AllocPolicy, error) {
+	switch s {
+	case "one", "1":
+		return AllocOne, nil
+	case "two", "2", "":
+		return AllocTwo, nil
+	case "all":
+		return AllocAll, nil
+	}
+	return AllocTwo, fmt.Errorf("csf: unknown alloc policy %q", s)
+}
+
+// Set is the collection of CSF representations backing one tensor, plus
+// the per-mode dispatch table saying which representation (and at which
+// level) serves each mode's MTTKRP.
+type Set struct {
+	Policy AllocPolicy
+	CSFs   []*CSF
+	// Assign[m] locates mode m's kernel: which CSF and which level.
+	Assign []Assignment
+}
+
+// Assignment locates one mode's MTTKRP kernel within a Set.
+type Assignment struct {
+	// CSF indexes into Set.CSFs.
+	CSF int
+	// Level is the depth of the mode within that CSF (0 = root kernel).
+	Level int
+}
+
+// RootsFor returns the root modes the policy builds CSFs for: the shortest
+// mode (one), shortest+longest (two), or every mode (all).
+func RootsFor(dims []int, policy AllocPolicy) []int {
+	shortest, longest := 0, 0
+	for m, d := range dims {
+		if d < dims[shortest] {
+			shortest = m
+		}
+		if d > dims[longest] {
+			longest = m
+		}
+	}
+	switch policy {
+	case AllocOne:
+		return []int{shortest}
+	case AllocTwo:
+		if longest == shortest {
+			return []int{shortest}
+		}
+		return []int{shortest, longest}
+	case AllocAll:
+		roots := make([]int, len(dims))
+		for m := range roots {
+			roots[m] = m
+		}
+		return roots
+	default:
+		panic(fmt.Sprintf("csf: unknown alloc policy %d", int(policy)))
+	}
+}
+
+// NewSetFrom assembles a Set from CSFs built for RootsFor(dims, policy), in
+// that order. Callers that need to time sorting and building separately
+// (the per-routine tables) build the CSFs themselves and use this; NewSet
+// is the convenience path.
+func NewSetFrom(policy AllocPolicy, csfs []*CSF) *Set {
+	if len(csfs) == 0 {
+		panic("csf: NewSetFrom with no representations")
+	}
+	order := csfs[0].Order()
+	s := &Set{Policy: policy, CSFs: csfs, Assign: make([]Assignment, order)}
+	for m := 0; m < order; m++ {
+		// Prefer a representation where m is the root; otherwise use the
+		// first (shortest-rooted) CSF at m's depth.
+		s.Assign[m] = Assignment{CSF: 0, Level: csfs[0].DepthOf(m)}
+		for i, c := range csfs {
+			if c.ModeOrder[0] == m {
+				s.Assign[m] = Assignment{CSF: i, Level: 0}
+				break
+			}
+		}
+	}
+	return s
+}
+
+// NewSet builds the CSF representations for t under the given policy.
+// The input tensor is cloned per representation; t itself is not modified.
+func NewSet(t *sptensor.Tensor, policy AllocPolicy, team *parallel.Team, sortVariant tsort.Variant) *Set {
+	roots := RootsFor(t.Dims, policy)
+	csfs := make([]*CSF, len(roots))
+	for i, root := range roots {
+		csfs[i] = Build(t.Clone(), root, team, sortVariant)
+	}
+	return NewSetFrom(policy, csfs)
+}
+
+// For returns the CSF and level serving mode m's MTTKRP.
+func (s *Set) For(m int) (*CSF, int) {
+	a := s.Assign[m]
+	return s.CSFs[a.CSF], a.Level
+}
+
+// MemoryBytes totals the footprint of all representations.
+func (s *Set) MemoryBytes() int64 {
+	var b int64
+	for _, c := range s.CSFs {
+		b += c.MemoryBytes()
+	}
+	return b
+}

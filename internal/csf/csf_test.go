@@ -1,0 +1,269 @@
+package csf
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/parallel"
+	"repro/internal/sptensor"
+	"repro/internal/tsort"
+)
+
+// cooKey canonicalizes a tensor's nonzeros for set comparison.
+func cooKeys(t *sptensor.Tensor) []string {
+	keys := make([]string, t.NNZ())
+	for x := 0; x < t.NNZ(); x++ {
+		key := ""
+		for m := 0; m < t.NModes(); m++ {
+			key += string(rune(t.Inds[m][x])) + ","
+		}
+		key += string(rune(int(t.Vals[x] * 1000)))
+		keys[x] = key
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func TestBuildRoundTripsCOO(t *testing.T) {
+	for _, dims := range [][]int{{10, 8, 12}, {6, 9}, {5, 4, 6, 3}} {
+		tt := sptensor.Random(dims, 300, 3)
+		want := cooKeys(tt)
+		for root := 0; root < len(dims); root++ {
+			c := Build(tt.Clone(), root, nil, tsort.AllOpt)
+			back := c.ToCOO()
+			if err := back.Validate(); err != nil {
+				t.Fatalf("root %d: reconstructed tensor invalid: %v", root, err)
+			}
+			got := cooKeys(back)
+			if len(got) != len(want) {
+				t.Fatalf("root %d: nnz %d != %d", root, len(got), len(want))
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("root %d: nonzero sets differ", root)
+				}
+			}
+		}
+	}
+}
+
+func TestCSFStructureInvariants(t *testing.T) {
+	tt := sptensor.Random([]int{15, 12, 18}, 800, 5)
+	c := Build(tt.Clone(), 0, nil, tsort.AllOpt)
+
+	if c.Order() != 3 || c.NNZ() != tt.NNZ() {
+		t.Fatal("basic shape wrong")
+	}
+	// Fptr monotone, first 0, last = child count.
+	for l := 0; l < c.Order()-1; l++ {
+		fptr := c.Fptr[l]
+		if len(fptr) != c.NFibers(l)+1 {
+			t.Fatalf("level %d: fptr length %d for %d fibers", l, len(fptr), c.NFibers(l))
+		}
+		if fptr[0] != 0 {
+			t.Fatalf("level %d: fptr[0] = %d", l, fptr[0])
+		}
+		for f := 1; f < len(fptr); f++ {
+			if fptr[f] < fptr[f-1] {
+				t.Fatalf("level %d: fptr not monotone at %d", l, f)
+			}
+			if fptr[f] == fptr[f-1] {
+				t.Fatalf("level %d: empty fiber at %d", l, f)
+			}
+		}
+		var nextCount int64
+		if l == c.Order()-2 {
+			nextCount = int64(c.NNZ())
+		} else {
+			nextCount = int64(c.NFibers(l + 1))
+		}
+		if fptr[len(fptr)-1] != nextCount {
+			t.Fatalf("level %d: fptr end %d != %d", l, fptr[len(fptr)-1], nextCount)
+		}
+	}
+	// Slice ids strictly increasing at root (each root index appears once).
+	for f := 1; f < c.NFibers(0); f++ {
+		if c.Fids[0][f] <= c.Fids[0][f-1] {
+			t.Fatal("root slice ids not strictly increasing")
+		}
+	}
+}
+
+func TestNonzeroSpansTile(t *testing.T) {
+	tt := sptensor.Random([]int{10, 10, 10}, 400, 7)
+	c := Build(tt.Clone(), 0, nil, tsort.AllOpt)
+	for l := 0; l < c.Order()-1; l++ {
+		covered := 0
+		prevEnd := 0
+		for f := 0; f < c.NFibers(l); f++ {
+			lo, hi := c.NonzeroSpan(l, f)
+			if lo != prevEnd {
+				t.Fatalf("level %d fiber %d: span gap (%d != %d)", l, f, lo, prevEnd)
+			}
+			if hi <= lo {
+				t.Fatalf("level %d fiber %d: empty span", l, f)
+			}
+			covered += hi - lo
+			prevEnd = hi
+		}
+		if covered != c.NNZ() {
+			t.Fatalf("level %d: spans cover %d of %d nonzeros", l, covered, c.NNZ())
+		}
+	}
+}
+
+func TestSliceWeightsSumToNNZ(t *testing.T) {
+	tt := sptensor.Random([]int{20, 15, 25}, 900, 9)
+	c := Build(tt.Clone(), 2, nil, tsort.AllOpt)
+	var total int64
+	for _, w := range c.SliceWeights() {
+		total += w
+	}
+	if total != int64(c.NNZ()) {
+		t.Errorf("weights sum %d != nnz %d", total, c.NNZ())
+	}
+}
+
+func TestDepthOf(t *testing.T) {
+	tt := sptensor.Random([]int{30, 10, 20}, 300, 11)
+	c := Build(tt.Clone(), 0, nil, tsort.AllOpt)
+	// Mode order rooted at 0: [0, then 1 (10) before 2 (20)].
+	if c.DepthOf(0) != 0 || c.DepthOf(1) != 1 || c.DepthOf(2) != 2 {
+		t.Errorf("depths: %d %d %d", c.DepthOf(0), c.DepthOf(1), c.DepthOf(2))
+	}
+	if c.DepthOf(9) != -1 {
+		t.Error("bogus mode should be -1")
+	}
+}
+
+func TestRootsFor(t *testing.T) {
+	dims := []int{30, 10, 20}
+	if got := RootsFor(dims, AllocOne); len(got) != 1 || got[0] != 1 {
+		t.Errorf("one: %v", got)
+	}
+	if got := RootsFor(dims, AllocTwo); len(got) != 2 || got[0] != 1 || got[1] != 0 {
+		t.Errorf("two: %v", got)
+	}
+	if got := RootsFor(dims, AllocAll); len(got) != 3 {
+		t.Errorf("all: %v", got)
+	}
+	// Degenerate: all dims equal → two collapses to one root.
+	if got := RootsFor([]int{5, 5, 5}, AllocTwo); len(got) != 2 {
+		// shortest=0, longest=0 would collapse; implementation picks
+		// shortest=first-min, longest=first-max: both 0 → 1 root.
+		if len(got) != 1 {
+			t.Errorf("equal dims: %v", got)
+		}
+	}
+}
+
+func TestNewSetAssignments(t *testing.T) {
+	tt := sptensor.Random([]int{30, 10, 20}, 600, 13)
+	for _, policy := range []AllocPolicy{AllocOne, AllocTwo, AllocAll} {
+		set := NewSet(tt, policy, nil, tsort.AllOpt)
+		if len(set.Assign) != 3 {
+			t.Fatalf("%v: %d assignments", policy, len(set.Assign))
+		}
+		for m := 0; m < 3; m++ {
+			c, level := set.For(m)
+			if c.ModeOrder[level] != m {
+				t.Errorf("%v: mode %d assigned to level %d of CSF with order %v",
+					policy, m, level, c.ModeOrder)
+			}
+		}
+		switch policy {
+		case AllocOne:
+			if len(set.CSFs) != 1 {
+				t.Errorf("one: %d CSFs", len(set.CSFs))
+			}
+		case AllocTwo:
+			if len(set.CSFs) != 2 {
+				t.Errorf("two: %d CSFs", len(set.CSFs))
+			}
+			// Shortest (1) and longest (0) modes are roots.
+			if _, l := set.For(1); l != 0 {
+				t.Error("two: shortest mode not a root")
+			}
+			if _, l := set.For(0); l != 0 {
+				t.Error("two: longest mode not a root")
+			}
+		case AllocAll:
+			if len(set.CSFs) != 3 {
+				t.Errorf("all: %d CSFs", len(set.CSFs))
+			}
+			for m := 0; m < 3; m++ {
+				if _, l := set.For(m); l != 0 {
+					t.Errorf("all: mode %d not root", m)
+				}
+			}
+		}
+	}
+}
+
+func TestMemoryAccounting(t *testing.T) {
+	tt := sptensor.Random([]int{20, 20, 20}, 500, 15)
+	one := NewSet(tt, AllocOne, nil, tsort.AllOpt)
+	all := NewSet(tt, AllocAll, nil, tsort.AllOpt)
+	if one.MemoryBytes() <= 0 {
+		t.Error("zero memory reported")
+	}
+	if all.MemoryBytes() <= one.MemoryBytes() {
+		t.Error("all-mode allocation should use more memory than one-mode")
+	}
+}
+
+func TestParseAllocPolicy(t *testing.T) {
+	cases := map[string]AllocPolicy{"one": AllocOne, "1": AllocOne, "two": AllocTwo, "2": AllocTwo, "": AllocTwo, "all": AllocAll}
+	for s, want := range cases {
+		got, err := ParseAllocPolicy(s)
+		if err != nil || got != want {
+			t.Errorf("ParseAllocPolicy(%q) = %v, %v", s, got, err)
+		}
+	}
+	if _, err := ParseAllocPolicy("bogus"); err == nil {
+		t.Error("bogus accepted")
+	}
+}
+
+func TestBuildParallelMatchesSerial(t *testing.T) {
+	tt := sptensor.Random([]int{25, 18, 22}, 1500, 17)
+	serial := Build(tt.Clone(), 0, nil, tsort.AllOpt)
+	team := parallel.NewTeam(4)
+	defer team.Close()
+	par := Build(tt.Clone(), 0, team, tsort.AllOpt)
+	if serial.NNZ() != par.NNZ() || serial.NFibers(0) != par.NFibers(0) || serial.NFibers(1) != par.NFibers(1) {
+		t.Fatal("parallel build differs structurally from serial")
+	}
+	for l := range serial.Fids {
+		for f := range serial.Fids[l] {
+			if serial.Fids[l][f] != par.Fids[l][f] {
+				t.Fatalf("level %d fiber %d differs", l, f)
+			}
+		}
+	}
+}
+
+func TestBuildQuickProperty(t *testing.T) {
+	// Property: CSF preserves nnz count and per-slice populations for any
+	// root and random tensor.
+	f := func(seed int64, rootRaw uint8) bool {
+		tt := sptensor.Random([]int{7, 9, 8}, 200, seed)
+		root := int(rootRaw) % 3
+		counts := tt.SliceCounts(root)
+		c := Build(tt.Clone(), root, nil, tsort.AllOpt)
+		if c.NNZ() != tt.NNZ() {
+			return false
+		}
+		weights := c.SliceWeights()
+		for f := 0; f < c.NFibers(0); f++ {
+			if counts[c.Fids[0][f]] != weights[f] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,109 @@
+package dense
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/parallel"
+)
+
+// BLASPool models the OpenBLAS/OpenMP thread pool of the paper's §V-E
+// interference study. Both the paper's codes call OpenBLAS for the inverse
+// routine; OpenBLAS runs its *own* OpenMP threads, which fight with the
+// Qthreads workers for cores — spin-waiting OpenMP threads linger on cores
+// after the BLAS call returns (controlled by QT_SPINCOUNT in the paper) and
+// degrade the Chapel routine that follows.
+//
+// The pool reproduces both halves of that pathology in Go:
+//
+//   - Threads: the pool runs its operations on its own goroutines,
+//     independent of (and oversubscribing with) the CP-ALS team.
+//   - SpinCount: after an operation completes, each pool goroutine keeps
+//     busy-spinning for SpinCount iterations before exiting, stealing CPU
+//     from whatever routine the driver runs next (the paper observed the
+//     matrix-normalization routine slowing 7–13×).
+//
+// A pool with Threads <= 1 and SpinCount == 0 is the paper's chosen final
+// configuration (OMP_NUM_THREADS=1): fully serial BLAS, no interference.
+type BLASPool struct {
+	// Threads is the number of pool goroutines per operation (the
+	// OMP_NUM_THREADS analogue). Values <= 1 run inline.
+	Threads int
+	// SpinCount is the post-operation busy-wait iteration count per
+	// goroutine (the QT_SPINCOUNT analogue; Qthreads defaults to 300000).
+	SpinCount int
+}
+
+// spinSink defeats dead-code elimination of the busy-wait loop.
+var spinSink atomic.Uint64
+
+// burn spins for approximately `iters` iterations of trivial work.
+func burn(iters int) {
+	var acc uint64
+	for i := 0; i < iters; i++ {
+		acc += uint64(i)
+		if acc&0xfff == 0 {
+			spinSink.Add(acc)
+		}
+	}
+	spinSink.Add(acc)
+}
+
+// parallelRows applies f to every row index in [0, n) on the pool's own
+// goroutines. The call returns when the row work is done; post-op spinners
+// continue burning CPU in the background.
+func (p *BLASPool) parallelRows(n int, f func(i int)) {
+	if p == nil || p.Threads <= 1 {
+		for i := 0; i < n; i++ {
+			f(i)
+		}
+		if p != nil && p.SpinCount > 0 {
+			burn(p.SpinCount)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	for t := 0; t < p.Threads; t++ {
+		wg.Add(1)
+		go func(tid int) {
+			begin, end := parallel.Partition(n, p.Threads, tid)
+			for i := begin; i < end; i++ {
+				f(i)
+			}
+			wg.Done()
+			// Linger after the result is ready, like an OpenMP worker
+			// spin-waiting for more work it will never get.
+			if p.SpinCount > 0 {
+				burn(p.SpinCount)
+			}
+		}(t)
+	}
+	wg.Wait()
+}
+
+// SolveNormalsBLAS is SolveNormals executed on the BLAS pool instead of the
+// CP-ALS team — the configuration the paper benchmarks when it varies
+// OMP_NUM_THREADS. The factorization is serial (R×R is tiny); the per-row
+// triangular solves run on pool goroutines.
+func SolveNormalsBLAS(pool *BLASPool, v *Matrix, m *Matrix) {
+	l := v.Clone()
+	if err := Cholesky(l); err == nil {
+		pool.parallelRows(m.Rows, func(i int) {
+			CholeskySolve(l, m.Row(i))
+		})
+		return
+	}
+	pinv := PseudoInverse(v, 0)
+	tmp := m.Clone()
+	pool.parallelRows(m.Rows, func(i int) {
+		trow := tmp.Row(i)
+		mrow := m.Row(i)
+		for j := range mrow {
+			s := 0.0
+			for k := 0; k < pinv.Rows; k++ {
+				s += trow[k] * pinv.Data[k*pinv.Cols+j]
+			}
+			mrow[j] = s
+		}
+	})
+}

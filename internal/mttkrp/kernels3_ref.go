@@ -1,0 +1,230 @@
+package mttkrp
+
+import (
+	"repro/internal/csf"
+	"repro/internal/dense"
+	"repro/internal/locks"
+)
+
+// The "reference" kernels: hand-specialized 3rd-order CSF MTTKRP over flat
+// row-major arrays with direct offset arithmetic — the C/OpenMP SPLATT
+// analogue the port is measured against. No accessor or sink indirection:
+// every row access is raw pointer math, every conflict policy gets its own
+// loop body, exactly as mttkrp.c specializes them.
+
+// root3Ref computes the root-mode MTTKRP over slices [begin, end).
+func root3Ref(c *csf.CSF, mid, leaf, out *dense.Matrix, acc []float64, begin, end int) {
+	fptrS, fptrF := c.Fptr[0], c.Fptr[1]
+	fidsS, fidsF, fidsN := c.Fids[0], c.Fids[1], c.Fids[2]
+	vals := c.Vals
+	mdat, ldat, odat := mid.Data, leaf.Data, out.Data
+	r := out.Cols
+	for s := begin; s < end; s++ {
+		orowOff := int(fidsS[s]) * r
+		orow := odat[orowOff : orowOff+r]
+		for f := fptrS[s]; f < fptrS[s+1]; f++ {
+			for i := range acc {
+				acc[i] = 0
+			}
+			for x := fptrF[f]; x < fptrF[f+1]; x++ {
+				v := vals[x]
+				lrowOff := int(fidsN[x]) * r
+				lrow := ldat[lrowOff : lrowOff+r]
+				for i := range acc {
+					acc[i] += v * lrow[i]
+				}
+			}
+			mrowOff := int(fidsF[f]) * r
+			mrow := mdat[mrowOff : mrowOff+r]
+			for i := range orow {
+				orow[i] += acc[i] * mrow[i]
+			}
+		}
+	}
+}
+
+// internal3RefDirect is the internal-mode kernel with unsynchronized
+// writes (serial runs).
+func internal3RefDirect(c *csf.CSF, root, leaf, out *dense.Matrix, acc []float64, begin, end int) {
+	fptrS, fptrF := c.Fptr[0], c.Fptr[1]
+	fidsS, fidsF, fidsN := c.Fids[0], c.Fids[1], c.Fids[2]
+	vals := c.Vals
+	rdat, ldat, odat := root.Data, leaf.Data, out.Data
+	r := out.Cols
+	for s := begin; s < end; s++ {
+		rrowOff := int(fidsS[s]) * r
+		rrow := rdat[rrowOff : rrowOff+r]
+		for f := fptrS[s]; f < fptrS[s+1]; f++ {
+			for i := range acc {
+				acc[i] = 0
+			}
+			for x := fptrF[f]; x < fptrF[f+1]; x++ {
+				v := vals[x]
+				lrowOff := int(fidsN[x]) * r
+				lrow := ldat[lrowOff : lrowOff+r]
+				for i := range acc {
+					acc[i] += v * lrow[i]
+				}
+			}
+			orowOff := int(fidsF[f]) * r
+			orow := odat[orowOff : orowOff+r]
+			for i := range orow {
+				orow[i] += acc[i] * rrow[i]
+			}
+		}
+	}
+}
+
+// internal3RefLock is the internal-mode kernel guarding each fiber update
+// with the mutex pool.
+func internal3RefLock(c *csf.CSF, root, leaf, out *dense.Matrix, pool locks.Pool, acc []float64, begin, end int) {
+	fptrS, fptrF := c.Fptr[0], c.Fptr[1]
+	fidsS, fidsF, fidsN := c.Fids[0], c.Fids[1], c.Fids[2]
+	vals := c.Vals
+	rdat, ldat, odat := root.Data, leaf.Data, out.Data
+	r := out.Cols
+	for s := begin; s < end; s++ {
+		rrowOff := int(fidsS[s]) * r
+		rrow := rdat[rrowOff : rrowOff+r]
+		for f := fptrS[s]; f < fptrS[s+1]; f++ {
+			for i := range acc {
+				acc[i] = 0
+			}
+			for x := fptrF[f]; x < fptrF[f+1]; x++ {
+				v := vals[x]
+				lrowOff := int(fidsN[x]) * r
+				lrow := ldat[lrowOff : lrowOff+r]
+				for i := range acc {
+					acc[i] += v * lrow[i]
+				}
+			}
+			row := int(fidsF[f])
+			orow := odat[row*r : row*r+r]
+			pool.Lock(row)
+			for i := range orow {
+				orow[i] += acc[i] * rrow[i]
+			}
+			pool.Unlock(row)
+		}
+	}
+}
+
+// internal3RefPriv is the internal-mode kernel accumulating into a
+// task-private buffer (SPLATT's no-lock path).
+func internal3RefPriv(c *csf.CSF, root, leaf *dense.Matrix, buf []float64, rank int, acc []float64, begin, end int) {
+	fptrS, fptrF := c.Fptr[0], c.Fptr[1]
+	fidsS, fidsF, fidsN := c.Fids[0], c.Fids[1], c.Fids[2]
+	vals := c.Vals
+	rdat, ldat := root.Data, leaf.Data
+	r := rank
+	for s := begin; s < end; s++ {
+		rrowOff := int(fidsS[s]) * r
+		rrow := rdat[rrowOff : rrowOff+r]
+		for f := fptrS[s]; f < fptrS[s+1]; f++ {
+			for i := range acc {
+				acc[i] = 0
+			}
+			for x := fptrF[f]; x < fptrF[f+1]; x++ {
+				v := vals[x]
+				lrowOff := int(fidsN[x]) * r
+				lrow := ldat[lrowOff : lrowOff+r]
+				for i := range acc {
+					acc[i] += v * lrow[i]
+				}
+			}
+			orowOff := int(fidsF[f]) * r
+			orow := buf[orowOff : orowOff+r]
+			for i := range orow {
+				orow[i] += acc[i] * rrow[i]
+			}
+		}
+	}
+}
+
+// leaf3RefDirect is the leaf-mode kernel with unsynchronized writes.
+func leaf3RefDirect(c *csf.CSF, root, mid, out *dense.Matrix, fprod []float64, begin, end int) {
+	fptrS, fptrF := c.Fptr[0], c.Fptr[1]
+	fidsS, fidsF, fidsN := c.Fids[0], c.Fids[1], c.Fids[2]
+	vals := c.Vals
+	rdat, mdat, odat := root.Data, mid.Data, out.Data
+	r := out.Cols
+	for s := begin; s < end; s++ {
+		rrowOff := int(fidsS[s]) * r
+		rrow := rdat[rrowOff : rrowOff+r]
+		for f := fptrS[s]; f < fptrS[s+1]; f++ {
+			mrowOff := int(fidsF[f]) * r
+			mrow := mdat[mrowOff : mrowOff+r]
+			for i := range fprod {
+				fprod[i] = rrow[i] * mrow[i]
+			}
+			for x := fptrF[f]; x < fptrF[f+1]; x++ {
+				v := vals[x]
+				orowOff := int(fidsN[x]) * r
+				orow := odat[orowOff : orowOff+r]
+				for i := range orow {
+					orow[i] += v * fprod[i]
+				}
+			}
+		}
+	}
+}
+
+// leaf3RefLock is the leaf-mode kernel guarding each nonzero update with
+// the mutex pool.
+func leaf3RefLock(c *csf.CSF, root, mid, out *dense.Matrix, pool locks.Pool, fprod []float64, begin, end int) {
+	fptrS, fptrF := c.Fptr[0], c.Fptr[1]
+	fidsS, fidsF, fidsN := c.Fids[0], c.Fids[1], c.Fids[2]
+	vals := c.Vals
+	rdat, mdat, odat := root.Data, mid.Data, out.Data
+	r := out.Cols
+	for s := begin; s < end; s++ {
+		rrowOff := int(fidsS[s]) * r
+		rrow := rdat[rrowOff : rrowOff+r]
+		for f := fptrS[s]; f < fptrS[s+1]; f++ {
+			mrowOff := int(fidsF[f]) * r
+			mrow := mdat[mrowOff : mrowOff+r]
+			for i := range fprod {
+				fprod[i] = rrow[i] * mrow[i]
+			}
+			for x := fptrF[f]; x < fptrF[f+1]; x++ {
+				v := vals[x]
+				row := int(fidsN[x])
+				orow := odat[row*r : row*r+r]
+				pool.Lock(row)
+				for i := range orow {
+					orow[i] += v * fprod[i]
+				}
+				pool.Unlock(row)
+			}
+		}
+	}
+}
+
+// leaf3RefPriv is the leaf-mode kernel accumulating into a task-private
+// buffer.
+func leaf3RefPriv(c *csf.CSF, root, mid *dense.Matrix, buf []float64, rank int, fprod []float64, begin, end int) {
+	fptrS, fptrF := c.Fptr[0], c.Fptr[1]
+	fidsS, fidsF, fidsN := c.Fids[0], c.Fids[1], c.Fids[2]
+	vals := c.Vals
+	rdat, mdat := root.Data, mid.Data
+	r := rank
+	for s := begin; s < end; s++ {
+		rrowOff := int(fidsS[s]) * r
+		rrow := rdat[rrowOff : rrowOff+r]
+		for f := fptrS[s]; f < fptrS[s+1]; f++ {
+			mrowOff := int(fidsF[f]) * r
+			mrow := mdat[mrowOff : mrowOff+r]
+			for i := range fprod {
+				fprod[i] = rrow[i] * mrow[i]
+			}
+			for x := fptrF[f]; x < fptrF[f+1]; x++ {
+				v := vals[x]
+				orowOff := int(fidsN[x]) * r
+				orow := buf[orowOff : orowOff+r]
+				for i := range orow {
+					orow[i] += v * fprod[i]
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,297 @@
+package mttkrp
+
+import (
+	"fmt"
+
+	"repro/internal/csf"
+	"repro/internal/dense"
+	"repro/internal/locks"
+	"repro/internal/parallel"
+	"repro/internal/sptensor"
+)
+
+// Operator performs MTTKRPs for every mode of a tensor over its CSF set,
+// owning the mutex pool, privatization buffers, and per-CSF load-balanced
+// slice partitions. One Operator is built per CP-ALS run and reused across
+// all iterations, as SPLATT reuses its thread and lock structures.
+type Operator struct {
+	set  *csf.Set
+	team *parallel.Team
+	opts Options
+	rank int
+
+	pool   locks.Pool
+	priv   *parallel.Scratch
+	bounds [][]int // per CSF: slice partition bounds (len tasks+1)
+
+	// tilings caches tile schedules per (CSF, level), built on first use
+	// when the tile strategy is selected.
+	tilings map[[2]int]*tiledLayout
+
+	// lastStrategy records the conflict strategy of the most recent Apply,
+	// exposed so tests and the harness can assert the YELP/NELL-2
+	// lock-vs-privatize split.
+	lastStrategy ConflictStrategy
+}
+
+// NewOperator builds an operator for the given CSF set. rank is the
+// decomposition rank R; team may be nil for serial execution.
+func NewOperator(set *csf.Set, team *parallel.Team, rank int, opts Options) *Operator {
+	o := &Operator{set: set, team: team, opts: opts, rank: rank}
+	o.pool = locks.NewPool(opts.LockKind, opts.PoolSize)
+	maxDim := 0
+	for _, c := range set.CSFs {
+		for _, d := range c.Dims {
+			if d > maxDim {
+				maxDim = d
+			}
+		}
+	}
+	o.priv = parallel.NewScratch(o.tasks(), maxDim*rank)
+	o.bounds = make([][]int, len(set.CSFs))
+	for i, c := range set.CSFs {
+		o.bounds[i] = parallel.PartitionByWeight(c.SliceWeights(), o.tasks())
+	}
+	o.tilings = make(map[[2]int]*tiledLayout)
+	return o
+}
+
+func (o *Operator) tasks() int {
+	if o.team == nil {
+		return 1
+	}
+	return o.team.N()
+}
+
+// LastStrategy reports the conflict strategy used by the most recent Apply.
+func (o *Operator) LastStrategy() ConflictStrategy { return o.lastStrategy }
+
+// StrategyFor reports the conflict strategy Apply would use for a mode —
+// the lock-vs-privatize decision of §V-D made observable.
+func (o *Operator) StrategyFor(mode int) ConflictStrategy {
+	c, level := o.set.For(mode)
+	if level == 0 || o.tasks() == 1 {
+		return StrategyNone
+	}
+	if o.opts.Strategy == StrategyTile {
+		// Tiling is implemented for the 3rd-order fast paths; other
+		// orders fall back to the mutex pool.
+		if c.Order() == 3 {
+			return StrategyTile
+		}
+		return StrategyLock
+	}
+	if o.opts.Strategy != StrategyAuto {
+		return o.opts.Strategy
+	}
+	return Decide(c.Dims[mode], c.NNZ(), o.tasks(), o.opts.PrivRatio)
+}
+
+// Apply computes out = MTTKRP(tensor, factors, mode): the matricized
+// tensor (unfolded along `mode`) times the Khatri-Rao product of the other
+// factor matrices. out must be Dims[mode]×rank and is overwritten.
+func (o *Operator) Apply(mode int, factors []*dense.Matrix, out *dense.Matrix) {
+	c, level := o.set.For(mode)
+	if out.Rows != c.Dims[mode] || out.Cols != o.rank {
+		panic(fmt.Sprintf("mttkrp: output %dx%d, want %dx%d",
+			out.Rows, out.Cols, c.Dims[mode], o.rank))
+	}
+	out.Zero()
+	strategy := o.StrategyFor(mode)
+	o.lastStrategy = strategy
+	csfIdx := o.set.Assign[mode].CSF
+	bounds := o.bounds[csfIdx]
+
+	if strategy == StrategyTile {
+		o.applyTiled(c, level, csfIdx, factors, out)
+		return
+	}
+
+	if strategy == StrategyPrivatize {
+		o.priv.Zero(c.Dims[mode] * o.rank)
+	}
+
+	run := func(tid int) {
+		begin, end := bounds[tid], bounds[tid+1]
+		if begin >= end {
+			return
+		}
+		o.runKernel(c, level, mode, factors, out, strategy, tid, begin, end)
+	}
+	if o.team == nil || o.team.N() == 1 {
+		run(0)
+	} else {
+		o.team.Run(run)
+	}
+
+	if strategy == StrategyPrivatize {
+		o.priv.ReduceInto(o.team, out.Data, c.Dims[mode]*o.rank)
+	}
+}
+
+// applyTiled runs the tile-phased lock-free schedule. Every task joins
+// every phase barrier, including tasks with no work in a phase.
+func (o *Operator) applyTiled(c *csf.CSF, level, csfIdx int, factors []*dense.Matrix, out *dense.Matrix) {
+	key := [2]int{csfIdx, level}
+	layout, ok := o.tilings[key]
+	if !ok {
+		switch level {
+		case 1:
+			layout = buildInternalTiling(c, o.bounds[csfIdx], o.tasks())
+		case 2:
+			layout = buildLeafTiling(c, o.bounds[csfIdx], o.tasks())
+		default:
+			panic(fmt.Sprintf("mttkrp: tiling at level %d", level))
+		}
+		o.tilings[key] = layout
+	}
+	aRoot := factors[c.ModeOrder[0]]
+	aMid := factors[c.ModeOrder[1]]
+	aLeaf := factors[c.ModeOrder[2]]
+	o.team.Run(func(tid int) {
+		scratch := make([]float64, o.rank)
+		if level == 1 {
+			runInternalTiled(c, layout, aRoot, aLeaf, out, scratch, tid, o.team.Barrier)
+		} else {
+			runLeafTiled(c, layout, aRoot, aMid, out, scratch, tid, o.team.Barrier)
+		}
+	})
+}
+
+// runKernel dispatches one task's slice range to the right kernel body.
+func (o *Operator) runKernel(c *csf.CSF, level, mode int, factors []*dense.Matrix,
+	out *dense.Matrix, strategy ConflictStrategy, tid, begin, end int) {
+
+	if c.Order() == 3 {
+		o.run3(c, level, factors, out, strategy, tid, begin, end)
+		return
+	}
+	// Arbitrary-order generic walker (pointer access only; the paper's
+	// access study is 3rd-order).
+	var sink rowSink
+	switch {
+	case level == 0 || strategy == StrategyNone:
+		sink = newDirectSink(out)
+	case strategy == StrategyLock:
+		sink = newLockSink(out, o.pool)
+	default:
+		sink = newPrivSink(o.priv.Buf(tid), o.rank)
+	}
+	w := newNWalker(c, level, factors, sink, o.rank)
+	w.run(begin, end)
+}
+
+// run3 dispatches the 3rd-order fast paths across the access-mode and
+// conflict-strategy axes.
+func (o *Operator) run3(c *csf.CSF, level int, factors []*dense.Matrix,
+	out *dense.Matrix, strategy ConflictStrategy, tid, begin, end int) {
+
+	aRoot := factors[c.ModeOrder[0]]
+	aMid := factors[c.ModeOrder[1]]
+	aLeaf := factors[c.ModeOrder[2]]
+	acc := make([]float64, o.rank)
+	tmp := make([]float64, o.rank)
+
+	if o.opts.Access == AccessReference {
+		switch level {
+		case 0:
+			root3Ref(c, aMid, aLeaf, out, acc, begin, end)
+		case 1:
+			switch strategy {
+			case StrategyLock:
+				internal3RefLock(c, aRoot, aLeaf, out, o.pool, acc, begin, end)
+			case StrategyPrivatize:
+				internal3RefPriv(c, aRoot, aLeaf, o.priv.Buf(tid), o.rank, acc, begin, end)
+			default:
+				internal3RefDirect(c, aRoot, aLeaf, out, acc, begin, end)
+			}
+		case 2:
+			switch strategy {
+			case StrategyLock:
+				leaf3RefLock(c, aRoot, aMid, out, o.pool, acc, begin, end)
+			case StrategyPrivatize:
+				leaf3RefPriv(c, aRoot, aMid, o.priv.Buf(tid), o.rank, acc, begin, end)
+			default:
+				leaf3RefDirect(c, aRoot, aMid, out, acc, begin, end)
+			}
+		}
+		return
+	}
+
+	switch o.opts.Access {
+	case AccessPointer:
+		run3Port(o, c, level, newPtrAccess(aRoot), newPtrAccess(aMid), newPtrAccess(aLeaf),
+			out, strategy, tid, acc, tmp, begin, end)
+	case AccessIndex2D:
+		run3Port(o, c, level, newIdx2DAccess(aRoot), newIdx2DAccess(aMid), newIdx2DAccess(aLeaf),
+			out, strategy, tid, acc, tmp, begin, end)
+	case AccessSlice:
+		run3Port(o, c, level, newSliceAccess(aRoot), newSliceAccess(aMid), newSliceAccess(aLeaf),
+			out, strategy, tid, acc, tmp, begin, end)
+	default:
+		panic(fmt.Sprintf("mttkrp: unknown access mode %v", o.opts.Access))
+	}
+}
+
+// run3Port instantiates the port kernels for one accessor type.
+func run3Port[A accessor](o *Operator, c *csf.CSF, level int, aRoot, aMid, aLeaf A,
+	out *dense.Matrix, strategy ConflictStrategy, tid int, acc, tmp []float64, begin, end int) {
+
+	switch level {
+	case 0:
+		root3Port(c, aMid, aLeaf, out, acc, begin, end)
+	case 1:
+		switch strategy {
+		case StrategyLock:
+			internal3Port(c, aRoot, aLeaf, newLockSink(out, o.pool), acc, begin, end)
+		case StrategyPrivatize:
+			internal3Port(c, aRoot, aLeaf, newPrivSink(o.priv.Buf(tid), o.rank), acc, begin, end)
+		default:
+			internal3Port(c, aRoot, aLeaf, newDirectSink(out), acc, begin, end)
+		}
+	case 2:
+		switch strategy {
+		case StrategyLock:
+			leaf3Port(c, aRoot, aMid, newLockSink(out, o.pool), acc, tmp, begin, end)
+		case StrategyPrivatize:
+			leaf3Port(c, aRoot, aMid, newPrivSink(o.priv.Buf(tid), o.rank), acc, tmp, begin, end)
+		default:
+			leaf3Port(c, aRoot, aMid, newDirectSink(out), acc, tmp, begin, end)
+		}
+	}
+}
+
+// COOParallel computes the MTTKRP directly from coordinates in parallel,
+// guarding scattered output rows with a mutex pool. It is the structured
+// baseline the CSF kernels are compared against in the ablation benches
+// (CSF's fiber reuse vs. raw coordinate streaming).
+func COOParallel(t *sptensor.Tensor, factors []*dense.Matrix, mode int,
+	out *dense.Matrix, team *parallel.Team, pool locks.Pool) {
+
+	out.Zero()
+	rank := out.Cols
+	parallel.ForBlocks(team, t.NNZ(), func(_, begin, end int) {
+		acc := make([]float64, rank)
+		for x := begin; x < end; x++ {
+			for i := range acc {
+				acc[i] = t.Vals[x]
+			}
+			for m := range t.Inds {
+				if m == mode {
+					continue
+				}
+				row := factors[m].Row(int(t.Inds[m][x]))
+				for i := range acc {
+					acc[i] *= row[i]
+				}
+			}
+			row := int(t.Inds[mode][x])
+			pool.Lock(row)
+			orow := out.Row(row)
+			for i := range orow {
+				orow[i] += acc[i]
+			}
+			pool.Unlock(row)
+		}
+	})
+}

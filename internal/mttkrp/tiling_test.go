@@ -1,0 +1,186 @@
+package mttkrp
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/csf"
+	"repro/internal/dense"
+	"repro/internal/locks"
+	"repro/internal/parallel"
+	"repro/internal/sptensor"
+	"repro/internal/tsort"
+)
+
+func TestTiledMatchesCOO(t *testing.T) {
+	// The tiled schedule must compute exactly what the locked kernels do,
+	// for every mode, allocation policy, and several task counts.
+	tt := sptensor.Random([]int{50, 35, 70}, 3000, 21)
+	const rank = 7
+	factors := randomFactors(tt.Dims, rank, 31)
+	for _, alloc := range []csf.AllocPolicy{csf.AllocOne, csf.AllocTwo} {
+		for _, tasks := range []int{2, 3, 5} {
+			team := parallel.NewTeam(tasks)
+			set := csf.NewSet(tt, alloc, team, tsort.AllOpt)
+			op := NewOperator(set, team, rank, Options{
+				Access: AccessReference, Strategy: StrategyTile, LockKind: locks.Spin,
+			})
+			for mode := 0; mode < 3; mode++ {
+				want := dense.NewMatrix(tt.Dims[mode], rank)
+				COO(tt, factors, mode, want)
+				got := dense.NewMatrix(tt.Dims[mode], rank)
+				op.Apply(mode, factors, got)
+				if d := got.MaxAbsDiff(want); d > 1e-9 {
+					t.Errorf("alloc=%v tasks=%d mode=%d: tiled deviates by %g",
+						alloc, tasks, mode, d)
+				}
+				_, level := set.For(mode)
+				wantStrat := StrategyTile
+				if level == 0 {
+					wantStrat = StrategyNone
+				}
+				if s := op.LastStrategy(); s != wantStrat {
+					t.Errorf("alloc=%v tasks=%d mode=%d: strategy %v, want %v",
+						alloc, tasks, mode, s, wantStrat)
+				}
+			}
+			team.Close()
+		}
+	}
+}
+
+func TestTiledRepeatedApplies(t *testing.T) {
+	// The cached layout must stay valid across repeated Apply calls (the
+	// CP-ALS iteration pattern).
+	tt := sptensor.Random([]int{30, 25, 40}, 2000, 23)
+	const rank = 5
+	factors := randomFactors(tt.Dims, rank, 37)
+	team := parallel.NewTeam(4)
+	defer team.Close()
+	set := csf.NewSet(tt, csf.AllocOne, team, tsort.AllOpt)
+	op := NewOperator(set, team, rank, Options{Access: AccessReference, Strategy: StrategyTile})
+	want := dense.NewMatrix(tt.Dims[1], rank)
+	COO(tt, factors, 1, want)
+	got := dense.NewMatrix(tt.Dims[1], rank)
+	for rep := 0; rep < 3; rep++ {
+		op.Apply(1, factors, got)
+		if d := got.MaxAbsDiff(want); d > 1e-9 {
+			t.Fatalf("repeat %d deviates by %g", rep, d)
+		}
+	}
+}
+
+func TestTilingLayoutCoverage(t *testing.T) {
+	tt := sptensor.Random([]int{40, 30, 50}, 2500, 29)
+	c := csf.Build(tt.Clone(), 0, nil, tsort.AllOpt)
+	if !assertLeafSorted(c) {
+		t.Fatal("CSF violates leaf-sorted precondition")
+	}
+	for _, tasks := range []int{1, 2, 4, 7} {
+		bounds := parallel.PartitionByWeight(c.SliceWeights(), tasks)
+		internal := buildInternalTiling(c, bounds, tasks)
+		fibers, _ := internal.tileCoverage()
+		if fibers != c.NFibers(1) {
+			t.Errorf("tasks=%d: internal tiling covers %d of %d fibers",
+				tasks, fibers, c.NFibers(1))
+		}
+		leaf := buildLeafTiling(c, bounds, tasks)
+		_, nnz := leaf.tileCoverage()
+		if nnz != int64(c.NNZ()) {
+			t.Errorf("tasks=%d: leaf tiling covers %d of %d nonzeros",
+				tasks, nnz, c.NNZ())
+		}
+	}
+}
+
+func TestTilingBlockHelpers(t *testing.T) {
+	bounds := blockBounds(10, 3) // [0 3 6 10]
+	if bounds[0] != 0 || bounds[3] != 10 {
+		t.Fatalf("bounds %v", bounds)
+	}
+	for idx := 0; idx < 10; idx++ {
+		b := blockOf(bounds, idx)
+		if idx < bounds[b] || idx >= bounds[b+1] {
+			t.Errorf("idx %d assigned to block %d %v", idx, b, bounds)
+		}
+	}
+}
+
+func TestTilingBlockQuick(t *testing.T) {
+	// Property: blockOf inverts blockBounds for any (n, t, idx).
+	f := func(nRaw, tRaw uint8, idxRaw uint16) bool {
+		n := int(nRaw)%500 + 1
+		tk := int(tRaw)%8 + 1
+		idx := int(idxRaw) % n
+		bounds := blockBounds(n, tk)
+		b := blockOf(bounds, idx)
+		return b >= 0 && b < tk && idx >= bounds[b] && idx < bounds[b+1]
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTileFallsBackForHigherOrder(t *testing.T) {
+	tt := sptensor.Random([]int{8, 6, 7, 5}, 500, 41)
+	const rank = 4
+	factors := randomFactors(tt.Dims, rank, 43)
+	team := parallel.NewTeam(3)
+	defer team.Close()
+	set := csf.NewSet(tt, csf.AllocOne, team, tsort.AllOpt)
+	op := NewOperator(set, team, rank, Options{Access: AccessReference, Strategy: StrategyTile})
+	// Non-root mode of an order-4 tensor: falls back to locks but must
+	// still be correct.
+	mode := set.CSFs[0].ModeOrder[2]
+	if s := op.StrategyFor(mode); s != StrategyLock {
+		t.Errorf("order-4 tile request resolved to %v, want lock fallback", s)
+	}
+	want := dense.NewMatrix(tt.Dims[mode], rank)
+	COO(tt, factors, mode, want)
+	got := dense.NewMatrix(tt.Dims[mode], rank)
+	op.Apply(mode, factors, got)
+	if d := got.MaxAbsDiff(want); d > 1e-9 {
+		t.Errorf("fallback deviates by %g", d)
+	}
+}
+
+func TestTiledOnSkewedTwin(t *testing.T) {
+	// Hub-heavy YELP twin: tiling must stay correct under extreme skew
+	// (some tiles nearly empty, one hub block hot).
+	tt := sptensor.Datasets["yelp"].Generate(1.0 / 512)
+	const rank = 6
+	factors := randomFactors(tt.Dims, rank, 47)
+	team := parallel.NewTeam(4)
+	defer team.Close()
+	set := csf.NewSet(tt, csf.AllocTwo, team, tsort.AllOpt)
+	op := NewOperator(set, team, rank, Options{Access: AccessReference, Strategy: StrategyTile})
+	for mode := 0; mode < 3; mode++ {
+		want := dense.NewMatrix(tt.Dims[mode], rank)
+		COO(tt, factors, mode, want)
+		got := dense.NewMatrix(tt.Dims[mode], rank)
+		op.Apply(mode, factors, got)
+		if d := got.MaxAbsDiff(want); d > 1e-9 {
+			t.Errorf("mode %d deviates by %g", mode, d)
+		}
+	}
+}
+
+func TestParseStrategy(t *testing.T) {
+	cases := map[string]ConflictStrategy{
+		"auto": StrategyAuto, "": StrategyAuto, "none": StrategyNone,
+		"lock": StrategyLock, "privatize": StrategyPrivatize, "priv": StrategyPrivatize,
+		"tile": StrategyTile,
+	}
+	for s, want := range cases {
+		got, err := ParseStrategy(s)
+		if err != nil || got != want {
+			t.Errorf("ParseStrategy(%q) = %v, %v", s, got, err)
+		}
+	}
+	if _, err := ParseStrategy("bogus"); err == nil {
+		t.Error("bogus strategy accepted")
+	}
+	if StrategyTile.String() != "tile" {
+		t.Error("tile label")
+	}
+}

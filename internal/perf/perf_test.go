@@ -1,0 +1,143 @@
+package perf
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestTimerAccumulatesLaps(t *testing.T) {
+	tm := NewTimer("x")
+	if tm.Seconds() != 0 || tm.Laps() != 0 {
+		t.Fatal("fresh timer not zero")
+	}
+	for i := 0; i < 3; i++ {
+		tm.Start()
+		time.Sleep(2 * time.Millisecond)
+		tm.Stop()
+	}
+	if tm.Laps() != 3 {
+		t.Errorf("laps = %d, want 3", tm.Laps())
+	}
+	if tm.Seconds() < 0.004 {
+		t.Errorf("total %.4fs too small for 3 x 2ms laps", tm.Seconds())
+	}
+}
+
+func TestTimerDoubleStartStopIsSafe(t *testing.T) {
+	tm := NewTimer("x")
+	tm.Start()
+	tm.Start() // no-op
+	tm.Stop()
+	tm.Stop() // no-op
+	if tm.Laps() != 1 {
+		t.Errorf("laps = %d, want 1", tm.Laps())
+	}
+}
+
+func TestTimerRunningTotalIncludesInFlight(t *testing.T) {
+	tm := NewTimer("x")
+	tm.Start()
+	time.Sleep(2 * time.Millisecond)
+	if tm.Total() <= 0 {
+		t.Error("running timer reports zero total")
+	}
+	tm.Stop()
+}
+
+func TestTimerReset(t *testing.T) {
+	tm := NewTimer("x")
+	tm.Start()
+	tm.Stop()
+	tm.Reset()
+	if tm.Seconds() != 0 || tm.Laps() != 0 {
+		t.Error("reset did not zero the timer")
+	}
+}
+
+func TestRegistryGetSameInstance(t *testing.T) {
+	r := NewRegistry()
+	a := r.Get("MTTKRP")
+	b := r.Get("MTTKRP")
+	if a != b {
+		t.Error("Get returned different instances for same name")
+	}
+}
+
+func TestRegistryTimeAndSnapshot(t *testing.T) {
+	r := NewRegistry()
+	r.Time("work", func() { time.Sleep(time.Millisecond) })
+	snap := r.Snapshot()
+	if snap["work"] <= 0 {
+		t.Error("snapshot missing timed work")
+	}
+	if r.Seconds("missing") != 0 {
+		t.Error("missing timer should report 0")
+	}
+	r.Reset()
+	if r.Seconds("work") != 0 {
+		t.Error("reset did not clear timers")
+	}
+}
+
+func TestRegistryReportOrdersCanonicalFirst(t *testing.T) {
+	r := NewRegistry()
+	r.Time("ZEBRA", func() { time.Sleep(time.Millisecond) })
+	r.Time(RoutineMTTKRP, func() { time.Sleep(time.Millisecond) })
+	rep := r.Report()
+	mi := strings.Index(rep, RoutineMTTKRP)
+	zi := strings.Index(rep, "ZEBRA")
+	if mi < 0 || zi < 0 {
+		t.Fatalf("report missing rows:\n%s", rep)
+	}
+	if mi > zi {
+		t.Errorf("canonical routine after extras:\n%s", rep)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{3, 1, 2, 4})
+	if s.N != 4 || s.Min != 1 || s.Max != 4 {
+		t.Errorf("bad summary: %+v", s)
+	}
+	if math.Abs(s.Mean-2.5) > 1e-12 || math.Abs(s.Median-2.5) > 1e-12 {
+		t.Errorf("mean/median wrong: %+v", s)
+	}
+	wantSD := math.Sqrt((2.25 + 0.25 + 0.25 + 2.25) / 3)
+	if math.Abs(s.StdDev-wantSD) > 1e-12 {
+		t.Errorf("stddev = %g, want %g", s.StdDev, wantSD)
+	}
+	odd := Summarize([]float64{5, 1, 3})
+	if odd.Median != 3 {
+		t.Errorf("odd median = %g, want 3", odd.Median)
+	}
+	if z := Summarize(nil); z.N != 0 || z.Mean != 0 {
+		t.Errorf("empty summary not zero: %+v", z)
+	}
+}
+
+func TestSpeedupAndEfficiency(t *testing.T) {
+	if v := Speedup(10, 2); v != 5 {
+		t.Errorf("Speedup = %g", v)
+	}
+	if !math.IsInf(Speedup(10, 0), 1) {
+		t.Error("Speedup by zero should be +Inf")
+	}
+	if v := Efficiency(16, 2, 4); v != 2 {
+		t.Errorf("Efficiency = %g", v)
+	}
+	if v := Efficiency(16, 2, 0); v != 0 {
+		t.Errorf("Efficiency with 0 tasks = %g", v)
+	}
+}
+
+func TestRelativePerformance(t *testing.T) {
+	// Paper metric: Chapel at 83-96% of C. ref=0.83s chapel=1.0s -> 83%.
+	if v := RelativePerformance(0.83, 1.0); math.Abs(v-83) > 1e-9 {
+		t.Errorf("RelativePerformance = %g, want 83", v)
+	}
+	if v := RelativePerformance(1, 0); v != 0 {
+		t.Errorf("degenerate = %g, want 0", v)
+	}
+}

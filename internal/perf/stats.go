@@ -1,0 +1,78 @@
+package perf
+
+import (
+	"math"
+	"sort"
+)
+
+// Summary condenses repeated trial measurements (the paper averages 10
+// trials per configuration) into the statistics the harness reports.
+type Summary struct {
+	N      int
+	Mean   float64
+	Min    float64
+	Max    float64
+	Median float64
+	StdDev float64
+}
+
+// Summarize computes a Summary over the given per-trial values. An empty
+// input produces a zero Summary.
+func Summarize(values []float64) Summary {
+	var s Summary
+	s.N = len(values)
+	if s.N == 0 {
+		return s
+	}
+	sorted := append([]float64(nil), values...)
+	sort.Float64s(sorted)
+	s.Min = sorted[0]
+	s.Max = sorted[s.N-1]
+	if s.N%2 == 1 {
+		s.Median = sorted[s.N/2]
+	} else {
+		s.Median = (sorted[s.N/2-1] + sorted[s.N/2]) / 2
+	}
+	sum := 0.0
+	for _, v := range sorted {
+		sum += v
+	}
+	s.Mean = sum / float64(s.N)
+	if s.N > 1 {
+		ss := 0.0
+		for _, v := range sorted {
+			d := v - s.Mean
+			ss += d * d
+		}
+		s.StdDev = math.Sqrt(ss / float64(s.N-1))
+	}
+	return s
+}
+
+// Speedup reports base/t, the paper's speed-up convention (e.g. "1.9x speed
+// up from 1 to 32 tasks"). A non-positive t yields +Inf to make degenerate
+// measurements obvious rather than silently wrong.
+func Speedup(base, t float64) float64 {
+	if t <= 0 {
+		return math.Inf(1)
+	}
+	return base / t
+}
+
+// Efficiency reports parallel efficiency: speedup(base, t) / tasks.
+func Efficiency(base, t float64, tasks int) float64 {
+	if tasks <= 0 {
+		return 0
+	}
+	return Speedup(base, t) / float64(tasks)
+}
+
+// RelativePerformance reports the paper's "percent of reference performance"
+// metric (e.g. "83%-96% of the performance of the C/OpenMP code"): ref/t
+// expressed as a percentage, capped below at 0.
+func RelativePerformance(ref, t float64) float64 {
+	if t <= 0 {
+		return 0
+	}
+	return 100 * ref / t
+}

@@ -1,0 +1,82 @@
+package sptensor
+
+import (
+	"fmt"
+	"math"
+)
+
+// DenseTensor is a fully materialized tensor used as ground truth by the
+// test suite and the verification tool. It is only viable at toy sizes; the
+// whole point of CSF/MTTKRP is to never materialize anything like it.
+type DenseTensor struct {
+	Dims []int
+	// Data is laid out with the last mode fastest (row-major generalized).
+	Data []float64
+}
+
+// NewDense allocates a zero dense tensor.
+func NewDense(dims []int) *DenseTensor {
+	n := 1
+	for _, d := range dims {
+		if d <= 0 {
+			panic(fmt.Sprintf("sptensor: dense dim %d", d))
+		}
+		n *= d
+	}
+	return &DenseTensor{Dims: append([]int(nil), dims...), Data: make([]float64, n)}
+}
+
+// offset converts a coordinate to the linear index.
+func (d *DenseTensor) offset(coord []Index) int {
+	off := 0
+	for m, c := range coord {
+		off = off*d.Dims[m] + int(c)
+	}
+	return off
+}
+
+// At returns the value at coord.
+func (d *DenseTensor) At(coord ...Index) float64 { return d.Data[d.offset(coord)] }
+
+// Set assigns the value at coord.
+func (d *DenseTensor) Set(v float64, coord ...Index) { d.Data[d.offset(coord)] = v }
+
+// Add accumulates v at coord.
+func (d *DenseTensor) Add(v float64, coord ...Index) { d.Data[d.offset(coord)] += v }
+
+// ToDense materializes a sparse tensor. Duplicated coordinates accumulate,
+// mirroring how every downstream kernel treats duplicates.
+func (t *Tensor) ToDense() *DenseTensor {
+	d := NewDense(t.Dims)
+	coord := make([]Index, t.NModes())
+	for x := range t.Vals {
+		for m := range coord {
+			coord[m] = t.Inds[m][x]
+		}
+		d.Data[d.offset(coord)] += t.Vals[x]
+	}
+	return d
+}
+
+// Norm2 returns the Frobenius norm of the dense tensor.
+func (d *DenseTensor) Norm2() float64 {
+	ss := 0.0
+	for _, v := range d.Data {
+		ss += v * v
+	}
+	return math.Sqrt(ss)
+}
+
+// MaxAbsDiff returns max |d - o| over all cells (shapes must match).
+func (d *DenseTensor) MaxAbsDiff(o *DenseTensor) float64 {
+	if len(d.Data) != len(o.Data) {
+		panic("sptensor: MaxAbsDiff shape mismatch")
+	}
+	worst := 0.0
+	for i, v := range d.Data {
+		if diff := math.Abs(v - o.Data[i]); diff > worst {
+			worst = diff
+		}
+	}
+	return worst
+}

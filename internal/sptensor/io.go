@@ -1,0 +1,187 @@
+package sptensor
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// The text format is the FROSTT/SPLATT ".tns" convention: one nonzero per
+// line, 1-indexed coordinates followed by the value, '#' comments allowed.
+// The binary format is a simple little-endian container (magic "SPTNBIN1")
+// for fast reloading of generated tensors.
+
+// WriteTNS writes t in .tns text format.
+func WriteTNS(w io.Writer, t *Tensor) error {
+	bw := bufio.NewWriterSize(w, 1<<20)
+	for x := range t.Vals {
+		for m := range t.Inds {
+			if _, err := fmt.Fprintf(bw, "%d ", t.Inds[m][x]+1); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(bw, "%g\n", t.Vals[x]); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadTNS parses .tns text. Mode lengths are inferred from the maximum
+// index seen per mode; the order is inferred from the first data line.
+func ReadTNS(r io.Reader) (*Tensor, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var (
+		order int
+		inds  [][]Index
+		vals  []float64
+		dims  []int
+	)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if order == 0 {
+			if len(fields) < 2 {
+				return nil, fmt.Errorf("sptensor: line %d: %d fields, need >= 2", lineNo, len(fields))
+			}
+			order = len(fields) - 1
+			inds = make([][]Index, order)
+			dims = make([]int, order)
+		}
+		if len(fields) != order+1 {
+			return nil, fmt.Errorf("sptensor: line %d: %d fields, want %d", lineNo, len(fields), order+1)
+		}
+		for m := 0; m < order; m++ {
+			v, err := strconv.ParseInt(fields[m], 10, 32)
+			if err != nil {
+				return nil, fmt.Errorf("sptensor: line %d mode %d: %v", lineNo, m, err)
+			}
+			if v < 1 {
+				return nil, fmt.Errorf("sptensor: line %d mode %d: index %d < 1", lineNo, m, v)
+			}
+			idx := Index(v - 1)
+			inds[m] = append(inds[m], idx)
+			if int(idx)+1 > dims[m] {
+				dims[m] = int(idx) + 1
+			}
+		}
+		val, err := strconv.ParseFloat(fields[order], 64)
+		if err != nil {
+			return nil, fmt.Errorf("sptensor: line %d value: %v", lineNo, err)
+		}
+		vals = append(vals, val)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if order == 0 {
+		return nil, fmt.Errorf("sptensor: no nonzeros in input")
+	}
+	t := &Tensor{Dims: dims, Inds: inds, Vals: vals}
+	return t, t.Validate()
+}
+
+const binaryMagic = "SPTNBIN1"
+
+// WriteBinary writes t in the repository's binary container format.
+func WriteBinary(w io.Writer, t *Tensor) error {
+	bw := bufio.NewWriterSize(w, 1<<20)
+	if _, err := bw.WriteString(binaryMagic); err != nil {
+		return err
+	}
+	header := make([]uint64, 0, 2+len(t.Dims))
+	header = append(header, uint64(t.NModes()), uint64(t.NNZ()))
+	for _, d := range t.Dims {
+		header = append(header, uint64(d))
+	}
+	if err := binary.Write(bw, binary.LittleEndian, header); err != nil {
+		return err
+	}
+	for m := range t.Inds {
+		if err := binary.Write(bw, binary.LittleEndian, t.Inds[m]); err != nil {
+			return err
+		}
+	}
+	if err := binary.Write(bw, binary.LittleEndian, t.Vals); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// ReadBinary reads a tensor written by WriteBinary.
+func ReadBinary(r io.Reader) (*Tensor, error) {
+	br := bufio.NewReaderSize(r, 1<<20)
+	magic := make([]byte, len(binaryMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("sptensor: reading magic: %w", err)
+	}
+	if string(magic) != binaryMagic {
+		return nil, fmt.Errorf("sptensor: bad magic %q", magic)
+	}
+	var head [2]uint64
+	if err := binary.Read(br, binary.LittleEndian, head[:]); err != nil {
+		return nil, err
+	}
+	order, nnz := int(head[0]), int(head[1])
+	if order <= 0 || order > 64 {
+		return nil, fmt.Errorf("sptensor: implausible order %d", order)
+	}
+	dims64 := make([]uint64, order)
+	if err := binary.Read(br, binary.LittleEndian, dims64); err != nil {
+		return nil, err
+	}
+	dims := make([]int, order)
+	for m, d := range dims64 {
+		dims[m] = int(d)
+	}
+	t := New(dims, nnz)
+	for m := 0; m < order; m++ {
+		if err := binary.Read(br, binary.LittleEndian, t.Inds[m]); err != nil {
+			return nil, err
+		}
+	}
+	if err := binary.Read(br, binary.LittleEndian, t.Vals); err != nil {
+		return nil, err
+	}
+	return t, t.Validate()
+}
+
+// LoadFile reads a tensor from path, selecting the format by content:
+// binary container if the magic matches, .tns text otherwise.
+func LoadFile(path string) (*Tensor, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	br := bufio.NewReaderSize(f, 1<<20)
+	peek, err := br.Peek(len(binaryMagic))
+	if err == nil && string(peek) == binaryMagic {
+		return ReadBinary(br)
+	}
+	return ReadTNS(br)
+}
+
+// SaveFile writes a tensor to path; format chosen by extension (".tns" or
+// ".bin"/anything else binary).
+func SaveFile(path string, t *Tensor) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if strings.HasSuffix(path, ".tns") {
+		return WriteTNS(f, t)
+	}
+	return WriteBinary(f, t)
+}

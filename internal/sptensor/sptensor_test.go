@@ -1,0 +1,345 @@
+package sptensor
+
+import (
+	"bytes"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewAndValidate(t *testing.T) {
+	tt := New([]int{4, 5, 6}, 3)
+	if tt.NModes() != 3 || tt.NNZ() != 3 {
+		t.Fatal("bad shape")
+	}
+	if err := tt.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateCatchesCorruption(t *testing.T) {
+	cases := []func(*Tensor){
+		func(tt *Tensor) { tt.Inds[1][0] = 99 },          // out of range
+		func(tt *Tensor) { tt.Inds[0] = tt.Inds[0][:1] }, // length mismatch
+		func(tt *Tensor) { tt.Vals[0] = math.NaN() },     // non-finite
+		func(tt *Tensor) { tt.Dims[2] = 0 },              // empty mode
+		func(tt *Tensor) { tt.Inds = tt.Inds[:2] },       // missing mode
+		func(tt *Tensor) { tt.Inds[0][1] = -2 },          // negative index
+	}
+	for i, corrupt := range cases {
+		tt := Random([]int{4, 5, 6}, 20, int64(i))
+		corrupt(tt)
+		if err := tt.Validate(); err == nil {
+			t.Errorf("case %d: corruption not detected", i)
+		}
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	a := Random([]int{5, 5, 5}, 30, 1)
+	b := a.Clone()
+	b.Vals[0] += 100
+	b.Inds[0][0] = 4
+	if a.Vals[0] == b.Vals[0] || (a.Inds[0][0] == b.Inds[0][0] && a.Inds[0][0] == 4) {
+		t.Error("clone aliases original")
+	}
+}
+
+func TestSwapKeepsTuplesTogether(t *testing.T) {
+	tt := Random([]int{6, 6, 6}, 25, 2)
+	c0 := tt.Coord(0)
+	v0 := tt.Vals[0]
+	c9 := tt.Coord(9)
+	v9 := tt.Vals[9]
+	tt.Swap(0, 9)
+	if tt.Vals[0] != v9 || tt.Vals[9] != v0 {
+		t.Fatal("values not swapped")
+	}
+	for m := range c0 {
+		if tt.Inds[m][0] != c9[m] || tt.Inds[m][9] != c0[m] {
+			t.Fatal("coordinates not swapped consistently")
+		}
+	}
+}
+
+func TestDensityAndNorms(t *testing.T) {
+	tt := New([]int{2, 2}, 2)
+	tt.Inds[0][0], tt.Inds[1][0], tt.Vals[0] = 0, 0, 3
+	tt.Inds[0][1], tt.Inds[1][1], tt.Vals[1] = 1, 1, 4
+	if d := tt.Density(); d != 0.5 {
+		t.Errorf("density = %g", d)
+	}
+	if n := tt.Norm2(); n != 5 {
+		t.Errorf("norm = %g", n)
+	}
+	if n := tt.NormSquared(); n != 25 {
+		t.Errorf("norm² = %g", n)
+	}
+}
+
+func TestSliceCounts(t *testing.T) {
+	tt := New([]int{3, 2}, 4)
+	tt.Inds[0] = []Index{0, 0, 2, 2}
+	tt.Inds[1] = []Index{0, 1, 0, 1}
+	counts := tt.SliceCounts(0)
+	if counts[0] != 2 || counts[1] != 0 || counts[2] != 2 {
+		t.Errorf("counts = %v", counts)
+	}
+}
+
+func TestDenseRoundTrip(t *testing.T) {
+	tt := Random([]int{4, 3, 5}, 25, 3)
+	d := tt.ToDense()
+	// Every stored nonzero appears in the dense tensor.
+	for x := 0; x < tt.NNZ(); x++ {
+		got := d.At(tt.Inds[0][x], tt.Inds[1][x], tt.Inds[2][x])
+		if got == 0 && tt.Vals[x] != 0 {
+			t.Fatalf("nonzero %d missing in dense form", x)
+		}
+	}
+	if math.Abs(d.Norm2()-tt.Norm2()) > 1e-9 {
+		t.Errorf("norm mismatch: dense %g vs sparse %g (duplicates?)", d.Norm2(), tt.Norm2())
+	}
+}
+
+func TestTNSRoundTrip(t *testing.T) {
+	tt := Random([]int{7, 9, 4}, 40, 4)
+	var buf bytes.Buffer
+	if err := WriteTNS(&buf, tt); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadTNS(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertTensorsEqual(t, tt, back)
+}
+
+func TestBinaryRoundTrip(t *testing.T) {
+	tt := Random([]int{12, 8, 6, 5}, 100, 5)
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, tt); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Dims) != 4 {
+		t.Fatalf("order lost: %v", back.Dims)
+	}
+	assertTensorsEqual(t, tt, back)
+}
+
+func TestLoadSaveFile(t *testing.T) {
+	dir := t.TempDir()
+	tt := Random([]int{5, 6, 7}, 30, 6)
+	for _, name := range []string{"t.tns", "t.bin"} {
+		path := filepath.Join(dir, name)
+		if err := SaveFile(path, tt); err != nil {
+			t.Fatal(err)
+		}
+		back, err := LoadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertTensorsEqual(t, tt, back)
+	}
+}
+
+func TestReadTNSRejectsGarbage(t *testing.T) {
+	cases := []string{
+		"",                 // empty
+		"1 2\n1 2 3 4.0\n", // inconsistent field count
+		"0 1 2 3.0\n",      // zero (1-indexed) coordinate
+		"a b c 1.0\n",      // non-numeric index
+		"1 2 3 zz\n",       // non-numeric value
+	}
+	for i, s := range cases {
+		if _, err := ReadTNS(strings.NewReader(s)); err == nil {
+			t.Errorf("case %d: garbage accepted", i)
+		}
+	}
+}
+
+func TestReadTNSSkipsComments(t *testing.T) {
+	in := "# comment\n\n1 1 1 2.5\n2 3 4 1.5\n"
+	tt, err := ReadTNS(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tt.NNZ() != 2 || tt.Dims[2] != 4 {
+		t.Errorf("parsed %v", tt)
+	}
+}
+
+func TestReadBinaryRejectsBadMagic(t *testing.T) {
+	if _, err := ReadBinary(bytes.NewReader([]byte("NOTMAGIC plus data"))); err == nil {
+		t.Error("bad magic accepted")
+	}
+}
+
+func TestRandomRespectsDims(t *testing.T) {
+	tt := Random([]int{10, 20, 30}, 500, 7)
+	if err := tt.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if tt.NNZ() == 0 || tt.NNZ() > 500 {
+		t.Errorf("nnz = %d", tt.NNZ())
+	}
+}
+
+func TestRandomDeterministic(t *testing.T) {
+	a := Random([]int{9, 9, 9}, 100, 42)
+	b := Random([]int{9, 9, 9}, 100, 42)
+	assertTensorsEqual(t, a, b)
+}
+
+func TestGenerateDeduplicates(t *testing.T) {
+	// Tiny dims force collisions; dedupe must remove all duplicates.
+	tt := Random([]int{3, 3, 3}, 500, 8)
+	seen := map[[3]Index]bool{}
+	for x := 0; x < tt.NNZ(); x++ {
+		key := [3]Index{tt.Inds[0][x], tt.Inds[1][x], tt.Inds[2][x]}
+		if seen[key] {
+			t.Fatalf("duplicate coordinate %v", key)
+		}
+		seen[key] = true
+	}
+	if tt.NNZ() > 27 {
+		t.Errorf("nnz %d exceeds cell count", tt.NNZ())
+	}
+}
+
+func TestDatasetRegistry(t *testing.T) {
+	for _, key := range DatasetOrder {
+		spec, err := LookupDataset(key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if spec.Name == "" || len(spec.PaperDims) != 3 {
+			t.Errorf("%s: bad spec %+v", key, spec)
+		}
+	}
+	if _, err := LookupDataset("YELP"); err != nil {
+		t.Error("lookup should be case-insensitive")
+	}
+	if _, err := LookupDataset("nope"); err == nil {
+		t.Error("unknown dataset accepted")
+	}
+}
+
+func TestTwinPreservesNNZPerSlice(t *testing.T) {
+	// The scale-invariant ratio that drives the lock decision: the twin's
+	// nnz per longest-mode slice must be within 2x of the paper's. The
+	// dense NELL-2 twin saturates its cell capacity below ~1/128 scale
+	// (duplicate draws merge), so this check runs at 1/64 — the default
+	// experiment scale.
+	for _, key := range []string{"yelp", "nell-2"} {
+		spec := Datasets[key]
+		tt := spec.Generate(1.0 / 64)
+		s := ComputeStats(spec.Name, tt)
+		paperLongest := 0
+		for _, d := range spec.PaperDims {
+			if d > paperLongest {
+				paperLongest = d
+			}
+		}
+		paperRatio := float64(spec.PaperNNZ) / float64(paperLongest)
+		if s.NNZPerSlice < paperRatio/2 || s.NNZPerSlice > paperRatio*2 {
+			t.Errorf("%s: twin nnz/slice %.1f vs paper %.1f", key, s.NNZPerSlice, paperRatio)
+		}
+	}
+}
+
+func TestTwinDimensionRatios(t *testing.T) {
+	spec := Datasets["yelp"]
+	dims := spec.ScaledDims(1.0 / 64)
+	// 41:11:75 ratios approximately preserved.
+	r01 := float64(dims[0]) / float64(dims[1])
+	want01 := 41000.0 / 11000.0
+	if math.Abs(r01-want01)/want01 > 0.05 {
+		t.Errorf("dim ratio drifted: %g vs %g", r01, want01)
+	}
+}
+
+func TestStatsRow(t *testing.T) {
+	tt := Random([]int{1000, 2000, 1500}, 5000, 9)
+	s := ComputeStats("X", tt)
+	row := s.Row()
+	if !strings.Contains(row, "X") || !strings.Contains(row, "x") {
+		t.Errorf("row %q malformed", row)
+	}
+	if s.MaxSliceNNZ <= 0 || s.NNZPerSlice <= 0 {
+		t.Errorf("stats incomplete: %+v", s)
+	}
+}
+
+func TestHumanUnits(t *testing.T) {
+	if humanCount(999) != "999" || humanCount(8_000_000) != "8M" {
+		t.Errorf("humanCount: %s / %s", humanCount(999), humanCount(8_000_000))
+	}
+	if !strings.Contains(humanBytes(3<<30), "GiB") {
+		t.Error("humanBytes GiB")
+	}
+	if humanBytes(100) != "100 B" {
+		t.Errorf("humanBytes small: %s", humanBytes(100))
+	}
+}
+
+func TestIORoundTripQuick(t *testing.T) {
+	// Property: text round-trip preserves every (coordinate, value) pair
+	// for arbitrary small tensors.
+	f := func(seed int64) bool {
+		tt := Random([]int{6, 5, 7}, 40, seed)
+		var buf bytes.Buffer
+		if err := WriteTNS(&buf, tt); err != nil {
+			return false
+		}
+		back, err := ReadTNS(&buf)
+		if err != nil {
+			return false
+		}
+		if back.NNZ() != tt.NNZ() {
+			return false
+		}
+		for x := 0; x < tt.NNZ(); x++ {
+			for m := 0; m < 3; m++ {
+				if back.Inds[m][x] != tt.Inds[m][x] {
+					return false
+				}
+			}
+			if math.Abs(back.Vals[x]-tt.Vals[x]) > 1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func assertTensorsEqual(t *testing.T, a, b *Tensor) {
+	t.Helper()
+	if a.NNZ() != b.NNZ() || a.NModes() != b.NModes() {
+		t.Fatalf("shape mismatch: %v vs %v", a, b)
+	}
+	for x := 0; x < a.NNZ(); x++ {
+		for m := 0; m < a.NModes(); m++ {
+			if a.Inds[m][x] != b.Inds[m][x] {
+				t.Fatalf("index mismatch at nnz %d mode %d", x, m)
+			}
+		}
+		if math.Abs(a.Vals[x]-b.Vals[x]) > 1e-12 {
+			t.Fatalf("value mismatch at nnz %d: %g vs %g", x, a.Vals[x], b.Vals[x])
+		}
+	}
+}
+
+func TestMain(m *testing.M) {
+	os.Exit(m.Run())
+}

@@ -1,0 +1,93 @@
+package sptensor
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Stats is one row of the paper's Table I for a (possibly synthetic)
+// tensor: shape, nonzero count, density, and storage footprint.
+type Stats struct {
+	Name    string
+	Dims    []int
+	NNZ     int
+	Density float64
+	// Bytes is the in-memory COO footprint (the closest analogue we can
+	// compute for the paper's "Size on Disk" column).
+	Bytes int64
+	// MaxSliceNNZ is the largest per-slice nonzero count over all modes —
+	// a skew indicator (hub slices drive lock contention).
+	MaxSliceNNZ int64
+	// NNZPerSlice is nnz / I_n for the longest mode: the scale-invariant
+	// ratio behind the lock-vs-privatize decision (§V-D analogue).
+	NNZPerSlice float64
+}
+
+// ComputeStats derives the Table I row for t under the given display name.
+func ComputeStats(name string, t *Tensor) Stats {
+	s := Stats{
+		Name:    name,
+		Dims:    append([]int(nil), t.Dims...),
+		NNZ:     t.NNZ(),
+		Density: t.Density(),
+		Bytes:   t.MemoryBytes(),
+	}
+	longest := 0
+	for m, d := range t.Dims {
+		if d > t.Dims[longest] {
+			longest = m
+		}
+		counts := t.SliceCounts(m)
+		for _, c := range counts {
+			if c > s.MaxSliceNNZ {
+				s.MaxSliceNNZ = c
+			}
+		}
+	}
+	if t.Dims[longest] > 0 {
+		s.NNZPerSlice = float64(t.NNZ()) / float64(t.Dims[longest])
+	}
+	return s
+}
+
+// DimString renders dims as "41k x 11k x 75k" in the paper's style.
+func (s Stats) DimString() string {
+	parts := make([]string, len(s.Dims))
+	for m, d := range s.Dims {
+		parts[m] = humanCount(int64(d))
+	}
+	return strings.Join(parts, " x ")
+}
+
+// SizeString renders the byte footprint using binary units.
+func (s Stats) SizeString() string { return humanBytes(s.Bytes) }
+
+// Row renders a Table I style row.
+func (s Stats) Row() string {
+	return fmt.Sprintf("%-14s %-22s %10s %10.3g %10s",
+		s.Name, s.DimString(), humanCount(int64(s.NNZ)), s.Density, s.SizeString())
+}
+
+func humanCount(n int64) string {
+	switch {
+	case n >= 1_000_000_000:
+		return fmt.Sprintf("%.3gB", float64(n)/1e9)
+	case n >= 1_000_000:
+		return fmt.Sprintf("%.3gM", float64(n)/1e6)
+	case n >= 1_000:
+		return fmt.Sprintf("%.3gk", float64(n)/1e3)
+	}
+	return fmt.Sprint(n)
+}
+
+func humanBytes(n int64) string {
+	switch {
+	case n >= 1<<30:
+		return fmt.Sprintf("%.2f GiB", float64(n)/float64(1<<30))
+	case n >= 1<<20:
+		return fmt.Sprintf("%.2f MiB", float64(n)/float64(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.2f KiB", float64(n)/float64(1<<10))
+	}
+	return fmt.Sprintf("%d B", n)
+}

@@ -1,0 +1,220 @@
+package sptensor
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+)
+
+// DatasetSpec describes one of the paper's evaluation tensors (Table I) and
+// how to synthesize a structural twin of it at a reduced scale.
+//
+// The real datasets (Yelp Dataset Challenge, NELL, RateBeer, BeerAdvocate,
+// Netflix) are multi-GB downloads we cannot ship. The twin preserves the
+// properties that drive every effect the paper studies:
+//
+//   - mode-length ratios (sort cost balance, CSF shape);
+//   - nonzeros-per-slice ratio nnz/I_n, which is scale-invariant under the
+//     twin construction and is what decides locks-vs-privatization in the
+//     MTTKRP (the YELP-needs-locks / NELL-2-never-locks split of §V-D);
+//   - skewed slice popularity (hub slices), which creates the lock
+//     contention the YELP tensor exhibits.
+type DatasetSpec struct {
+	// Name is the registry key ("yelp", "nell-2", ...).
+	Name string
+	// PaperDims are the mode lengths reported in Table I.
+	PaperDims []int
+	// PaperNNZ is the nonzero count reported in Table I.
+	PaperNNZ int64
+	// PaperSize is the "Size on Disk" column of Table I (informational).
+	PaperSize string
+	// Skew is the Zipf exponent for hub-slice popularity (0 = uniform;
+	// review/rating tensors are skewed, NELL's SVO triples less so).
+	Skew float64
+	// HubFraction is the probability a coordinate is drawn from the Zipf
+	// head rather than uniformly.
+	HubFraction float64
+	// Seed fixes the generator so every run sees the same twin.
+	Seed int64
+}
+
+// Datasets is the Table I registry. Iteration order for reports is
+// DatasetOrder.
+var Datasets = map[string]DatasetSpec{
+	"yelp": {
+		Name:      "YELP",
+		PaperDims: []int{41000, 11000, 75000},
+		PaperNNZ:  8_000_000,
+		PaperSize: "240 MB",
+		Skew:      1.4, HubFraction: 0.35, Seed: 42,
+	},
+	"rate-beer": {
+		Name:      "RATE-BEER",
+		PaperDims: []int{27000, 105000, 262000},
+		PaperNNZ:  62_000_000,
+		PaperSize: "1.85 GB",
+		Skew:      1.3, HubFraction: 0.3, Seed: 43,
+	},
+	"beer-advocate": {
+		Name:      "BEER-ADVOCATE",
+		PaperDims: []int{31000, 61000, 182000},
+		PaperNNZ:  63_000_000,
+		PaperSize: "1.88 GB",
+		Skew:      1.3, HubFraction: 0.3, Seed: 44,
+	},
+	"nell-2": {
+		Name:      "NELL-2",
+		PaperDims: []int{12000, 9000, 29000},
+		PaperNNZ:  77_000_000,
+		PaperSize: "2.3 GB",
+		Skew:      1.2, HubFraction: 0.2, Seed: 45,
+	},
+	"netflix": {
+		Name:      "NETFLIX",
+		PaperDims: []int{480000, 18000, 2000},
+		PaperNNZ:  100_000_000,
+		PaperSize: "3 GB",
+		Skew:      1.4, HubFraction: 0.35, Seed: 46,
+	},
+}
+
+// DatasetOrder lists registry keys in Table I row order.
+var DatasetOrder = []string{"yelp", "rate-beer", "beer-advocate", "nell-2", "netflix"}
+
+// LookupDataset resolves a registry key case-insensitively.
+func LookupDataset(name string) (DatasetSpec, error) {
+	key := strings.ToLower(strings.TrimSpace(name))
+	if spec, ok := Datasets[key]; ok {
+		return spec, nil
+	}
+	return DatasetSpec{}, fmt.Errorf("sptensor: unknown dataset %q (have %v)", name, DatasetOrder)
+}
+
+// ScaledDims returns the twin's mode lengths at the given scale factor.
+func (s DatasetSpec) ScaledDims(scale float64) []int {
+	dims := make([]int, len(s.PaperDims))
+	for m, d := range s.PaperDims {
+		sd := int(float64(d) * scale)
+		if sd < 8 {
+			sd = 8
+		}
+		dims[m] = sd
+	}
+	return dims
+}
+
+// ScaledNNZ returns the twin's target nonzero count at the given scale.
+// Because both dims and nnz scale linearly, the nnz/I_n ratio — the input
+// to the lock-vs-privatize decision — is preserved at every scale.
+func (s DatasetSpec) ScaledNNZ(scale float64) int {
+	n := int(float64(s.PaperNNZ) * scale)
+	if n < 64 {
+		n = 64
+	}
+	return n
+}
+
+// Generate synthesizes the structural twin at the given scale factor
+// (1.0 = paper scale). Coordinates are deduplicated (duplicate draws merge
+// by summing values), so the realized nnz lands slightly under the target;
+// Stats reports the realized count.
+func (s DatasetSpec) Generate(scale float64) *Tensor {
+	dims := s.ScaledDims(scale)
+	target := s.ScaledNNZ(scale)
+	rng := rand.New(rand.NewSource(s.Seed))
+	return generate(rng, dims, target, s.Skew, s.HubFraction)
+}
+
+// Random generates a uniform (unskewed) random sparse tensor — the generic
+// workload for tests and the verification tool. Duplicate coordinates are
+// merged, so the result may hold slightly fewer than nnz nonzeros.
+func Random(dims []int, nnz int, seed int64) *Tensor {
+	rng := rand.New(rand.NewSource(seed))
+	return generate(rng, dims, nnz, 0, 0)
+}
+
+// generate draws `target` coordinates with optional Zipf hub skew, merges
+// duplicates, and returns the tensor.
+func generate(rng *rand.Rand, dims []int, target int, skew, hubFrac float64) *Tensor {
+	order := len(dims)
+	zipfs := make([]*rand.Zipf, order)
+	if skew > 1 && hubFrac > 0 {
+		for m, d := range dims {
+			if d > 1 {
+				zipfs[m] = rand.NewZipf(rng, skew, 1, uint64(d-1))
+			}
+		}
+	}
+	draw := func(m int) Index {
+		d := dims[m]
+		if zipfs[m] != nil && rng.Float64() < hubFrac {
+			return Index(zipfs[m].Uint64())
+		}
+		return Index(rng.Intn(d))
+	}
+
+	inds := make([][]Index, order)
+	for m := range inds {
+		inds[m] = make([]Index, target)
+	}
+	vals := make([]float64, target)
+	for x := 0; x < target; x++ {
+		for m := 0; m < order; m++ {
+			inds[m][x] = draw(m)
+		}
+		vals[x] = 1 + 4*rng.Float64() // rating-like magnitudes
+	}
+	t := &Tensor{Dims: append([]int(nil), dims...), Inds: inds, Vals: vals}
+	dedupe(t)
+	return t
+}
+
+// dedupe sorts nonzeros lexicographically and merges equal coordinates by
+// summing their values, in place.
+func dedupe(t *Tensor) {
+	n := t.NNZ()
+	order := t.NModes()
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = i
+	}
+	sort.Slice(perm, func(a, b int) bool {
+		x, y := perm[a], perm[b]
+		for m := 0; m < order; m++ {
+			if t.Inds[m][x] != t.Inds[m][y] {
+				return t.Inds[m][x] < t.Inds[m][y]
+			}
+		}
+		return false
+	})
+	same := func(x, y int) bool {
+		for m := 0; m < order; m++ {
+			if t.Inds[m][x] != t.Inds[m][y] {
+				return false
+			}
+		}
+		return true
+	}
+	outInds := make([][]Index, order)
+	for m := range outInds {
+		outInds[m] = make([]Index, 0, n)
+	}
+	outVals := make([]float64, 0, n)
+	for i := 0; i < n; {
+		x := perm[i]
+		v := t.Vals[x]
+		j := i + 1
+		for j < n && same(x, perm[j]) {
+			v += t.Vals[perm[j]]
+			j++
+		}
+		for m := 0; m < order; m++ {
+			outInds[m] = append(outInds[m], t.Inds[m][x])
+		}
+		outVals = append(outVals, v)
+		i = j
+	}
+	t.Inds = outInds
+	t.Vals = outVals
+}

@@ -1,0 +1,166 @@
+// Package sptensor provides the sparse tensor substrate: coordinate-format
+// storage (SPLATT's sptensor_t), file I/O, dataset statistics, synthetic
+// structural twins of the paper's evaluation tensors, and a small dense
+// tensor used as ground truth in tests.
+package sptensor
+
+import (
+	"fmt"
+	"math"
+)
+
+// Index is the nonzero coordinate type. SPLATT compiles with 64-bit idx_t
+// by default; 32-bit indices cover every tensor in the paper (largest mode
+// 480k) at half the memory traffic, which matters for MTTKRP bandwidth.
+type Index = int32
+
+// Tensor is a sparse tensor in coordinate (COO) format. Mode m of nonzero
+// x is Inds[m][x]; its value is Vals[x]. All index slices share length
+// len(Vals).
+type Tensor struct {
+	// Dims holds the length of each mode; len(Dims) is the tensor order.
+	Dims []int
+	// Inds holds the coordinates, one slice per mode.
+	Inds [][]Index
+	// Vals holds the nonzero values.
+	Vals []float64
+}
+
+// New allocates an empty tensor with the given mode lengths and capacity
+// for nnz nonzeros (length is nnz; values/indices are zeroed).
+func New(dims []int, nnz int) *Tensor {
+	t := &Tensor{
+		Dims: append([]int(nil), dims...),
+		Inds: make([][]Index, len(dims)),
+		Vals: make([]float64, nnz),
+	}
+	for m := range t.Inds {
+		t.Inds[m] = make([]Index, nnz)
+	}
+	return t
+}
+
+// NModes reports the tensor order (number of modes).
+func (t *Tensor) NModes() int { return len(t.Dims) }
+
+// NNZ reports the number of stored nonzeros.
+func (t *Tensor) NNZ() int { return len(t.Vals) }
+
+// Clone returns a deep copy of the tensor.
+func (t *Tensor) Clone() *Tensor {
+	out := New(t.Dims, t.NNZ())
+	copy(out.Vals, t.Vals)
+	for m := range t.Inds {
+		copy(out.Inds[m], t.Inds[m])
+	}
+	return out
+}
+
+// Validate checks structural invariants: consistent lengths, indices in
+// range, positive dimensions. Returns nil if the tensor is well formed.
+func (t *Tensor) Validate() error {
+	if len(t.Dims) == 0 {
+		return fmt.Errorf("sptensor: tensor has no modes")
+	}
+	if len(t.Inds) != len(t.Dims) {
+		return fmt.Errorf("sptensor: %d index modes for %d dims", len(t.Inds), len(t.Dims))
+	}
+	for m, d := range t.Dims {
+		if d <= 0 {
+			return fmt.Errorf("sptensor: mode %d has dimension %d", m, d)
+		}
+		if len(t.Inds[m]) != len(t.Vals) {
+			return fmt.Errorf("sptensor: mode %d has %d indices for %d values",
+				m, len(t.Inds[m]), len(t.Vals))
+		}
+		for x, idx := range t.Inds[m] {
+			if idx < 0 || int(idx) >= d {
+				return fmt.Errorf("sptensor: nonzero %d mode %d index %d out of [0,%d)",
+					x, m, idx, d)
+			}
+		}
+	}
+	for x, v := range t.Vals {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("sptensor: nonzero %d has non-finite value %v", x, v)
+		}
+	}
+	return nil
+}
+
+// Density reports nnz / Π dims, the sparsity column of Table I.
+func (t *Tensor) Density() float64 {
+	cells := 1.0
+	for _, d := range t.Dims {
+		cells *= float64(d)
+	}
+	if cells == 0 {
+		return 0
+	}
+	return float64(t.NNZ()) / cells
+}
+
+// Norm2 returns the Frobenius norm sqrt(Σ v²), used once per CP-ALS run to
+// normalize the fit.
+func (t *Tensor) Norm2() float64 {
+	ss := 0.0
+	for _, v := range t.Vals {
+		ss += v * v
+	}
+	return math.Sqrt(ss)
+}
+
+// NormSquared returns Σ v².
+func (t *Tensor) NormSquared() float64 {
+	ss := 0.0
+	for _, v := range t.Vals {
+		ss += v * v
+	}
+	return ss
+}
+
+// Coord returns the coordinates of nonzero x as a fresh slice.
+func (t *Tensor) Coord(x int) []Index {
+	c := make([]Index, t.NModes())
+	for m := range c {
+		c[m] = t.Inds[m][x]
+	}
+	return c
+}
+
+// Swap exchanges nonzeros x and y across all modes and values. It is the
+// element swap primitive the sorting package builds on.
+func (t *Tensor) Swap(x, y int) {
+	for m := range t.Inds {
+		t.Inds[m][x], t.Inds[m][y] = t.Inds[m][y], t.Inds[m][x]
+	}
+	t.Vals[x], t.Vals[y] = t.Vals[y], t.Vals[x]
+}
+
+// MemoryBytes estimates the in-memory COO footprint: indices plus values.
+func (t *Tensor) MemoryBytes() int64 {
+	per := int64(t.NModes())*4 + 8
+	return per * int64(t.NNZ())
+}
+
+// String summarizes the tensor shape for logs and error messages.
+func (t *Tensor) String() string {
+	s := "Tensor "
+	for m, d := range t.Dims {
+		if m > 0 {
+			s += "x"
+		}
+		s += fmt.Sprint(d)
+	}
+	return fmt.Sprintf("%s nnz=%d density=%.3g", s, t.NNZ(), t.Density())
+}
+
+// SliceCounts returns a histogram of nonzeros per index along mode m —
+// the per-slice weights SPLATT uses to balance task partitions.
+func (t *Tensor) SliceCounts(m int) []int64 {
+	counts := make([]int64, t.Dims[m])
+	for _, idx := range t.Inds[m] {
+		counts[idx]++
+	}
+	return counts
+}

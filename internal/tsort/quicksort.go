@@ -1,0 +1,111 @@
+package tsort
+
+import (
+	"repro/internal/sptensor"
+)
+
+// quicksorter sorts a contiguous nonzero range of a tensor by the given
+// mode sequence. It is SPLATT's p_tt_quicksort specialized for the
+// remaining (non-root) modes, with the insertion-sort cutoff SPLATT uses.
+type quicksorter struct {
+	t     *sptensor.Tensor
+	modes []int
+	v     Variant
+}
+
+// insertionCutoff matches SPLATT's small-range threshold.
+const insertionCutoff = 16
+
+// auxSink defeats escape analysis for the Initial variant: because the
+// compiler cannot prove leakAux stays false, the per-recursion aux slice is
+// heap-allocated — reproducing the 46M-allocation pathology the paper
+// measured on NELL-2 (§V-C) that the Array-opt variant removes.
+var (
+	auxSink []sptensor.Index
+	leakAux bool
+)
+
+func newQuicksorter(t *sptensor.Tensor, modes []int, v Variant) *quicksorter {
+	return &quicksorter{t: t, modes: modes, v: v}
+}
+
+// less compares nonzeros a and b by the sorter's mode sequence.
+func (q *quicksorter) less(a, b int) bool {
+	for _, m := range q.modes {
+		av, bv := q.t.Inds[m][a], q.t.Inds[m][b]
+		if av != bv {
+			return av < bv
+		}
+	}
+	return false
+}
+
+// sort orders the half-open nonzero range [lo, hi).
+func (q *quicksorter) sort(lo, hi int) {
+	for hi-lo > insertionCutoff {
+		p := q.partition(lo, hi)
+		// Recurse on the smaller side, loop on the larger: O(log n) stack.
+		if p-lo < hi-p-1 {
+			q.sort(lo, p)
+			lo = p + 1
+		} else {
+			q.sort(p+1, hi)
+			hi = p
+		}
+	}
+	q.insertion(lo, hi)
+}
+
+// partition performs a Hoare-style partition with median-of-three pivot
+// selection and returns the pivot's final position.
+func (q *quicksorter) partition(lo, hi int) int {
+	mid := lo + (hi-lo)/2
+	last := hi - 1
+
+	if q.v.allocatesAux() {
+		// "Initial" behaviour: the median bookkeeping lives in a small
+		// heap-allocated array created on every call.
+		aux := make([]sptensor.Index, 2)
+		aux[0] = sptensor.Index(mid)
+		aux[1] = sptensor.Index(last)
+		if leakAux {
+			auxSink = aux
+		}
+		mid = int(aux[0])
+		last = int(aux[1])
+	}
+
+	// Median-of-three: order (lo, mid, last), leaving the median at mid.
+	if q.less(mid, lo) {
+		q.t.Swap(mid, lo)
+	}
+	if q.less(last, lo) {
+		q.t.Swap(last, lo)
+	}
+	if q.less(last, mid) {
+		q.t.Swap(last, mid)
+	}
+	// Park the pivot just before the range end.
+	q.t.Swap(mid, last)
+	pivot := last
+
+	i := lo
+	for j := lo; j < last; j++ {
+		if q.less(j, pivot) {
+			q.t.Swap(i, j)
+			i++
+		}
+	}
+	q.t.Swap(i, pivot)
+	return i
+}
+
+// insertion sorts the small range [lo, hi) by repeated swapping. Operating
+// through Swap keeps all mode arrays and values in sync.
+func (q *quicksorter) insertion(lo, hi int) {
+	for i := lo + 1; i < hi; i++ {
+		for j := i; j > lo && q.less(j, j-1); j-- {
+			q.t.Swap(j, j-1)
+		}
+	}
+}

@@ -1,0 +1,225 @@
+package tsort
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/parallel"
+	"repro/internal/sptensor"
+)
+
+// multiset captures a tensor's (coordinates, value) population for
+// permutation checks.
+func multiset(t *sptensor.Tensor) map[[4]float64]int {
+	m := make(map[[4]float64]int, t.NNZ())
+	for x := 0; x < t.NNZ(); x++ {
+		var key [4]float64
+		for mo := 0; mo < t.NModes() && mo < 3; mo++ {
+			key[mo] = float64(t.Inds[mo][x])
+		}
+		key[3] = t.Vals[x]
+		m[key]++
+	}
+	return m
+}
+
+func sameMultiset(a, b map[[4]float64]int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, v := range a {
+		if b[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+func TestSortOrdersAndPermutes(t *testing.T) {
+	for _, variant := range Variants {
+		for _, tasks := range []int{1, 3} {
+			tt := sptensor.Random([]int{40, 30, 50}, 3000, 7)
+			before := multiset(tt)
+			team := parallel.NewTeam(tasks)
+			perm := SortForRoot(tt, 0, team, variant)
+			team.Close()
+			if !IsSorted(tt, perm) {
+				t.Errorf("%v tasks=%d: not sorted", variant, tasks)
+			}
+			if !sameMultiset(before, multiset(tt)) {
+				t.Errorf("%v tasks=%d: nonzeros corrupted", variant, tasks)
+			}
+		}
+	}
+}
+
+func TestVariantsProduceIdenticalOrder(t *testing.T) {
+	// All four implementations are the same algorithm; outputs must match
+	// element for element.
+	base := sptensor.Random([]int{25, 35, 20}, 2000, 9)
+	var ref *sptensor.Tensor
+	for _, variant := range Variants {
+		tt := base.Clone()
+		SortForRoot(tt, 1, nil, variant)
+		if ref == nil {
+			ref = tt
+			continue
+		}
+		for x := 0; x < tt.NNZ(); x++ {
+			for m := 0; m < 3; m++ {
+				if tt.Inds[m][x] != ref.Inds[m][x] {
+					t.Fatalf("%v: order differs at nnz %d", variant, x)
+				}
+			}
+			if tt.Vals[x] != ref.Vals[x] {
+				t.Fatalf("%v: values differ at nnz %d", variant, x)
+			}
+		}
+	}
+}
+
+func TestSortEveryRoot(t *testing.T) {
+	tt := sptensor.Random([]int{12, 18, 15}, 800, 11)
+	for root := 0; root < 3; root++ {
+		clone := tt.Clone()
+		perm := SortForRoot(clone, root, nil, AllOpt)
+		if perm[0] != root {
+			t.Fatalf("root %d: perm %v", root, perm)
+		}
+		if !IsSorted(clone, perm) {
+			t.Errorf("root %d: not sorted", root)
+		}
+	}
+}
+
+func TestModeOrder(t *testing.T) {
+	dims := []int{100, 20, 50}
+	if got := ModeOrder(dims, 0); got[0] != 0 || got[1] != 1 || got[2] != 2 {
+		t.Errorf("root 0: %v", got)
+	}
+	if got := ModeOrder(dims, 2); got[0] != 2 || got[1] != 1 || got[2] != 0 {
+		t.Errorf("root 2: %v", got)
+	}
+	// Ties break by mode id.
+	if got := ModeOrder([]int{5, 5, 5}, 1); got[0] != 1 || got[1] != 0 || got[2] != 2 {
+		t.Errorf("ties: %v", got)
+	}
+}
+
+func TestSortHandlesEdgeCases(t *testing.T) {
+	// Single nonzero.
+	one := sptensor.New([]int{3, 3, 3}, 1)
+	Sort(one, []int{0, 1, 2}, nil, AllOpt)
+	// Empty.
+	empty := sptensor.New([]int{3, 3, 3}, 0)
+	Sort(empty, []int{0, 1, 2}, nil, AllOpt)
+	// All identical coordinates (degenerate pivot behaviour).
+	same := sptensor.New([]int{2, 2, 2}, 50)
+	for x := 0; x < 50; x++ {
+		same.Inds[0][x], same.Inds[1][x], same.Inds[2][x] = 1, 1, 1
+		same.Vals[x] = float64(x)
+	}
+	Sort(same, []int{0, 1, 2}, nil, Initial)
+	if !IsSorted(same, []int{0, 1, 2}) {
+		t.Error("identical-coordinate tensor not sorted")
+	}
+	// Already sorted input.
+	tt := sptensor.Random([]int{10, 10, 10}, 300, 13)
+	Sort(tt, []int{0, 1, 2}, nil, AllOpt)
+	Sort(tt, []int{0, 1, 2}, nil, AllOpt)
+	if !IsSorted(tt, []int{0, 1, 2}) {
+		t.Error("re-sort broke ordering")
+	}
+}
+
+func TestSortRejectsBadPerm(t *testing.T) {
+	tt := sptensor.Random([]int{5, 5, 5}, 50, 15)
+	for _, perm := range [][]int{{0, 1}, {0, 1, 1}, {0, 1, 5}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("perm %v accepted", perm)
+				}
+			}()
+			Sort(tt, perm, nil, AllOpt)
+		}()
+	}
+}
+
+func TestSortMoreTasksThanSlices(t *testing.T) {
+	tt := sptensor.Random([]int{2, 30, 30}, 500, 17)
+	team := parallel.NewTeam(8)
+	defer team.Close()
+	perm := SortForRoot(tt, 0, team, AllOpt)
+	if !IsSorted(tt, perm) {
+		t.Error("oversubscribed sort failed")
+	}
+}
+
+func TestSkewedTensorSort(t *testing.T) {
+	// Hub-slice heavy tensor (the YELP-like shape).
+	spec := sptensor.Datasets["yelp"]
+	tt := spec.Generate(1.0 / 512)
+	team := parallel.NewTeam(4)
+	defer team.Close()
+	perm := SortForRoot(tt, 0, team, AllOpt)
+	if !IsSorted(tt, perm) {
+		t.Error("skewed tensor not sorted")
+	}
+}
+
+func TestSortQuickProperty(t *testing.T) {
+	// Property: for random tensors, every variant sorts and permutes.
+	f := func(seed int64, rootRaw uint8, variantRaw uint8) bool {
+		tt := sptensor.Random([]int{8, 6, 9}, 150, seed)
+		root := int(rootRaw) % 3
+		variant := Variants[int(variantRaw)%len(Variants)]
+		before := multiset(tt)
+		perm := SortForRoot(tt, root, nil, variant)
+		return IsSorted(tt, perm) && sameMultiset(before, multiset(tt))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestVariantLabels(t *testing.T) {
+	want := map[Variant]string{
+		Initial: "Initial", ArrayOpt: "Array-opt", SliceOpt: "Slices-opt", AllOpt: "All-opts",
+	}
+	for v, label := range want {
+		if v.String() != label {
+			t.Errorf("%d: %q != %q", int(v), v.String(), label)
+		}
+	}
+	if !Initial.allocatesAux() || !Initial.copiesArrays() {
+		t.Error("Initial must allocate and copy")
+	}
+	if AllOpt.allocatesAux() || AllOpt.copiesArrays() {
+		t.Error("AllOpt must not allocate or copy")
+	}
+	if !SliceOpt.allocatesAux() || SliceOpt.copiesArrays() {
+		t.Error("SliceOpt removes copies but keeps allocations")
+	}
+	if ArrayOpt.allocatesAux() || !ArrayOpt.copiesArrays() {
+		t.Error("ArrayOpt removes allocations but keeps copies")
+	}
+}
+
+func TestInitialVariantAllocatesMore(t *testing.T) {
+	// The §V-C pathology made observable: Initial performs at least one
+	// small allocation per quicksort partition; AllOpt performs none in
+	// the recursion.
+	tt := sptensor.Random([]int{4, 200, 200}, 20000, 19)
+	initialAllocs := testing.AllocsPerRun(1, func() {
+		clone := tt.Clone()
+		SortForRoot(clone, 0, nil, Initial)
+	})
+	allOptAllocs := testing.AllocsPerRun(1, func() {
+		clone := tt.Clone()
+		SortForRoot(clone, 0, nil, AllOpt)
+	})
+	if initialAllocs <= allOptAllocs {
+		t.Errorf("Initial allocs (%.0f) not above AllOpt (%.0f)", initialAllocs, allOptAllocs)
+	}
+}
