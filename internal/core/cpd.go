@@ -188,14 +188,7 @@ func (d *decomposer) updateMode(m, iter int, report *Report) {
 	})
 
 	if d.opts.NonNegative {
-		parallel.For(d.team, factor.Rows, func(i int) {
-			row := factor.Row(i)
-			for j, v := range row {
-				if v < 0 {
-					row[j] = 0
-				}
-			}
-		})
+		dense.ClampNonNegative(d.team, factor)
 	}
 
 	// Normalize columns, storing norms as λ: 2-norm on the first
@@ -258,21 +251,7 @@ func (d *decomposer) computeFit() float64 {
 
 // modelNormSquared computes λᵀ (∘_m Gram_m) λ from the maintained Grams.
 func (d *decomposer) modelNormSquared() float64 {
-	r := d.opts.Rank
-	g := dense.NewMatrix(r, r)
-	g.Fill(1)
-	for _, gram := range d.grams {
-		dense.HadamardProduct(g, gram)
-	}
-	n := 0.0
-	for i := 0; i < r; i++ {
-		li := d.k.Lambda[i]
-		row := g.Row(i)
-		for j := 0; j < r; j++ {
-			n += li * d.k.Lambda[j] * row[j]
-		}
-	}
-	return n
+	return d.k.NormSquaredFromGrams(d.grams)
 }
 
 // SortOnly runs just the pre-processing sort the way CPD would, for the

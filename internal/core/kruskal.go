@@ -74,6 +74,28 @@ func (k *KruskalTensor) NormSquared() float64 {
 	return n
 }
 
+// NormSquaredFromGrams computes ‖model‖²_F = λᵀ (∘_m Gram_m) λ from
+// already-maintained Gram matrices (A(m)ᵀA(m) per mode), the incremental
+// form both the shared-memory and distributed ALS drivers use per
+// iteration. grams must hold one R×R matrix per mode.
+func (k *KruskalTensor) NormSquaredFromGrams(grams []*dense.Matrix) float64 {
+	r := k.Rank()
+	g := dense.NewMatrix(r, r)
+	g.Fill(1)
+	for _, gram := range grams {
+		dense.HadamardProduct(g, gram)
+	}
+	n := 0.0
+	for i := 0; i < r; i++ {
+		li := k.Lambda[i]
+		row := g.Row(i)
+		for j := 0; j < r; j++ {
+			n += li * k.Lambda[j] * row[j]
+		}
+	}
+	return n
+}
+
 // At evaluates the model at one coordinate: Σ_r λ_r ∏_m A(m)[coord_m, r].
 func (k *KruskalTensor) At(coord []sptensor.Index) float64 {
 	r := k.Rank()

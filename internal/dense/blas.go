@@ -143,6 +143,19 @@ func KhatriRao(a, b *Matrix) *Matrix {
 	return out
 }
 
+// ClampNonNegative projects a onto the nonnegative orthant in place —
+// SPLATT's constrained-CP projection applied after each factor update.
+func ClampNonNegative(team *parallel.Team, a *Matrix) {
+	parallel.For(team, a.Rows, func(i int) {
+		row := a.Row(i)
+		for j, v := range row {
+			if v < 0 {
+				row[j] = 0
+			}
+		}
+	})
+}
+
 // NormKind selects the column-normalization norm in CP-ALS: SPLATT uses the
 // 2-norm on the first iteration and the max-norm afterwards.
 type NormKind int

@@ -1,0 +1,165 @@
+package dist
+
+import (
+	"math"
+	"time"
+
+	"repro/internal/parallel"
+)
+
+// negInf is the identity element of the max reduction.
+var negInf = math.Inf(-1)
+
+// comm is the collective-communication fabric shared by the locales of one
+// run. Locales exchange data only through its staging buffers, so every
+// cross-locale word is explicit and accounted — the simulation's analogue
+// of an MPI communicator (or Chapel's implicit comms made visible).
+//
+// All collectives are bulk-synchronous: every locale must call the same
+// collectives in the same order, exactly as in SPMD MPI code. Reductions
+// combine locale contributions in ascending locale order on every locale,
+// so all replicas stay bitwise identical.
+//
+// Accounting counters are written only by locale 0 between the two barrier
+// phases of each collective and read only after the run joins, so they need
+// no extra synchronization.
+type comm struct {
+	locales int
+	barrier *parallel.Barrier
+
+	// stage[l] is locale l's outbound payload for the current reduction.
+	stage [][]float64
+	// gather is the shared assembly buffer for AllgatherRows.
+	gather []float64
+
+	// commSeconds[l] accumulates locale l's time inside collectives.
+	commSeconds []float64
+
+	allreduceCalls int
+	allgatherCalls int
+	barrierCalls   int
+	allreduceBytes int64
+	allgatherBytes int64
+}
+
+// newComm creates the fabric for a world of `locales`, with an allgather
+// assembly buffer of gatherFloats elements (the mode-0 factor size).
+func newComm(locales, gatherFloats int) *comm {
+	return &comm{
+		locales:     locales,
+		barrier:     parallel.NewBarrier(locales),
+		stage:       make([][]float64, locales),
+		gather:      make([]float64, gatherFloats),
+		commSeconds: make([]float64, locales),
+	}
+}
+
+// outbox returns locale lid's staging buffer, grown to at least n elements.
+// Each locale touches only its own slot, so no locking is needed.
+func (c *comm) outbox(lid, n int) []float64 {
+	if cap(c.stage[lid]) < n {
+		c.stage[lid] = make([]float64, n)
+	}
+	c.stage[lid] = c.stage[lid][:n]
+	return c.stage[lid]
+}
+
+// Barrier is the explicit standalone synchronization collective: it blocks
+// locale lid until every locale has reached it. The CP-ALS driver needs no
+// standalone barriers today (every sync point is a phase of a bulk
+// collective, which bump barrierCalls inline), but SPMD extensions — e.g.
+// a distributed tiling schedule — synchronize through this.
+func (c *comm) Barrier(lid int) {
+	start := time.Now()
+	if lid == 0 {
+		c.barrierCalls++
+	}
+	c.barrier.Wait()
+	c.commSeconds[lid] += time.Since(start).Seconds()
+}
+
+// reduce runs one bulk-synchronous reduction round: stage the local
+// payload, wait for all peers, combine every locale's stage (in locale
+// order, so all replicas agree bitwise), and wait again before the stages
+// may be reused. combine folds src into dst element-wise.
+func (c *comm) reduce(lid int, buf []float64, init float64, combine func(dst, src []float64)) {
+	start := time.Now()
+	out := c.outbox(lid, len(buf))
+	copy(out, buf)
+	c.barrier.Wait()
+	for i := range buf {
+		buf[i] = init
+	}
+	for l := 0; l < c.locales; l++ {
+		combine(buf, c.stage[l][:len(buf)])
+	}
+	if lid == 0 {
+		c.allreduceCalls++
+		c.allreduceBytes += int64(c.locales*(c.locales-1)*len(buf)) * 8
+		c.barrierCalls += 2
+	}
+	c.barrier.Wait()
+	c.commSeconds[lid] += time.Since(start).Seconds()
+}
+
+// AllreduceSum replaces buf on every locale with the element-wise sum of
+// all locales' bufs. Used for partial MTTKRP outputs and Gram matrices.
+func (c *comm) AllreduceSum(lid int, buf []float64) {
+	c.reduce(lid, buf, 0, func(dst, src []float64) {
+		for i := range dst {
+			dst[i] += src[i]
+		}
+	})
+}
+
+// AllreduceMax replaces buf on every locale with the element-wise maximum
+// of all locales' bufs. Used for the max-norm column normalization.
+func (c *comm) AllreduceMax(lid int, buf []float64) {
+	c.reduce(lid, buf, negInf, func(dst, src []float64) {
+		for i := range dst {
+			if src[i] > dst[i] {
+				dst[i] = src[i]
+			}
+		}
+	})
+}
+
+// AllreduceScalar sums one float64 across locales.
+func (c *comm) AllreduceScalar(lid int, v float64) float64 {
+	buf := [1]float64{v}
+	c.AllreduceSum(lid, buf[:])
+	return buf[0]
+}
+
+// AllgatherRows assembles a row-partitioned matrix: locale lid contributes
+// rows [lo, hi) of the rowLen-wide matrix stored in full, and on return
+// every locale's full holds all rows. Ownership ranges must be disjoint
+// across locales and cover the rows every caller reads afterwards.
+func (c *comm) AllgatherRows(lid, lo, hi, rowLen int, full []float64) {
+	start := time.Now()
+	copy(c.gather[lo*rowLen:hi*rowLen], full[lo*rowLen:hi*rowLen])
+	c.barrier.Wait()
+	copy(full, c.gather[:len(full)])
+	if lid == 0 {
+		c.allgatherCalls++
+		c.allgatherBytes += int64((c.locales-1)*len(full)) * 8
+		c.barrierCalls += 2
+	}
+	c.barrier.Wait()
+	c.commSeconds[lid] += time.Since(start).Seconds()
+}
+
+// fill copies the accounting totals into a Report.
+func (c *comm) fill(r *Report) {
+	r.AllreduceCalls = c.allreduceCalls
+	r.AllgatherCalls = c.allgatherCalls
+	r.BarrierCalls = c.barrierCalls
+	r.AllreduceBytes = c.allreduceBytes
+	r.AllgatherBytes = c.allgatherBytes
+	r.CommBytes = c.allreduceBytes + c.allgatherBytes
+	for _, s := range c.commSeconds {
+		if s > r.CommSeconds {
+			r.CommSeconds = s
+		}
+	}
+}

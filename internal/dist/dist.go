@@ -1,0 +1,476 @@
+// Package dist implements the paper's §VII future-work item: distributed-
+// memory CP-ALS. It simulates a multi-locale machine with SPMD goroutines —
+// one per "locale" — each owning a coarse-grained mode-0 slab of the tensor
+// as its own CSF, exchanging data only through explicit collectives
+// (allreduce over partial MTTKRP outputs and Gram matrices, allgather over
+// mode-0 factor rows) whose traffic is accounted in the Report.
+//
+// The decomposition follows the coarse-grained/allreduce family of
+// distributed CP-ALS algorithms (SPLATT's medium-grained ancestor, and the
+// design the paper cites as reference [16]): mode-0 factor rows are owned
+// by the locale holding their slab, while every other factor matrix is
+// fully replicated and kept consistent by reducing the locales' partial
+// MTTKRPs before each least-squares update. Reductions combine locale
+// contributions in a fixed order, so all replicas remain bitwise identical
+// and results match shared-memory core.CPD up to floating-point
+// reassociation.
+package dist
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/csf"
+	"repro/internal/dense"
+	"repro/internal/locks"
+	"repro/internal/mttkrp"
+	"repro/internal/parallel"
+	"repro/internal/perf"
+	"repro/internal/sptensor"
+	"repro/internal/tsort"
+)
+
+// Options configures one distributed CP-ALS run. The kernel knobs mirror
+// core.Options so the paper's shared-memory axes compose with the locale
+// axis (every locale runs the selected kernel configuration internally).
+type Options struct {
+	// Locales is the simulated world size (>= 1). 1 short-circuits to the
+	// shared-memory path with zero communication.
+	Locales int
+	// Rank is the decomposition rank R.
+	Rank int
+	// MaxIters caps ALS iterations.
+	MaxIters int
+	// Tolerance stops iteration once |fit − fit_prev| < Tolerance; zero
+	// disables early stopping.
+	Tolerance float64
+	// Seed fixes factor initialization (shared by all locales).
+	Seed int64
+	// TasksPerLocale is each locale's intra-locale team size (0 = 1).
+	TasksPerLocale int
+
+	// Access / LockKind / Strategy / SortVariant / Alloc select the
+	// intra-locale kernel configuration, as in core.Options.
+	Access      mttkrp.AccessMode
+	LockKind    locks.Kind
+	Strategy    mttkrp.ConflictStrategy
+	SortVariant tsort.Variant
+	Alloc       csf.AllocPolicy
+
+	// NonNegative and Ridge mirror the constrained-CP options.
+	NonNegative bool
+	Ridge       float64
+}
+
+// DefaultOptions returns a 2-locale configuration with the paper's ALS
+// parameters (rank 35, 20 iterations, serial locales).
+func DefaultOptions() Options {
+	return Options{
+		Locales:        2,
+		Rank:           35,
+		MaxIters:       20,
+		Seed:           1,
+		TasksPerLocale: 1,
+		Access:         mttkrp.AccessReference,
+		LockKind:       locks.Spin,
+		Strategy:       mttkrp.StrategyAuto,
+		Alloc:          csf.AllocTwo,
+	}
+}
+
+// Validate sanity-checks option values.
+func (o Options) Validate() error {
+	if o.Locales < 1 {
+		return fmt.Errorf("dist: locales %d < 1", o.Locales)
+	}
+	if o.Rank <= 0 {
+		return fmt.Errorf("dist: rank %d <= 0", o.Rank)
+	}
+	if o.MaxIters <= 0 {
+		return fmt.Errorf("dist: max iterations %d <= 0", o.MaxIters)
+	}
+	if o.Tolerance < 0 {
+		return fmt.Errorf("dist: tolerance %g < 0", o.Tolerance)
+	}
+	if o.TasksPerLocale < 0 {
+		return fmt.Errorf("dist: tasks per locale %d < 0", o.TasksPerLocale)
+	}
+	if o.Ridge < 0 {
+		return fmt.Errorf("dist: ridge %g < 0", o.Ridge)
+	}
+	return nil
+}
+
+// coreOptions maps the distributed options onto a core.Options for the
+// single-locale fast path and for documentation of the per-locale kernel
+// configuration.
+func (o Options) coreOptions() core.Options {
+	co := core.DefaultOptions()
+	co.Rank = o.Rank
+	co.MaxIters = o.MaxIters
+	co.Tolerance = o.Tolerance
+	co.Seed = o.Seed
+	co.Tasks = o.TasksPerLocale
+	if co.Tasks < 1 {
+		co.Tasks = 1
+	}
+	co.Access = o.Access
+	co.LockKind = o.LockKind
+	co.Strategy = o.Strategy
+	co.SortVariant = o.SortVariant
+	co.Alloc = o.Alloc
+	co.NonNegative = o.NonNegative
+	co.Ridge = o.Ridge
+	return co
+}
+
+// CPD factors t into a rank-R Kruskal model with distributed CP-ALS over
+// opts.Locales simulated locales. The input tensor is not modified.
+func CPD(t *sptensor.Tensor, opts Options) (*core.KruskalTensor, *Report, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, nil, err
+	}
+	if err := t.Validate(); err != nil {
+		return nil, nil, err
+	}
+	if t.NModes() < 2 {
+		return nil, nil, fmt.Errorf("dist: order-%d tensor (need >= 2 modes)", t.NModes())
+	}
+	if opts.Locales == 1 {
+		return cpdSingle(t, opts)
+	}
+
+	start := time.Now()
+	world := opts.Locales
+	slabs := PartitionSlabs(t, world)
+	fabric := newComm(world, t.Dims[0]*opts.Rank)
+	seed := core.NewRandomKruskal(t.Dims, opts.Rank, opts.Seed)
+	locales := make([]*locale, world)
+	var setup sync.WaitGroup
+	for lid := 0; lid < world; lid++ {
+		setup.Add(1)
+		go func(lid int) {
+			defer setup.Done()
+			locales[lid] = newLocale(lid, slabs[lid], t, seed, opts)
+		}(lid)
+	}
+	setup.Wait()
+
+	var wg sync.WaitGroup
+	for _, lc := range locales {
+		wg.Add(1)
+		go func(lc *locale) {
+			defer wg.Done()
+			lc.run(fabric, opts)
+		}(lc)
+	}
+	wg.Wait()
+
+	report := &Report{
+		Locales:    world,
+		Iterations: locales[0].iterations,
+		Fit:        locales[0].fit,
+		FitHistory: locales[0].fitHistory,
+		ShardRows:  make([]int, world),
+		ShardNNZ:   make([]int, world),
+	}
+	for lid, s := range slabs {
+		report.ShardRows[lid] = s.Rows()
+		report.ShardNNZ[lid] = s.NNZ
+	}
+	for _, lc := range locales {
+		if lc.mttkrpSeconds > report.MTTKRPSeconds {
+			report.MTTKRPSeconds = lc.mttkrpSeconds
+		}
+	}
+	fabric.fill(report)
+	report.TotalSeconds = time.Since(start).Seconds()
+	return locales[0].k, report, nil
+}
+
+// cpdSingle is the locales=1 fast path: plain shared-memory CP-ALS with a
+// distributed-shaped report (zero communication, one shard).
+func cpdSingle(t *sptensor.Tensor, opts Options) (*core.KruskalTensor, *Report, error) {
+	start := time.Now()
+	k, cr, err := core.CPD(t, opts.coreOptions())
+	if err != nil {
+		return nil, nil, err
+	}
+	report := &Report{
+		Locales:       1,
+		Iterations:    cr.Iterations,
+		Fit:           cr.Fit,
+		FitHistory:    cr.FitHistory,
+		ShardRows:     []int{t.Dims[0]},
+		ShardNNZ:      []int{t.NNZ()},
+		MTTKRPSeconds: cr.Times[perf.RoutineMTTKRP],
+		TotalSeconds:  time.Since(start).Seconds(),
+	}
+	return k, report, nil
+}
+
+// locale is one SPMD participant: a slab of the tensor stored as its own
+// CSF set, a full replica of the model, and the scratch of a shared-memory
+// CP-ALS engine scoped to its shard.
+type locale struct {
+	lid  int
+	slab Slab
+
+	local *sptensor.Tensor // slab tensor, mode 0 in local coordinates
+	team  *parallel.Team
+	op    *mttkrp.Operator // nil when the shard holds no nonzeros
+
+	k       *core.KruskalTensor // full factor replica (all modes)
+	a0      *dense.Matrix       // view of the owned mode-0 rows
+	factors []*dense.Matrix     // {a0, replica A1, A2, ...} for the operator
+	grams   []*dense.Matrix
+	v       *dense.Matrix
+	mbuf    *dense.Matrix
+	colbuf  []float64
+	normX   float64
+
+	fit           float64
+	fitHistory    []float64
+	iterations    int
+	mttkrpSeconds float64
+}
+
+// newLocale extracts locale lid's shard and builds its local engine.
+func newLocale(lid int, slab Slab, t *sptensor.Tensor, seed *core.KruskalTensor, opts Options) *locale {
+	r := opts.Rank
+	order := t.NModes()
+	tasks := opts.TasksPerLocale
+	if tasks < 1 {
+		tasks = 1
+	}
+	lc := &locale{
+		lid:   lid,
+		slab:  slab,
+		local: ExtractSlab(t, slab),
+		team:  parallel.NewTeam(tasks),
+		k:     seed.Clone(),
+		grams: make([]*dense.Matrix, order),
+		v:     dense.NewMatrix(r, r),
+	}
+	lc.a0 = dense.NewMatrixFrom(slab.Rows(), r, lc.k.Factors[0].Data[slab.Lo*r:slab.Hi*r])
+	lc.factors = make([]*dense.Matrix, order)
+	lc.factors[0] = lc.a0
+	for m := 1; m < order; m++ {
+		lc.factors[m] = lc.k.Factors[m]
+	}
+	maxDim := 0
+	for _, d := range t.Dims {
+		if d > maxDim {
+			maxDim = d
+		}
+	}
+	lc.mbuf = dense.NewMatrix(maxDim, r)
+	lc.colbuf = make([]float64, r)
+	for m := range lc.grams {
+		lc.grams[m] = dense.NewMatrix(r, r)
+	}
+	if lc.local.NNZ() > 0 {
+		set := csf.NewSet(lc.local, opts.Alloc, lc.team, opts.SortVariant)
+		lc.op = mttkrp.NewOperator(set, lc.team, r, mttkrp.Options{
+			Access:   opts.Access,
+			Strategy: opts.Strategy,
+			LockKind: opts.LockKind,
+		})
+	}
+	return lc
+}
+
+// run executes the SPMD body of one locale. Every locale calls the same
+// collectives in the same order; replicated state (V, non-slab factors,
+// Grams, λ, fit) is combined in locale order, so it stays bitwise identical
+// across locales and the early-stopping decision is uniform.
+func (lc *locale) run(c *comm, opts Options) {
+	defer lc.team.Close()
+	order := lc.k.Order()
+
+	lc.normX = c.AllreduceScalar(lc.lid, lc.local.NormSquared())
+
+	// Initial Grams: the mode-0 Gram is reduced from per-slab partials; the
+	// replicated modes compute identical full Grams locally.
+	dense.Syrk(lc.team, lc.a0, lc.grams[0])
+	c.AllreduceSum(lc.lid, lc.grams[0].Data)
+	for m := 1; m < order; m++ {
+		dense.Syrk(lc.team, lc.k.Factors[m], lc.grams[m])
+	}
+
+	oldFit := 0.0
+	for it := 0; it < opts.MaxIters; it++ {
+		for m := 0; m < order; m++ {
+			lc.updateMode(c, m, it, opts)
+		}
+		fit := lc.computeFit()
+		lc.fitHistory = append(lc.fitHistory, fit)
+		lc.iterations = it + 1
+		if opts.Tolerance > 0 && it > 0 && math.Abs(fit-oldFit) < opts.Tolerance {
+			oldFit = fit
+			break
+		}
+		oldFit = fit
+	}
+	lc.fit = oldFit
+}
+
+// updateMode performs one distributed least-squares factor update.
+//
+// Mode 0 (slab-owned rows): the local MTTKRP writes only owned rows, so
+// the update, normalization partials, and Gram partial are computed on the
+// shard and combined with one allreduce (norms), one allreduce (Gram), and
+// one allgather (rows) — no nonzero ever leaves its locale.
+//
+// Modes >= 1 (replicated): each locale computes a partial MTTKRP over the
+// full mode dimension from its shard, the partials are allreduced, and the
+// solve/normalize/Gram steps run redundantly on identical inputs, keeping
+// every replica consistent without further traffic.
+func (lc *locale) updateMode(c *comm, m, iter int, opts Options) {
+	r := opts.Rank
+	factor := lc.k.Factors[m]
+
+	// V ← ∘_{n≠m} A(n)ᵀA(n) (+ optional ridge); identical on all locales.
+	lc.v.Fill(1)
+	for n := range lc.grams {
+		if n != m {
+			dense.HadamardProduct(lc.v, lc.grams[n])
+		}
+	}
+	if opts.Ridge > 0 {
+		for i := 0; i < r; i++ {
+			lc.v.Set(i, i, lc.v.At(i, i)+opts.Ridge)
+		}
+	}
+
+	kind := dense.NormMax
+	if iter == 0 {
+		kind = dense.Norm2
+	}
+
+	if m == 0 {
+		mrows := dense.NewMatrixFrom(lc.slab.Rows(), r, lc.mbuf.Data[:lc.slab.Rows()*r])
+		lc.applyMTTKRP(0, mrows)
+		lc.a0.CopyFrom(mrows)
+		dense.SolveNormals(lc.team, lc.v, lc.a0)
+		lc.clampNonNegative(lc.a0, opts)
+		lc.normalizeOwnedRows(c, kind)
+		dense.Syrk(lc.team, lc.a0, lc.grams[0])
+		c.AllreduceSum(lc.lid, lc.grams[0].Data)
+		c.AllgatherRows(lc.lid, lc.slab.Lo, lc.slab.Hi, r, factor.Data)
+		return
+	}
+
+	mrows := dense.NewMatrixFrom(factor.Rows, r, lc.mbuf.Data[:factor.Rows*r])
+	lc.applyMTTKRP(m, mrows)
+	c.AllreduceSum(lc.lid, mrows.Data)
+	factor.CopyFrom(mrows)
+	dense.SolveNormals(lc.team, lc.v, factor)
+	lc.clampNonNegative(factor, opts)
+	dense.NormalizeColumns(lc.team, factor, lc.k.Lambda, kind)
+	dense.Syrk(lc.team, factor, lc.grams[m])
+}
+
+// applyMTTKRP runs the local kernel into out (zeroing it when the shard is
+// empty) and charges the time to the locale's MTTKRP clock.
+func (lc *locale) applyMTTKRP(m int, out *dense.Matrix) {
+	start := time.Now()
+	if lc.op == nil {
+		out.Zero()
+	} else {
+		lc.op.Apply(m, lc.factors, out)
+	}
+	lc.mttkrpSeconds += time.Since(start).Seconds()
+}
+
+// clampNonNegative projects the given rows onto the nonnegative orthant.
+func (lc *locale) clampNonNegative(a *dense.Matrix, opts Options) {
+	if opts.NonNegative {
+		dense.ClampNonNegative(lc.team, a)
+	}
+}
+
+// normalizeOwnedRows performs the distributed column normalization of the
+// slab-partitioned mode-0 factor: per-shard norm partials, a sum (2-norm)
+// or max (max-norm) allreduce, then each locale rescales only its rows.
+// λ is set identically on every locale. Semantics match
+// dense.NormalizeColumns, including SPLATT's max-norm clamp at 1.
+func (lc *locale) normalizeOwnedRows(c *comm, kind dense.NormKind) {
+	r := len(lc.colbuf)
+	part := lc.colbuf
+	for j := range part {
+		part[j] = 0
+	}
+	switch kind {
+	case dense.Norm2:
+		for i := 0; i < lc.a0.Rows; i++ {
+			row := lc.a0.Row(i)
+			for j, v := range row {
+				part[j] += v * v
+			}
+		}
+		c.AllreduceSum(lc.lid, part)
+		for j := 0; j < r; j++ {
+			lc.k.Lambda[j] = math.Sqrt(part[j])
+		}
+	case dense.NormMax:
+		for i := 0; i < lc.a0.Rows; i++ {
+			row := lc.a0.Row(i)
+			for j, v := range row {
+				if av := math.Abs(v); av > part[j] {
+					part[j] = av
+				}
+			}
+		}
+		c.AllreduceMax(lc.lid, part)
+		for j := 0; j < r; j++ {
+			m := part[j]
+			if m < 1 {
+				m = 1 // SPLATT's max-norm clamp
+			}
+			lc.k.Lambda[j] = m
+		}
+	}
+	inv := make([]float64, r)
+	for j, l := range lc.k.Lambda {
+		if l > 0 {
+			inv[j] = 1 / l
+		}
+	}
+	for i := 0; i < lc.a0.Rows; i++ {
+		row := lc.a0.Row(i)
+		for j := range row {
+			row[j] *= inv[j]
+		}
+	}
+}
+
+// computeFit evaluates the fit with SPLATT's inner-product identity, using
+// the last mode's MTTKRP output still resident in mbuf. The last mode is
+// replicated (order >= 2), so every locale computes the identical value
+// without communication.
+func (lc *locale) computeFit() float64 {
+	last := lc.k.Order() - 1
+	factor := lc.k.Factors[last]
+	r := lc.k.Rank()
+	inner := 0.0
+	for i := 0; i < factor.Rows; i++ {
+		frow := factor.Row(i)
+		mrow := lc.mbuf.Data[i*r : i*r+r]
+		for j := 0; j < r; j++ {
+			inner += mrow[j] * frow[j] * lc.k.Lambda[j]
+		}
+	}
+	modelNorm2 := lc.k.NormSquaredFromGrams(lc.grams)
+	residual2 := lc.normX + modelNorm2 - 2*inner
+	if residual2 < 0 {
+		residual2 = 0
+	}
+	if lc.normX <= 0 {
+		return 0
+	}
+	return 1 - math.Sqrt(residual2)/math.Sqrt(lc.normX)
+}

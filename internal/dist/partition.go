@@ -1,0 +1,64 @@
+package dist
+
+import (
+	"repro/internal/parallel"
+	"repro/internal/sptensor"
+)
+
+// Slab is one locale's contiguous ownership range of mode-0 slices: global
+// slice indices [Lo, Hi) plus the nonzero population that falls inside it.
+// The coarse-grained decomposition gives every locale one slab, so each
+// nonzero lives on exactly one locale and mode-0 MTTKRP output rows never
+// conflict across locales.
+type Slab struct {
+	Lo, Hi int
+	NNZ    int
+}
+
+// Rows reports the number of mode-0 slices in the slab.
+func (s Slab) Rows() int { return s.Hi - s.Lo }
+
+// PartitionSlabs splits the mode-0 index space of t into `locales`
+// contiguous slabs of approximately equal nonzero weight — the same
+// prefix-sum balancing SPLATT uses for thread partitions, lifted to the
+// locale level. When locales exceeds the populated slice count, trailing
+// slabs come back empty (Lo == Hi); such locales simply contribute zero
+// partials to every collective.
+func PartitionSlabs(t *sptensor.Tensor, locales int) []Slab {
+	counts := t.SliceCounts(0)
+	bounds := parallel.PartitionByWeight(counts, locales)
+	slabs := make([]Slab, locales)
+	for l := 0; l < locales; l++ {
+		s := Slab{Lo: bounds[l], Hi: bounds[l+1]}
+		for i := s.Lo; i < s.Hi; i++ {
+			s.NNZ += int(counts[i])
+		}
+		slabs[l] = s
+	}
+	return slabs
+}
+
+// ExtractSlab materializes the local COO tensor a locale owns: the
+// nonzeros whose mode-0 coordinate falls in the slab, with mode 0
+// renumbered to local coordinates (local Dims[0] == slab.Rows()). Other
+// modes keep their global index space, because the locale holds full
+// replicas of those factor matrices (coarse-grained distribution).
+func ExtractSlab(t *sptensor.Tensor, s Slab) *sptensor.Tensor {
+	dims := append([]int(nil), t.Dims...)
+	dims[0] = s.Rows()
+	local := sptensor.New(dims, s.NNZ)
+	n := 0
+	lo, hi := sptensor.Index(s.Lo), sptensor.Index(s.Hi)
+	for x, i0 := range t.Inds[0] {
+		if i0 < lo || i0 >= hi {
+			continue
+		}
+		local.Inds[0][n] = i0 - lo
+		for m := 1; m < len(t.Inds); m++ {
+			local.Inds[m][n] = t.Inds[m][x]
+		}
+		local.Vals[n] = t.Vals[x]
+		n++
+	}
+	return local
+}

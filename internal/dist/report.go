@@ -1,0 +1,65 @@
+package dist
+
+// Report summarizes a distributed CP-ALS run: convergence, the per-locale
+// data distribution, and the communication the collectives moved. It is the
+// distributed analogue of core.Report, extended with the cost model a real
+// multi-locale run would be judged by (comm volume, critical-path time,
+// shard balance).
+type Report struct {
+	// Locales is the world size the run executed with.
+	Locales int
+	// Iterations actually executed.
+	Iterations int
+	// Fit is the final model fit (1 − relative residual).
+	Fit float64
+	// FitHistory holds the fit after every iteration.
+	FitHistory []float64
+
+	// ShardRows[l] is the number of mode-0 slices locale l owns.
+	ShardRows []int
+	// ShardNNZ[l] is the number of nonzeros locale l owns — the load
+	// balance the slab partitioner achieved.
+	ShardNNZ []int
+
+	// AllreduceCalls / AllgatherCalls / BarrierCalls count collective
+	// operations over the whole run (each counted once, not per locale).
+	AllreduceCalls int
+	AllgatherCalls int
+	BarrierCalls   int
+	// AllreduceBytes / AllgatherBytes are the total bytes the collectives
+	// would move across locale boundaries (every locale sending its payload
+	// to every other locale), summed over the run.
+	AllreduceBytes int64
+	AllgatherBytes int64
+	// CommBytes is the total cross-locale traffic:
+	// AllreduceBytes + AllgatherBytes.
+	CommBytes int64
+
+	// MTTKRPSeconds is the MTTKRP critical path: the maximum across locales
+	// of the time each spent inside local MTTKRP kernels. With perfect
+	// slab balance it shrinks linearly in the locale count.
+	MTTKRPSeconds float64
+	// CommSeconds is the maximum across locales of time spent inside
+	// collectives (staging copies plus barrier waits).
+	CommSeconds float64
+	// TotalSeconds is the wall-clock time of the whole run.
+	TotalSeconds float64
+}
+
+// ImbalanceRatio reports max/mean nonzeros per locale (1.0 = perfectly
+// balanced). Returns 0 when the run had no nonzeros.
+func (r *Report) ImbalanceRatio() float64 {
+	total := 0
+	maxNNZ := 0
+	for _, n := range r.ShardNNZ {
+		total += n
+		if n > maxNNZ {
+			maxNNZ = n
+		}
+	}
+	if total == 0 || len(r.ShardNNZ) == 0 {
+		return 0
+	}
+	mean := float64(total) / float64(len(r.ShardNNZ))
+	return float64(maxNNZ) / mean
+}

@@ -1,0 +1,102 @@
+// Integration tests for the distributed public surface: CPDDistributed
+// must agree with shared-memory CPD across world sizes, including the
+// degenerate configurations (single locale, more locales than slices).
+package splatt_test
+
+import (
+	"math"
+	"testing"
+
+	splatt "repro"
+)
+
+// TestCPDDistributedMatchesCPD runs the public distributed entry point at
+// locales ∈ {1, 2, 4} against shared-memory CPD on the same tensor and
+// seed, requiring fit agreement within 1e-8 and, for multi-locale runs,
+// nonzero communication volume.
+func TestCPDDistributedMatchesCPD(t *testing.T) {
+	tensor := splatt.NewRandomTensor([]int{25, 35, 45}, 2500, 13)
+	opts := splatt.DefaultOptions()
+	opts.Rank = 8
+	opts.MaxIters = 12
+	opts.Seed = 5
+	_, base, err := splatt.CPD(tensor, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, locales := range []int{1, 2, 4} {
+		dopts := splatt.DefaultDistOptions()
+		dopts.Locales = locales
+		dopts.Rank = 8
+		dopts.MaxIters = 12
+		dopts.Seed = 5
+		model, report, err := splatt.CPDDistributed(tensor, dopts)
+		if err != nil {
+			t.Fatalf("locales=%d: %v", locales, err)
+		}
+		if math.Abs(report.Fit-base.Fit) > 1e-8 {
+			t.Errorf("locales=%d: fit %.12f, shared-memory %.12f",
+				locales, report.Fit, base.Fit)
+		}
+		if model.Order() != tensor.NModes() || model.Rank() != 8 {
+			t.Errorf("locales=%d: model shape order=%d rank=%d",
+				locales, model.Order(), model.Rank())
+		}
+		if locales >= 2 && report.CommBytes == 0 {
+			t.Errorf("locales=%d: report shows zero communication", locales)
+		}
+		if locales == 1 && report.CommBytes != 0 {
+			t.Errorf("single locale moved %d bytes", report.CommBytes)
+		}
+		if len(report.ShardNNZ) != locales {
+			t.Errorf("locales=%d: %d shards reported", locales, len(report.ShardNNZ))
+		}
+	}
+}
+
+// TestCPDDistributedOversubscribed covers locales > populated slices: the
+// run must complete with empty shards rather than deadlock or error.
+func TestCPDDistributedOversubscribed(t *testing.T) {
+	tensor := splatt.NewRandomTensor([]int{4, 30, 30}, 600, 17)
+	dopts := splatt.DefaultDistOptions()
+	dopts.Locales = 6
+	dopts.Rank = 4
+	dopts.MaxIters = 5
+	model, report, err := splatt.CPDDistributed(tensor, dopts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := model.Validate(); err != nil {
+		t.Errorf("invalid model: %v", err)
+	}
+	total := 0
+	for _, n := range report.ShardNNZ {
+		total += n
+	}
+	if total != tensor.NNZ() {
+		t.Errorf("shards hold %d nnz, want %d", total, tensor.NNZ())
+	}
+}
+
+// TestCPDDistributedDataset smoke-tests the distributed path on a Table-I
+// dataset twin, the configuration BenchmarkAblationDistributed sweeps.
+func TestCPDDistributedDataset(t *testing.T) {
+	if testing.Short() {
+		t.Skip("dataset twin generation in -short mode")
+	}
+	tensor := splatt.MustDataset("nell-2", 1.0/256)
+	dopts := splatt.DefaultDistOptions()
+	dopts.Locales = 4
+	dopts.Rank = 8
+	dopts.MaxIters = 3
+	_, report, err := splatt.CPDDistributed(tensor, dopts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.ImbalanceRatio() < 1 {
+		t.Errorf("imbalance ratio %g < 1", report.ImbalanceRatio())
+	}
+	if report.MTTKRPSeconds <= 0 {
+		t.Errorf("MTTKRP critical path %g <= 0", report.MTTKRPSeconds)
+	}
+}
