@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race bench fmt vet ci
+.PHONY: all build test race bench bench-gate serve fmt vet ci
 
 all: build
 
@@ -15,6 +15,14 @@ race:
 
 bench:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
+
+# Writes benchmarks/latest.txt; fails on >BENCH_MAX_REGRESSION_PCT (5)
+# regressions when benchmarks/baseline.txt is committed.
+bench-gate:
+	./scripts/bench.sh
+
+serve:
+	$(GO) run ./cmd/splatt-serve
 
 fmt:
 	@out=$$(gofmt -l .); \

@@ -31,7 +31,7 @@ func main() {
 	log.SetPrefix("splatt-cpd: ")
 
 	var (
-		tensorPath = flag.String("tensor", "", "path to a .tns or binary tensor file")
+		tensorPath = flag.String("tensor", "", "path to a .tns or binary tensor file (\"-\" reads stdin)")
 		dataset    = flag.String("dataset", "", "synthetic Table I twin: yelp|rate-beer|beer-advocate|nell-2|netflix")
 		scale      = flag.Float64("scale", 1.0/64, "twin scale factor (1.0 = paper scale)")
 		rank       = flag.Int("rank", 35, "decomposition rank R")
@@ -106,6 +106,9 @@ func loadInput(path, dataset string, scale float64) (*sptensor.Tensor, string, e
 	switch {
 	case path != "" && dataset != "":
 		return nil, "", fmt.Errorf("use either -tensor or -dataset, not both")
+	case path == "-":
+		t, err := sptensor.LoadTensorReader(os.Stdin)
+		return t, "stdin", err
 	case path != "":
 		t, err := sptensor.LoadFile(path)
 		return t, path, err

@@ -7,6 +7,7 @@
 //
 //	splatt-gen -dataset yelp -scale 0.015625 -out yelp-64th.tns
 //	splatt-gen -dims 1000x800x1200 -nnz 100000 -seed 7 -out random.bin
+//	splatt-gen -dims 100x80x60 -nnz 5000 -out - | curl --data-binary @- localhost:8080/tensors
 package main
 
 import (
@@ -30,7 +31,8 @@ func main() {
 		dims    = flag.String("dims", "", "explicit dimensions, e.g. 1000x800x1200")
 		nnz     = flag.Int("nnz", 0, "nonzero count for -dims tensors")
 		seed    = flag.Int64("seed", 1, "generator seed for -dims tensors")
-		out     = flag.String("out", "", "output path (.tns = text, otherwise binary)")
+		out     = flag.String("out", "", "output path (.tns = text, otherwise binary; \"-\" writes stdout)")
+		format  = flag.String("format", "", "force output format: tns|bin (default: by extension, tns on stdout)")
 	)
 	flag.Parse()
 
@@ -68,11 +70,38 @@ func main() {
 		os.Exit(2)
 	}
 
-	if err := sptensor.SaveFile(*out, t); err != nil {
+	if err := save(*out, *format, t); err != nil {
 		log.Fatal(err)
 	}
 	stats := sptensor.ComputeStats(name, t)
-	fmt.Printf("wrote %s\n%s\n", *out, stats.Row())
+	fmt.Fprintf(os.Stderr, "wrote %s\n%s\n", *out, stats.Row())
+}
+
+// save routes the tensor to stdout or a file through the writer API.
+func save(out, formatFlag string, t *sptensor.Tensor) error {
+	format := sptensor.FormatForPath(out)
+	if out == "-" {
+		format = sptensor.FormatTNS
+	}
+	if formatFlag != "" {
+		f, err := sptensor.ParseFormat(formatFlag)
+		if err != nil {
+			return err
+		}
+		format = f
+	}
+	if out == "-" {
+		return sptensor.SaveTensorWriter(os.Stdout, t, format)
+	}
+	f, err := os.Create(out)
+	if err != nil {
+		return err
+	}
+	if err := sptensor.SaveTensorWriter(f, t, format); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // parseDims parses "AxBxC" into mode lengths.

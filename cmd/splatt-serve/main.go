@@ -1,0 +1,79 @@
+// Command splatt-serve runs the long-lived decomposition service: tensors
+// are uploaded once, stay resident in a content-addressed cache, and any
+// number of CPD / distributed / completion jobs run against them through a
+// prioritized queue and a bounded worker pool.
+//
+// Example session:
+//
+//	splatt-serve -addr :8080 -workers 4 &
+//	curl -s --data-binary @data.tns localhost:8080/tensors
+//	curl -s -X POST -d '{"tensor_id":"<id>","rank":16,"tasks":4}' localhost:8080/jobs
+//	curl -s localhost:8080/jobs/job-000001
+//	curl -s localhost:8080/metrics
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/serve"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("splatt-serve: ")
+
+	var (
+		addr      = flag.String("addr", ":8080", "HTTP listen address")
+		workers   = flag.Int("workers", 2, "decomposition worker pool size")
+		queueCap  = flag.Int("queue", 256, "pending-job queue capacity (full queue => 503)")
+		cacheN    = flag.Int("cache-tensors", 64, "max resident tensors (LRU-evicted beyond)")
+		cacheMB   = flag.Int64("cache-mb", 0, "max resident tensor MiB (0 = unbounded)")
+		uploadMB  = flag.Int64("max-upload-mb", 1024, "max upload body MiB")
+		gracePeri = flag.Duration("grace", 10*time.Second, "shutdown grace period")
+	)
+	flag.Parse()
+
+	srv := serve.NewServer(serve.Config{
+		Workers:          *workers,
+		QueueCapacity:    *queueCap,
+		MaxCachedTensors: *cacheN,
+		MaxCacheBytes:    *cacheMB << 20,
+		MaxUploadBytes:   *uploadMB << 20,
+	})
+
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	errCh := make(chan error, 1)
+	go func() {
+		log.Printf("listening on %s (%d workers, queue %d, cache %d tensors)",
+			*addr, *workers, *queueCap, *cacheN)
+		errCh <- httpSrv.ListenAndServe()
+	}()
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errCh:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			log.Fatal(err)
+		}
+	case sig := <-sigCh:
+		log.Printf("received %v, shutting down", sig)
+		ctx, cancel := context.WithTimeout(context.Background(), *gracePeri)
+		defer cancel()
+		_ = httpSrv.Shutdown(ctx)
+		srv.Close()
+	}
+}

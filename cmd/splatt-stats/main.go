@@ -6,6 +6,9 @@
 //
 //	splatt-stats data.tns another.bin
 //	splatt-stats -convert data.bin data.tns     # binary -> text
+//	splatt-stats -convert data.bin -            # binary -> .tns on stdout
+//
+// "-" stands for stdin (inputs) or stdout (convert output; .tns text).
 package main
 
 import (
@@ -30,14 +33,14 @@ func main() {
 		if len(args) != 2 {
 			log.Fatal("-convert requires exactly <in> <out>")
 		}
-		t, err := sptensor.LoadFile(args[0])
+		t, err := load(args[0])
 		if err != nil {
 			log.Fatal(err)
 		}
-		if err := sptensor.SaveFile(args[1], t); err != nil {
+		if err := save(args[1], t); err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("converted %s -> %s (%d nonzeros)\n", args[0], args[1], t.NNZ())
+		fmt.Fprintf(os.Stderr, "converted %s -> %s (%d nonzeros)\n", args[0], args[1], t.NNZ())
 		return
 	}
 
@@ -47,7 +50,7 @@ func main() {
 	}
 	fmt.Printf("%-14s %-22s %10s %10s %10s\n", "Name", "Dimensions", "Non-Zeros", "Density", "Memory")
 	for _, path := range args {
-		t, err := sptensor.LoadFile(path)
+		t, err := load(path)
 		if err != nil {
 			log.Fatalf("%s: %v", path, err)
 		}
@@ -69,4 +72,21 @@ func main() {
 				m, len(counts), max, empty)
 		}
 	}
+}
+
+// load reads a tensor from a path or stdin ("-") via the reader API.
+func load(path string) (*sptensor.Tensor, error) {
+	if path == "-" {
+		return sptensor.LoadTensorReader(os.Stdin)
+	}
+	return sptensor.LoadFile(path)
+}
+
+// save writes a tensor to a path or stdout ("-", .tns text) via the
+// writer API.
+func save(path string, t *sptensor.Tensor) error {
+	if path == "-" {
+		return sptensor.SaveTensorWriter(os.Stdout, t, sptensor.FormatTNS)
+	}
+	return sptensor.SaveFile(path, t)
 }

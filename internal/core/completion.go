@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -41,6 +42,10 @@ type CompletionOptions struct {
 	// NonNegative clamps factors to the nonnegative orthant after each
 	// row solve.
 	NonNegative bool
+	// Ctx, when non-nil, is polled between mode updates; on cancellation
+	// CPDComplete stops early, marks the report, and returns the partial
+	// model with ctx.Err(). A nil Ctx never cancels.
+	Ctx context.Context
 }
 
 // DefaultCompletionOptions returns a reasonable completion configuration.
@@ -53,6 +58,9 @@ type CompletionReport struct {
 	Iterations  int
 	RMSE        float64   // final observed-entry RMSE
 	RMSEHistory []float64 // per-iteration observed RMSE
+	// Cancelled reports that Options.Ctx was cancelled and the sweep
+	// stopped early.
+	Cancelled bool
 }
 
 // modeGroups indexes the nonzeros of a tensor by one mode: nonzeros of
@@ -114,8 +122,13 @@ func CPDComplete(t *sptensor.Tensor, opts CompletionOptions) (*KruskalTensor, *C
 
 	report := &CompletionReport{}
 	prevRMSE := math.Inf(1)
+loop:
 	for it := 0; it < opts.MaxIters; it++ {
 		for m := 0; m < order; m++ {
+			if opts.Ctx != nil && opts.Ctx.Err() != nil {
+				report.Cancelled = true
+				break loop
+			}
 			updateCompletionMode(t, k, groups[m], m, ridge, opts.NonNegative, team)
 		}
 		rmse := observedRMSE(t, k, team)
@@ -126,6 +139,9 @@ func CPDComplete(t *sptensor.Tensor, opts CompletionOptions) (*KruskalTensor, *C
 			break
 		}
 		prevRMSE = rmse
+	}
+	if report.Cancelled {
+		return k, report, opts.Ctx.Err()
 	}
 	return k, report, nil
 }

@@ -37,6 +37,9 @@ func CPD(t *sptensor.Tensor, opts Options) (*KruskalTensor, *Report, error) {
 	set := buildCSFSet(t, opts, team, timers)
 	d := newDecomposer(t, set, team, opts, timers)
 	k, report := d.run()
+	if report.Cancelled {
+		return k, report, opts.Ctx.Err()
+	}
 	return k, report, nil
 }
 
@@ -130,8 +133,13 @@ func (d *decomposer) run() (*KruskalTensor, *Report) {
 	})
 
 	oldFit := 0.0
+loop:
 	for it := 0; it < d.opts.MaxIters; it++ {
 		for m := 0; m < order; m++ {
+			if d.cancelled() {
+				report.Cancelled = true
+				break loop
+			}
 			d.updateMode(m, it, report)
 		}
 		fit := d.computeFit()
@@ -147,6 +155,13 @@ func (d *decomposer) run() (*KruskalTensor, *Report) {
 	report.Fit = oldFit
 	report.Times = d.timers.Snapshot()
 	return d.k, report
+}
+
+// cancelled reports whether the run's context has been cancelled. It is
+// polled at mode boundaries, so a cancellation takes effect within one
+// ALS iteration.
+func (d *decomposer) cancelled() bool {
+	return d.opts.Ctx != nil && d.opts.Ctx.Err() != nil
 }
 
 // updateMode performs one least-squares factor update (one of lines 4-6,

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/csf"
@@ -101,6 +102,12 @@ type Options struct {
 	// Timers receives per-routine timings; nil allocates a private
 	// registry (available on the Report).
 	Timers *perf.Registry
+
+	// Ctx, when non-nil, is polled between factor updates: once it is
+	// cancelled, CPD stops at the next mode boundary (within one ALS
+	// iteration), marks Report.Cancelled, and returns the partial model
+	// together with ctx.Err(). A nil Ctx never cancels.
+	Ctx context.Context
 }
 
 // DefaultOptions returns the paper's experimental configuration: rank 35,
@@ -171,6 +178,9 @@ type Report struct {
 	Strategies []mttkrp.ConflictStrategy
 	// CSFBytes is the total CSF footprint.
 	CSFBytes int64
+	// Cancelled reports that Options.Ctx was cancelled and the run stopped
+	// early; Fit and FitHistory reflect the last completed iteration.
+	Cancelled bool
 }
 
 // UsedLocks reports whether any mode's MTTKRP used the mutex pool.

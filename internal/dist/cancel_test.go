@@ -1,0 +1,56 @@
+package dist
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"repro/internal/sptensor"
+)
+
+// TestDistributedCancelled verifies the multi-locale run observes a
+// cancelled context uniformly (no deadlocked collectives) and returns the
+// partial model.
+func TestDistributedCancelled(t *testing.T) {
+	tensor := sptensor.Random([]int{16, 12, 10}, 400, 1)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+
+	opts := DefaultOptions()
+	opts.Locales = 3
+	opts.Rank = 4
+	opts.MaxIters = 10
+	opts.Ctx = ctx
+
+	k, report, err := CPD(tensor, opts)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if k == nil || report == nil || !report.Cancelled {
+		t.Fatalf("partial distributed results missing: report=%+v", report)
+	}
+	if report.Iterations != 0 {
+		t.Fatalf("iterations = %d, want 0 for pre-cancelled context", report.Iterations)
+	}
+}
+
+// TestDistributedSingleLocaleCancelled covers the locales=1 fast path.
+func TestDistributedSingleLocaleCancelled(t *testing.T) {
+	tensor := sptensor.Random([]int{16, 12, 10}, 400, 1)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+
+	opts := DefaultOptions()
+	opts.Locales = 1
+	opts.Rank = 4
+	opts.MaxIters = 10
+	opts.Ctx = ctx
+
+	k, report, err := CPD(tensor, opts)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if k == nil || report == nil || !report.Cancelled {
+		t.Fatalf("partial single-locale results missing: report=%+v", report)
+	}
+}

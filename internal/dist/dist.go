@@ -17,6 +17,7 @@
 package dist
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sync"
@@ -63,6 +64,13 @@ type Options struct {
 	// NonNegative and Ridge mirror the constrained-CP options.
 	NonNegative bool
 	Ridge       float64
+
+	// Ctx, when non-nil, is polled once per ALS iteration: the locales
+	// allreduce a cancellation flag so every replica stops at the same
+	// iteration boundary (the collectives stay aligned), the report is
+	// marked Cancelled, and CPD returns the partial model with ctx.Err().
+	// A nil Ctx never cancels.
+	Ctx context.Context
 }
 
 // DefaultOptions returns a 2-locale configuration with the paper's ALS
@@ -124,6 +132,7 @@ func (o Options) coreOptions() core.Options {
 	co.Alloc = o.Alloc
 	co.NonNegative = o.NonNegative
 	co.Ridge = o.Ridge
+	co.Ctx = o.Ctx
 	return co
 }
 
@@ -174,6 +183,7 @@ func CPD(t *sptensor.Tensor, opts Options) (*core.KruskalTensor, *Report, error)
 		Iterations: locales[0].iterations,
 		Fit:        locales[0].fit,
 		FitHistory: locales[0].fitHistory,
+		Cancelled:  locales[0].cancelled,
 		ShardRows:  make([]int, world),
 		ShardNNZ:   make([]int, world),
 	}
@@ -188,6 +198,9 @@ func CPD(t *sptensor.Tensor, opts Options) (*core.KruskalTensor, *Report, error)
 	}
 	fabric.fill(report)
 	report.TotalSeconds = time.Since(start).Seconds()
+	if report.Cancelled {
+		return locales[0].k, report, opts.Ctx.Err()
+	}
 	return locales[0].k, report, nil
 }
 
@@ -196,7 +209,7 @@ func CPD(t *sptensor.Tensor, opts Options) (*core.KruskalTensor, *Report, error)
 func cpdSingle(t *sptensor.Tensor, opts Options) (*core.KruskalTensor, *Report, error) {
 	start := time.Now()
 	k, cr, err := core.CPD(t, opts.coreOptions())
-	if err != nil {
+	if cr == nil {
 		return nil, nil, err
 	}
 	report := &Report{
@@ -204,12 +217,13 @@ func cpdSingle(t *sptensor.Tensor, opts Options) (*core.KruskalTensor, *Report, 
 		Iterations:    cr.Iterations,
 		Fit:           cr.Fit,
 		FitHistory:    cr.FitHistory,
+		Cancelled:     cr.Cancelled,
 		ShardRows:     []int{t.Dims[0]},
 		ShardNNZ:      []int{t.NNZ()},
 		MTTKRPSeconds: cr.Times[perf.RoutineMTTKRP],
 		TotalSeconds:  time.Since(start).Seconds(),
 	}
-	return k, report, nil
+	return k, report, err
 }
 
 // locale is one SPMD participant: a slab of the tensor stored as its own
@@ -235,6 +249,7 @@ type locale struct {
 	fit           float64
 	fitHistory    []float64
 	iterations    int
+	cancelled     bool
 	mttkrpSeconds float64
 }
 
@@ -303,6 +318,19 @@ func (lc *locale) run(c *comm, opts Options) {
 
 	oldFit := 0.0
 	for it := 0; it < opts.MaxIters; it++ {
+		if opts.Ctx != nil {
+			// Every locale contributes its view of the context to a sum
+			// reduction, so the stop decision is uniform even if locales
+			// observe the cancellation at slightly different times.
+			flag := 0.0
+			if opts.Ctx.Err() != nil {
+				flag = 1
+			}
+			if c.AllreduceScalar(lc.lid, flag) > 0 {
+				lc.cancelled = true
+				break
+			}
+		}
 		for m := 0; m < order; m++ {
 			lc.updateMode(c, m, it, opts)
 		}

@@ -14,6 +14,9 @@ type Report struct {
 	Fit float64
 	// FitHistory holds the fit after every iteration.
 	FitHistory []float64
+	// Cancelled reports that Options.Ctx was cancelled and the run stopped
+	// at an iteration boundary.
+	Cancelled bool
 
 	// ShardRows[l] is the number of mode-0 slices locale l owns.
 	ShardRows []int

@@ -1,0 +1,302 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dist"
+	"repro/internal/sptensor"
+)
+
+// JobKind selects the decomposition engine a job dispatches to.
+type JobKind string
+
+const (
+	// KindCPD is shared-memory CP-ALS (core.CPD).
+	KindCPD JobKind = "cpd"
+	// KindDistributed is multi-locale CP-ALS (dist.CPD).
+	KindDistributed JobKind = "dist"
+	// KindComplete is masked CP / tensor completion (core.CPDComplete).
+	KindComplete JobKind = "complete"
+)
+
+// JobState is the lifecycle of a job.
+type JobState string
+
+const (
+	StateQueued    JobState = "queued"
+	StateRunning   JobState = "running"
+	StateDone      JobState = "done"
+	StateFailed    JobState = "failed"
+	StateCancelled JobState = "cancelled"
+)
+
+// JobSpec is the client-supplied description of a decomposition job
+// (the POST /jobs body). Zero-valued knobs take the engine defaults.
+type JobSpec struct {
+	TensorID string  `json:"tensor_id"`
+	Kind     JobKind `json:"kind,omitempty"` // default "cpd"
+	// Priority orders the queue: higher runs first; equal priorities run
+	// in submission order.
+	Priority int `json:"priority,omitempty"`
+
+	Rank        int     `json:"rank,omitempty"`
+	MaxIters    int     `json:"max_iters,omitempty"`
+	Tolerance   float64 `json:"tolerance,omitempty"`
+	Tasks       int     `json:"tasks,omitempty"`
+	Seed        int64   `json:"seed,omitempty"`
+	NonNegative bool    `json:"non_negative,omitempty"`
+	Ridge       float64 `json:"ridge,omitempty"`
+	// Locales applies to kind "dist" only.
+	Locales int `json:"locales,omitempty"`
+}
+
+// normalize fills defaults and validates the engine-independent fields.
+func (s *JobSpec) normalize() error {
+	if s.TensorID == "" {
+		return fmt.Errorf("serve: job spec missing tensor_id")
+	}
+	if s.Kind == "" {
+		s.Kind = KindCPD
+	}
+	switch s.Kind {
+	case KindCPD, KindDistributed, KindComplete:
+	default:
+		return fmt.Errorf("serve: unknown job kind %q (want cpd|dist|complete)", s.Kind)
+	}
+	if s.Rank < 0 || s.MaxIters < 0 || s.Tasks < 0 || s.Locales < 0 {
+		return fmt.Errorf("serve: job spec has negative parameters")
+	}
+	return nil
+}
+
+// coreOptions maps the spec onto core.Options (kind "cpd").
+func (s *JobSpec) coreOptions(ctx context.Context) core.Options {
+	o := core.DefaultOptions()
+	if s.Rank > 0 {
+		o.Rank = s.Rank
+	}
+	if s.MaxIters > 0 {
+		o.MaxIters = s.MaxIters
+	}
+	if s.Tasks > 0 {
+		o.Tasks = s.Tasks
+	}
+	if s.Seed != 0 {
+		o.Seed = s.Seed
+	}
+	o.Tolerance = s.Tolerance
+	o.NonNegative = s.NonNegative
+	o.Ridge = s.Ridge
+	o.Ctx = ctx
+	return o
+}
+
+// distOptions maps the spec onto dist.Options (kind "dist").
+func (s *JobSpec) distOptions(ctx context.Context) dist.Options {
+	o := dist.DefaultOptions()
+	if s.Locales > 0 {
+		o.Locales = s.Locales
+	}
+	if s.Rank > 0 {
+		o.Rank = s.Rank
+	}
+	if s.MaxIters > 0 {
+		o.MaxIters = s.MaxIters
+	}
+	if s.Tasks > 0 {
+		o.TasksPerLocale = s.Tasks
+	}
+	if s.Seed != 0 {
+		o.Seed = s.Seed
+	}
+	o.Tolerance = s.Tolerance
+	o.NonNegative = s.NonNegative
+	o.Ridge = s.Ridge
+	o.Ctx = ctx
+	return o
+}
+
+// completionOptions maps the spec onto core.CompletionOptions.
+func (s *JobSpec) completionOptions(ctx context.Context) core.CompletionOptions {
+	o := core.DefaultCompletionOptions()
+	if s.Rank > 0 {
+		o.Rank = s.Rank
+	}
+	if s.MaxIters > 0 {
+		o.MaxIters = s.MaxIters
+	}
+	if s.Tasks > 0 {
+		o.Tasks = s.Tasks
+	}
+	if s.Seed != 0 {
+		o.Seed = s.Seed
+	}
+	if s.Tolerance > 0 {
+		o.Tolerance = s.Tolerance
+	}
+	if s.Ridge > 0 {
+		o.Ridge = s.Ridge
+	}
+	o.NonNegative = s.NonNegative
+	o.Ctx = ctx
+	return o
+}
+
+// JobResult is the engine outcome attached to a finished job.
+type JobResult struct {
+	Fit        float64 `json:"fit,omitempty"`
+	RMSE       float64 `json:"rmse,omitempty"` // completion jobs
+	Iterations int     `json:"iterations"`
+	CommBytes  int64   `json:"comm_bytes,omitempty"` // dist jobs
+	Seconds    float64 `json:"seconds"`
+}
+
+// JobStatus is the JSON view of a job (GET /jobs/{id}).
+type JobStatus struct {
+	ID        string     `json:"id"`
+	Spec      JobSpec    `json:"spec"`
+	State     JobState   `json:"state"`
+	Submitted time.Time  `json:"submitted"`
+	Started   *time.Time `json:"started,omitempty"`
+	Finished  *time.Time `json:"finished,omitempty"`
+	Error     string     `json:"error,omitempty"`
+	Result    *JobResult `json:"result,omitempty"`
+}
+
+// Job is one queued/running/finished decomposition. State transitions are
+// guarded by mu; the cancel func tears down the context the worker threads
+// into the ALS loop.
+type Job struct {
+	ID   string
+	Spec JobSpec
+	seq  uint64 // FIFO tiebreak within a priority class
+
+	// tensor is pinned in the registry at submission and unpinned by the
+	// worker that retires the job, so an accepted job can never lose its
+	// tensor to LRU eviction while waiting in the queue.
+	tensor *sptensor.Tensor
+	// retired marks the job as counted into the server's bounded terminal
+	// history; guarded by the server's jobsMu.
+	retired bool
+
+	mu        sync.Mutex
+	state     JobState
+	submitted time.Time
+	started   time.Time
+	finished  time.Time
+	err       string
+	result    *JobResult
+
+	ctx    context.Context
+	cancel context.CancelFunc
+	done   chan struct{} // closed on any terminal state
+}
+
+// newJob creates a queued job whose context descends from base
+// (context.Background when nil).
+func newJob(id string, seq uint64, spec JobSpec, base context.Context) *Job {
+	if base == nil {
+		base = context.Background()
+	}
+	ctx, cancel := context.WithCancel(base)
+	return &Job{
+		ID:        id,
+		Spec:      spec,
+		seq:       seq,
+		state:     StateQueued,
+		submitted: time.Now(),
+		ctx:       ctx,
+		cancel:    cancel,
+		done:      make(chan struct{}),
+	}
+}
+
+// Status snapshots the job for JSON encoding.
+func (j *Job) Status() JobStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	st := JobStatus{
+		ID:        j.ID,
+		Spec:      j.Spec,
+		State:     j.state,
+		Submitted: j.submitted,
+		Error:     j.err,
+		Result:    j.result,
+	}
+	if !j.started.IsZero() {
+		t := j.started
+		st.Started = &t
+	}
+	if !j.finished.IsZero() {
+		t := j.finished
+		st.Finished = &t
+	}
+	return st
+}
+
+// markRunning moves queued → running; returns false when the job was
+// cancelled while waiting in the queue.
+func (j *Job) markRunning() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state != StateQueued {
+		return false
+	}
+	j.state = StateRunning
+	j.started = time.Now()
+	return true
+}
+
+// finish records a terminal state exactly once.
+func (j *Job) finish(state JobState, res *JobResult, err error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state == StateDone || j.state == StateFailed || j.state == StateCancelled {
+		return
+	}
+	j.state = state
+	j.finished = time.Now()
+	j.result = res
+	if err != nil {
+		j.err = err.Error()
+	}
+	j.cancel() // release the context resources
+	close(j.done)
+}
+
+// requestCancel cancels the job: queued jobs become cancelled immediately;
+// running jobs get their context cancelled and the worker records the
+// terminal state when the engine unwinds. Returns false when the job is
+// already finished.
+func (j *Job) requestCancel() bool {
+	j.mu.Lock()
+	if j.state == StateQueued {
+		j.state = StateCancelled
+		j.finished = time.Now()
+		j.cancel()
+		close(j.done)
+		j.mu.Unlock()
+		return true
+	}
+	if j.state == StateRunning {
+		j.mu.Unlock()
+		j.cancel()
+		return true
+	}
+	j.mu.Unlock()
+	return false
+}
+
+// State returns the current lifecycle state.
+func (j *Job) State() JobState {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state
+}
+
+// Done exposes the terminal-state channel (used by tests and shutdown).
+func (j *Job) Done() <-chan struct{} { return j.done }

@@ -1,0 +1,104 @@
+package serve
+
+import (
+	"container/heap"
+	"errors"
+	"sync"
+)
+
+// ErrQueueFull is returned by Push when the queue is at capacity; the HTTP
+// layer maps it to 503 Service Unavailable (backpressure).
+var ErrQueueFull = errors.New("serve: job queue full")
+
+// ErrQueueClosed is returned by Push after Close.
+var ErrQueueClosed = errors.New("serve: job queue closed")
+
+// Queue is a bounded priority queue of jobs: higher Spec.Priority pops
+// first, ties break in submission order. Pop blocks until a job is
+// available or the queue is closed.
+type Queue struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	heap   jobHeap
+	cap    int
+	closed bool
+}
+
+// NewQueue creates a queue holding at most capacity pending jobs.
+func NewQueue(capacity int) *Queue {
+	if capacity <= 0 {
+		capacity = 256
+	}
+	q := &Queue{cap: capacity}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+// Push enqueues a job, failing fast when the queue is full or closed.
+func (q *Queue) Push(j *Job) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return ErrQueueClosed
+	}
+	if q.heap.Len() >= q.cap {
+		return ErrQueueFull
+	}
+	heap.Push(&q.heap, j)
+	q.cond.Signal()
+	return nil
+}
+
+// Pop blocks until a job is available and returns it; ok is false once the
+// queue is closed and drained.
+func (q *Queue) Pop() (j *Job, ok bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for q.heap.Len() == 0 && !q.closed {
+		q.cond.Wait()
+	}
+	if q.heap.Len() == 0 {
+		return nil, false
+	}
+	return heap.Pop(&q.heap).(*Job), true
+}
+
+// Len reports the number of pending jobs.
+func (q *Queue) Len() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.heap.Len()
+}
+
+// Cap reports the queue capacity.
+func (q *Queue) Cap() int { return q.cap }
+
+// Close wakes all blocked Pops; pending jobs may still be drained.
+func (q *Queue) Close() {
+	q.mu.Lock()
+	q.closed = true
+	q.mu.Unlock()
+	q.cond.Broadcast()
+}
+
+// jobHeap implements heap.Interface: max-heap on Priority, min-heap on
+// submission sequence within a priority class.
+type jobHeap []*Job
+
+func (h jobHeap) Len() int { return len(h) }
+func (h jobHeap) Less(i, j int) bool {
+	if h[i].Spec.Priority != h[j].Spec.Priority {
+		return h[i].Spec.Priority > h[j].Spec.Priority
+	}
+	return h[i].seq < h[j].seq
+}
+func (h jobHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *jobHeap) Push(x any)   { *h = append(*h, x.(*Job)) }
+func (h *jobHeap) Pop() any {
+	old := *h
+	n := len(old)
+	j := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return j
+}

@@ -1,0 +1,243 @@
+package serve
+
+import (
+	"bytes"
+	"container/list"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"repro/internal/sptensor"
+)
+
+// Registry is the content-addressed tensor cache: uploads are keyed by the
+// SHA-256 of their bytes, so re-submitting the same tensor (in either the
+// .tns or binary encoding) skips parsing and preprocessing entirely and
+// the decomposition engines see a resident *sptensor.Tensor. Entries are
+// evicted least-recently-used once the configured entry or byte budget is
+// exceeded; an entry pinned by a running job is never evicted.
+type Registry struct {
+	mu         sync.Mutex
+	maxEntries int
+	maxBytes   int64
+
+	entries map[string]*tensorEntry // key = full hex digest = tensor ID
+	lru     *list.List              // front = most recently used
+	bytes   int64
+
+	hits          int64
+	misses        int64
+	evictions     int64
+	ingestSeconds float64 // cumulative cold-ingest (hash+parse) time
+}
+
+// tensorEntry is one resident tensor plus its ingest bookkeeping.
+type tensorEntry struct {
+	id       string
+	tensor   *sptensor.Tensor
+	bytes    int64 // in-memory footprint estimate of the parsed tensor
+	uploaded time.Time
+	elem     *list.Element
+	pins     int // running/queued jobs holding the tensor
+}
+
+// NewRegistry creates a registry bounded by maxEntries resident tensors
+// and maxBytes of estimated tensor memory (<= 0 disables that bound).
+func NewRegistry(maxEntries int, maxBytes int64) *Registry {
+	if maxEntries <= 0 {
+		maxEntries = 64
+	}
+	return &Registry{
+		maxEntries: maxEntries,
+		maxBytes:   maxBytes,
+		entries:    make(map[string]*tensorEntry),
+		lru:        list.New(),
+	}
+}
+
+// tensorBytes estimates the resident footprint of a parsed tensor: one
+// float64 plus one int32 index per mode for every nonzero.
+func tensorBytes(t *sptensor.Tensor) int64 {
+	return int64(t.NNZ()) * int64(8+4*t.NModes())
+}
+
+// IngestResult describes the outcome of one upload.
+type IngestResult struct {
+	ID     string
+	Cached bool // true when the bytes matched a resident tensor (no parse)
+	Dims   []int
+	NNZ    int
+}
+
+// Ingest hashes and (on a cache miss) parses one upload from r, which is
+// read at most once and never spooled to disk. maxUpload bounds the
+// accepted body size; maxModeLen (<= 0 disables) rejects tensors with an
+// over-long mode *before* the entry is published, so no concurrent job
+// submission can ever reference a rejected tensor. The parse happens
+// outside the registry lock, so slow uploads do not serialize lookups.
+func (rg *Registry) Ingest(r io.Reader, maxUpload int64, maxModeLen int) (IngestResult, error) {
+	start := time.Now()
+	h := sha256.New()
+	var buf bytes.Buffer
+	n, err := io.Copy(io.MultiWriter(h, &buf), io.LimitReader(r, maxUpload+1))
+	if err != nil {
+		return IngestResult{}, fmt.Errorf("serve: reading upload: %w", err)
+	}
+	if n > maxUpload {
+		return IngestResult{}, fmt.Errorf("serve: upload exceeds %d-byte limit", maxUpload)
+	}
+	id := hex.EncodeToString(h.Sum(nil))
+
+	rg.mu.Lock()
+	if e, ok := rg.entries[id]; ok {
+		rg.hits++
+		rg.lru.MoveToFront(e.elem)
+		res := IngestResult{ID: id, Cached: true, Dims: e.tensor.Dims, NNZ: e.tensor.NNZ()}
+		rg.mu.Unlock()
+		return res, nil
+	}
+	rg.misses++
+	rg.mu.Unlock()
+
+	t, err := sptensor.LoadTensorReader(&buf)
+	if err != nil {
+		return IngestResult{}, err
+	}
+	if maxModeLen > 0 {
+		for m, d := range t.Dims {
+			if d > maxModeLen {
+				return IngestResult{}, fmt.Errorf("serve: mode %d length %d exceeds limit %d", m, d, maxModeLen)
+			}
+		}
+	}
+
+	rg.mu.Lock()
+	defer rg.mu.Unlock()
+	rg.ingestSeconds += time.Since(start).Seconds()
+	if e, ok := rg.entries[id]; ok {
+		// A concurrent upload of the same bytes won the race; keep its copy.
+		rg.lru.MoveToFront(e.elem)
+		return IngestResult{ID: id, Cached: true, Dims: e.tensor.Dims, NNZ: e.tensor.NNZ()}, nil
+	}
+	e := &tensorEntry{id: id, tensor: t, bytes: tensorBytes(t), uploaded: time.Now()}
+	e.elem = rg.lru.PushFront(e)
+	rg.entries[id] = e
+	rg.bytes += e.bytes
+	rg.evictLocked()
+	return IngestResult{ID: id, Cached: false, Dims: t.Dims, NNZ: t.NNZ()}, nil
+}
+
+// evictLocked drops least-recently-used unpinned entries until both
+// budgets are met. The newest entry is never evicted.
+func (rg *Registry) evictLocked() {
+	over := func() bool {
+		return len(rg.entries) > rg.maxEntries || (rg.maxBytes > 0 && rg.bytes > rg.maxBytes)
+	}
+	elem := rg.lru.Back()
+	for over() && elem != nil && elem != rg.lru.Front() {
+		prev := elem.Prev()
+		e := elem.Value.(*tensorEntry)
+		if e.pins == 0 {
+			rg.lru.Remove(elem)
+			delete(rg.entries, e.id)
+			rg.bytes -= e.bytes
+			rg.evictions++
+		}
+		elem = prev
+	}
+}
+
+// Pin looks up a tensor by ID, bumps its recency, and pins it against
+// eviction until the matching Unpin.
+func (rg *Registry) Pin(id string) (*sptensor.Tensor, error) {
+	rg.mu.Lock()
+	defer rg.mu.Unlock()
+	e, ok := rg.entries[id]
+	if !ok {
+		return nil, fmt.Errorf("serve: tensor %s not resident (evicted or never uploaded)", shortID(id))
+	}
+	e.pins++
+	rg.lru.MoveToFront(e.elem)
+	return e.tensor, nil
+}
+
+// Unpin releases one Pin reference.
+func (rg *Registry) Unpin(id string) {
+	rg.mu.Lock()
+	defer rg.mu.Unlock()
+	if e, ok := rg.entries[id]; ok && e.pins > 0 {
+		e.pins--
+	}
+}
+
+// TensorInfo is the JSON view of one resident tensor.
+type TensorInfo struct {
+	ID       string    `json:"id"`
+	Dims     []int     `json:"dims"`
+	NNZ      int       `json:"nnz"`
+	Bytes    int64     `json:"bytes"`
+	Uploaded time.Time `json:"uploaded"`
+}
+
+// Lookup returns metadata for a resident tensor without pinning it.
+func (rg *Registry) Lookup(id string) (TensorInfo, bool) {
+	rg.mu.Lock()
+	defer rg.mu.Unlock()
+	e, ok := rg.entries[id]
+	if !ok {
+		return TensorInfo{}, false
+	}
+	return TensorInfo{ID: e.id, Dims: e.tensor.Dims, NNZ: e.tensor.NNZ(), Bytes: e.bytes, Uploaded: e.uploaded}, true
+}
+
+// List returns metadata for every resident tensor, most recently used
+// first.
+func (rg *Registry) List() []TensorInfo {
+	rg.mu.Lock()
+	defer rg.mu.Unlock()
+	out := make([]TensorInfo, 0, len(rg.entries))
+	for elem := rg.lru.Front(); elem != nil; elem = elem.Next() {
+		e := elem.Value.(*tensorEntry)
+		out = append(out, TensorInfo{ID: e.id, Dims: e.tensor.Dims, NNZ: e.tensor.NNZ(), Bytes: e.bytes, Uploaded: e.uploaded})
+	}
+	return out
+}
+
+// CacheStats is the /metrics view of the registry.
+type CacheStats struct {
+	Entries       int     `json:"entries"`
+	Bytes         int64   `json:"bytes"`
+	MaxEntries    int     `json:"max_entries"`
+	MaxBytes      int64   `json:"max_bytes"`
+	Hits          int64   `json:"hits"`
+	Misses        int64   `json:"misses"`
+	Evictions     int64   `json:"evictions"`
+	IngestSeconds float64 `json:"ingest_seconds"`
+}
+
+// Stats snapshots the registry counters.
+func (rg *Registry) Stats() CacheStats {
+	rg.mu.Lock()
+	defer rg.mu.Unlock()
+	return CacheStats{
+		Entries:       len(rg.entries),
+		Bytes:         rg.bytes,
+		MaxEntries:    rg.maxEntries,
+		MaxBytes:      rg.maxBytes,
+		Hits:          rg.hits,
+		Misses:        rg.misses,
+		Evictions:     rg.evictions,
+		IngestSeconds: rg.ingestSeconds,
+	}
+}
+
+// shortID abbreviates a content hash for error messages and logs.
+func shortID(id string) string {
+	if len(id) > 12 {
+		return id[:12]
+	}
+	return id
+}

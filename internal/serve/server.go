@@ -1,0 +1,369 @@
+// Package serve is the long-running decomposition service layered on top
+// of the compute stack: a content-addressed tensor registry with LRU
+// eviction (repeated jobs on the same tensor bytes skip ingest entirely),
+// a bounded priority job queue feeding a worker pool that dispatches to
+// the CPD / distributed-CPD / completion engines with per-job context
+// cancellation threaded into the ALS iteration loop, and an HTTP JSON API
+// (cmd/splatt-serve) exposing uploads, job control, and metrics.
+//
+// The design follows the argument of Geronimo Anderson & Dunlavy
+// (arXiv:2310.10872) for keeping tensors memory-resident across tools, and
+// targets the repeated-decomposition workloads (rank/parameter sweeps over
+// one large tensor) of Bharadwaj et al. (arXiv:2210.05105).
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Config sizes the service.
+type Config struct {
+	// Workers is the decomposition worker-pool size (default 2).
+	Workers int
+	// QueueCapacity bounds pending jobs; submissions beyond it get 503
+	// (default 256).
+	QueueCapacity int
+	// MaxCachedTensors / MaxCacheBytes bound the tensor registry
+	// (defaults 64 tensors, unbounded bytes).
+	MaxCachedTensors int
+	MaxCacheBytes    int64
+	// MaxUploadBytes bounds one POST /tensors body (default 1 GiB).
+	MaxUploadBytes int64
+	// MaxModeLength rejects parsed tensors with any mode longer than this
+	// (default 1<<24): factor matrices are dense in the mode length, so an
+	// adversarial coordinate would otherwise force a giant job allocation.
+	MaxModeLength int
+	// MaxJobHistory bounds how many *finished* jobs stay queryable via
+	// GET /jobs/{id} (default 1000); older terminal jobs are pruned so a
+	// long-lived service does not grow without bound.
+	MaxJobHistory int
+}
+
+func (c *Config) fill() {
+	if c.Workers <= 0 {
+		c.Workers = 2
+	}
+	if c.QueueCapacity <= 0 {
+		c.QueueCapacity = 256
+	}
+	if c.MaxCachedTensors <= 0 {
+		c.MaxCachedTensors = 64
+	}
+	if c.MaxUploadBytes <= 0 {
+		c.MaxUploadBytes = 1 << 30
+	}
+	if c.MaxModeLength <= 0 {
+		c.MaxModeLength = 1 << 24
+	}
+	if c.MaxJobHistory <= 0 {
+		c.MaxJobHistory = 1000
+	}
+}
+
+// Server owns the registry, queue, worker pool, and job table.
+type Server struct {
+	cfg      Config
+	registry *Registry
+	queue    *Queue
+
+	baseCtx context.Context
+	stop    context.CancelFunc
+	wg      sync.WaitGroup
+
+	jobsMu  sync.Mutex
+	jobs    map[string]*Job
+	seq     uint64
+	history []string // terminal job IDs, oldest first (pruning order)
+
+	started time.Time
+	busy    atomic.Int64 // workers currently executing a job
+
+	// Aggregated outcome counters and per-routine engine seconds
+	// (perf.Registry snapshots merged after each job).
+	statsMu   sync.Mutex
+	completed int64
+	failed    int64
+	cancelled int64
+	rejected  int64
+	routines  map[string]float64
+}
+
+// NewServer builds the service and starts its worker pool.
+func NewServer(cfg Config) *Server {
+	cfg.fill()
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		cfg:      cfg,
+		registry: NewRegistry(cfg.MaxCachedTensors, cfg.MaxCacheBytes),
+		queue:    NewQueue(cfg.QueueCapacity),
+		baseCtx:  ctx,
+		stop:     cancel,
+		jobs:     make(map[string]*Job),
+		started:  time.Now(),
+		routines: make(map[string]float64),
+	}
+	for i := 0; i < cfg.Workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s
+}
+
+// Close cancels every outstanding job, drains the pool, and returns once
+// all workers exit.
+func (s *Server) Close() {
+	s.queue.Close()
+	s.stop()
+	s.jobsMu.Lock()
+	for _, j := range s.jobs {
+		j.requestCancel()
+	}
+	s.jobsMu.Unlock()
+	s.wg.Wait()
+}
+
+// Registry exposes the tensor cache (used by cmd/splatt-serve logging).
+func (s *Server) Registry() *Registry { return s.registry }
+
+// Handler returns the HTTP API:
+//
+//	POST   /tensors     — upload a .tns or binary tensor body
+//	GET    /tensors     — list resident tensors
+//	GET    /tensors/{id}
+//	POST   /jobs        — submit a decomposition (JobSpec JSON)
+//	GET    /jobs        — list jobs
+//	GET    /jobs/{id}
+//	DELETE /jobs/{id}   — cancel (queued or running)
+//	GET    /metrics     — queue/cache/worker gauges + engine timers
+//	GET    /healthz
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /tensors", s.handleUpload)
+	mux.HandleFunc("GET /tensors", s.handleListTensors)
+	mux.HandleFunc("GET /tensors/{id}", s.handleGetTensor)
+	mux.HandleFunc("POST /jobs", s.handleSubmitJob)
+	mux.HandleFunc("GET /jobs", s.handleListJobs)
+	mux.HandleFunc("GET /jobs/{id}", s.handleGetJob)
+	mux.HandleFunc("DELETE /jobs/{id}", s.handleCancelJob)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	return mux
+}
+
+// errorBody is the uniform JSON error envelope.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, errorBody{Error: err.Error()})
+}
+
+func (s *Server) handleUpload(w http.ResponseWriter, r *http.Request) {
+	res, err := s.registry.Ingest(r.Body, s.cfg.MaxUploadBytes, s.cfg.MaxModeLength)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	status := http.StatusCreated
+	if res.Cached {
+		status = http.StatusOK
+	}
+	writeJSON(w, status, res)
+}
+
+func (s *Server) handleListTensors(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.registry.List())
+}
+
+func (s *Server) handleGetTensor(w http.ResponseWriter, r *http.Request) {
+	info, ok := s.registry.Lookup(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, errors.New("serve: tensor not resident"))
+		return
+	}
+	writeJSON(w, http.StatusOK, info)
+}
+
+func (s *Server) handleSubmitJob(w http.ResponseWriter, r *http.Request) {
+	var spec JobSpec
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("serve: decoding job spec: %w", err))
+		return
+	}
+	if err := spec.normalize(); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	// Pin the tensor for the whole job lifetime, so LRU churn between
+	// submission and execution cannot evict it out from under an accepted
+	// job; the retiring worker unpins.
+	tensor, err := s.registry.Pin(spec.TensorID)
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+
+	s.jobsMu.Lock()
+	s.seq++
+	id := fmt.Sprintf("job-%06d", s.seq)
+	j := newJob(id, s.seq, spec, s.baseCtx)
+	j.tensor = tensor
+	s.jobs[id] = j
+	s.jobsMu.Unlock()
+
+	if err := s.queue.Push(j); err != nil {
+		s.registry.Unpin(spec.TensorID)
+		s.jobsMu.Lock()
+		delete(s.jobs, id)
+		s.jobsMu.Unlock()
+		j.finish(StateFailed, nil, err)
+		s.statsMu.Lock()
+		s.rejected++
+		s.statsMu.Unlock()
+		status := http.StatusServiceUnavailable
+		if errors.Is(err, ErrQueueClosed) {
+			status = http.StatusGone
+		}
+		writeError(w, status, err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, j.Status())
+}
+
+func (s *Server) handleListJobs(w http.ResponseWriter, r *http.Request) {
+	s.jobsMu.Lock()
+	jobs := make([]*Job, 0, len(s.jobs))
+	for _, j := range s.jobs {
+		jobs = append(jobs, j)
+	}
+	s.jobsMu.Unlock()
+	sort.Slice(jobs, func(i, k int) bool { return jobs[i].seq < jobs[k].seq })
+	out := make([]JobStatus, len(jobs))
+	for i, j := range jobs {
+		out[i] = j.Status()
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// retire counts a terminal job into the bounded history exactly once and
+// prunes the oldest terminal jobs beyond Config.MaxJobHistory.
+func (s *Server) retire(j *Job) {
+	s.jobsMu.Lock()
+	defer s.jobsMu.Unlock()
+	if j.retired {
+		return
+	}
+	j.retired = true
+	s.history = append(s.history, j.ID)
+	for len(s.history) > s.cfg.MaxJobHistory {
+		delete(s.jobs, s.history[0])
+		s.history = s.history[1:]
+	}
+}
+
+func (s *Server) lookupJob(id string) (*Job, bool) {
+	s.jobsMu.Lock()
+	defer s.jobsMu.Unlock()
+	j, ok := s.jobs[id]
+	return j, ok
+}
+
+func (s *Server) handleGetJob(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.lookupJob(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, errors.New("serve: no such job"))
+		return
+	}
+	writeJSON(w, http.StatusOK, j.Status())
+}
+
+func (s *Server) handleCancelJob(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.lookupJob(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, errors.New("serve: no such job"))
+		return
+	}
+	if !j.requestCancel() {
+		writeError(w, http.StatusConflict,
+			fmt.Errorf("serve: job %s already %s", j.ID, j.State()))
+		return
+	}
+	writeJSON(w, http.StatusAccepted, j.Status())
+}
+
+// Metrics is the GET /metrics document.
+type Metrics struct {
+	UptimeSeconds float64 `json:"uptime_seconds"`
+
+	Queue struct {
+		Depth     int   `json:"depth"`
+		Capacity  int   `json:"capacity"`
+		Rejected  int64 `json:"rejected"`
+		Submitted int64 `json:"submitted"`
+	} `json:"queue"`
+
+	Workers struct {
+		Total int   `json:"total"`
+		Busy  int64 `json:"busy"`
+	} `json:"workers"`
+
+	Jobs struct {
+		Completed int64 `json:"completed"`
+		Failed    int64 `json:"failed"`
+		Cancelled int64 `json:"cancelled"`
+	} `json:"jobs"`
+
+	Cache CacheStats `json:"cache"`
+
+	// RoutineSeconds aggregates the engines' perf timers (MTTKRP, SORT,
+	// INVERSE, ...) across all finished jobs.
+	RoutineSeconds map[string]float64 `json:"routine_seconds"`
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	var m Metrics
+	m.UptimeSeconds = time.Since(s.started).Seconds()
+	m.Queue.Depth = s.queue.Len()
+	m.Queue.Capacity = s.queue.Cap()
+	m.Workers.Total = s.cfg.Workers
+	m.Workers.Busy = s.busy.Load()
+	m.Cache = s.registry.Stats()
+
+	s.jobsMu.Lock()
+	m.Queue.Submitted = int64(s.seq)
+	s.jobsMu.Unlock()
+
+	s.statsMu.Lock()
+	m.Queue.Rejected = s.rejected
+	m.Jobs.Completed = s.completed
+	m.Jobs.Failed = s.failed
+	m.Jobs.Cancelled = s.cancelled
+	m.RoutineSeconds = make(map[string]float64, len(s.routines))
+	for k, v := range s.routines {
+		m.RoutineSeconds[k] = v
+	}
+	s.statsMu.Unlock()
+
+	writeJSON(w, http.StatusOK, m)
+}

@@ -1,0 +1,111 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dist"
+	"repro/internal/perf"
+)
+
+// worker is one pool goroutine: it drains the priority queue and runs
+// each job to a terminal state, then releases the submission-time tensor
+// pin and retires the job into the bounded history. Jobs cancelled while
+// queued are popped, released, and skipped the same way, so every pin
+// taken at submission is dropped exactly once.
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for {
+		j, ok := s.queue.Pop()
+		if !ok {
+			return
+		}
+		if j.markRunning() {
+			s.busy.Add(1)
+			s.execute(j)
+			s.busy.Add(-1)
+		} else {
+			s.tally(StateCancelled, nil) // cancelled while queued
+		}
+		s.registry.Unpin(j.Spec.TensorID)
+		s.retire(j)
+	}
+}
+
+// execute dispatches the job's pinned tensor to the selected engine with
+// the job context threaded into the ALS loop, and records the outcome.
+func (s *Server) execute(j *Job) {
+	tensor := j.tensor
+
+	var err error
+	start := time.Now()
+	res := &JobResult{}
+	var timers *perf.Registry
+	var cancelled bool
+
+	switch j.Spec.Kind {
+	case KindCPD:
+		timers = perf.NewRegistry()
+		opts := j.Spec.coreOptions(j.ctx)
+		opts.Timers = timers
+		_, report, runErr := core.CPD(tensor, opts)
+		err = runErr
+		if report != nil {
+			res.Fit = report.Fit
+			res.Iterations = report.Iterations
+			cancelled = report.Cancelled
+		}
+	case KindDistributed:
+		_, report, runErr := dist.CPD(tensor, j.Spec.distOptions(j.ctx))
+		err = runErr
+		if report != nil {
+			res.Fit = report.Fit
+			res.Iterations = report.Iterations
+			res.CommBytes = report.CommBytes
+			cancelled = report.Cancelled
+		}
+	case KindComplete:
+		_, report, runErr := core.CPDComplete(tensor, j.Spec.completionOptions(j.ctx))
+		err = runErr
+		if report != nil {
+			res.RMSE = report.RMSE
+			res.Iterations = report.Iterations
+			cancelled = report.Cancelled
+		}
+	}
+	res.Seconds = time.Since(start).Seconds()
+
+	switch {
+	case cancelled || errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		j.finish(StateCancelled, res, err)
+		s.tally(StateCancelled, timers)
+	case err != nil:
+		j.finish(StateFailed, nil, err)
+		s.tally(StateFailed, timers)
+	default:
+		j.finish(StateDone, res, nil)
+		s.tally(StateDone, timers)
+	}
+}
+
+// tally merges a finished job's outcome and engine timers into the
+// server-wide metrics.
+func (s *Server) tally(state JobState, timers *perf.Registry) {
+	s.statsMu.Lock()
+	defer s.statsMu.Unlock()
+	switch state {
+	case StateDone:
+		s.completed++
+	case StateFailed:
+		s.failed++
+	case StateCancelled:
+		s.cancelled++
+	}
+	if timers != nil {
+		for name, secs := range timers.Snapshot() {
+			s.routines[name] += secs
+		}
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"strconv"
 	"strings"
@@ -14,6 +15,49 @@ import (
 // line, 1-indexed coordinates followed by the value, '#' comments allowed.
 // The binary format is a simple little-endian container (magic "SPTNBIN1")
 // for fast reloading of generated tensors.
+//
+// All readers treat their input as untrusted (the serve subsystem feeds
+// them raw HTTP uploads): malformed lines, non-finite values, implausible
+// headers, and truncated streams return errors — never panics, and never
+// unbounded allocations driven by a forged header.
+
+// Format selects an on-disk/wire tensor encoding.
+type Format int
+
+const (
+	// FormatTNS is the FROSTT/SPLATT text format.
+	FormatTNS Format = iota
+	// FormatBinary is the repository's little-endian binary container.
+	FormatBinary
+)
+
+// String names the format ("tns" or "bin").
+func (f Format) String() string {
+	if f == FormatTNS {
+		return "tns"
+	}
+	return "bin"
+}
+
+// ParseFormat converts a CLI string into a Format.
+func ParseFormat(s string) (Format, error) {
+	switch strings.ToLower(s) {
+	case "tns", "text":
+		return FormatTNS, nil
+	case "bin", "binary":
+		return FormatBinary, nil
+	}
+	return FormatTNS, fmt.Errorf("sptensor: unknown format %q (want tns|bin)", s)
+}
+
+// FormatForPath chooses the format SaveFile historically used for a path:
+// ".tns" selects text, anything else the binary container.
+func FormatForPath(path string) Format {
+	if strings.HasSuffix(path, ".tns") {
+		return FormatTNS
+	}
+	return FormatBinary
+}
 
 // WriteTNS writes t in .tns text format.
 func WriteTNS(w io.Writer, t *Tensor) error {
@@ -79,6 +123,9 @@ func ReadTNS(r io.Reader) (*Tensor, error) {
 		if err != nil {
 			return nil, fmt.Errorf("sptensor: line %d value: %v", lineNo, err)
 		}
+		if math.IsNaN(val) || math.IsInf(val, 0) {
+			return nil, fmt.Errorf("sptensor: line %d value: non-finite %v", lineNo, val)
+		}
 		vals = append(vals, val)
 	}
 	if err := sc.Err(); err != nil {
@@ -92,6 +139,15 @@ func ReadTNS(r io.Reader) (*Tensor, error) {
 }
 
 const binaryMagic = "SPTNBIN1"
+
+// maxBinaryNNZ bounds the nonzero count a binary header may claim, so a
+// forged or corrupted header cannot drive a giant allocation: 2^33 nonzeros
+// of an order-3 tensor already exceed 160 GiB of storage.
+const maxBinaryNNZ = 1 << 33
+
+// binReadChunk is the element granularity of binary array reads; truncated
+// streams fail after at most one chunk of over-allocation.
+const binReadChunk = 1 << 20
 
 // WriteBinary writes t in the repository's binary container format.
 func WriteBinary(w io.Writer, t *Tensor) error {
@@ -118,6 +174,29 @@ func WriteBinary(w io.Writer, t *Tensor) error {
 	return bw.Flush()
 }
 
+// readChunked reads n little-endian elements in bounded chunks, so a
+// stream whose header promises more data than it carries errors out
+// without first allocating the full claimed size.
+func readChunked[E Index | float64](br io.Reader, n int) ([]E, error) {
+	first := n
+	if first > binReadChunk {
+		first = binReadChunk
+	}
+	out := make([]E, 0, first)
+	for len(out) < n {
+		c := n - len(out)
+		if c > binReadChunk {
+			c = binReadChunk
+		}
+		chunk := make([]E, c)
+		if err := binary.Read(br, binary.LittleEndian, chunk); err != nil {
+			return nil, err
+		}
+		out = append(out, chunk...)
+	}
+	return out, nil
+}
+
 // ReadBinary reads a tensor written by WriteBinary.
 func ReadBinary(r io.Reader) (*Tensor, error) {
 	br := bufio.NewReaderSize(r, 1<<20)
@@ -130,41 +209,58 @@ func ReadBinary(r io.Reader) (*Tensor, error) {
 	}
 	var head [2]uint64
 	if err := binary.Read(br, binary.LittleEndian, head[:]); err != nil {
-		return nil, err
+		return nil, fmt.Errorf("sptensor: reading header: %w", err)
+	}
+	// Bounds-check the raw uint64 header words before any int conversion,
+	// which could otherwise truncate (and wrap negative) on 32-bit hosts.
+	if head[0] == 0 || head[0] > 64 {
+		return nil, fmt.Errorf("sptensor: implausible order %d", head[0])
+	}
+	if head[1] > maxBinaryNNZ || head[1] > uint64(math.MaxInt) {
+		return nil, fmt.Errorf("sptensor: implausible nonzero count %d", head[1])
+	}
+	if head[1] == 0 {
+		return nil, fmt.Errorf("sptensor: no nonzeros in input")
 	}
 	order, nnz := int(head[0]), int(head[1])
-	if order <= 0 || order > 64 {
-		return nil, fmt.Errorf("sptensor: implausible order %d", order)
-	}
 	dims64 := make([]uint64, order)
 	if err := binary.Read(br, binary.LittleEndian, dims64); err != nil {
-		return nil, err
+		return nil, fmt.Errorf("sptensor: reading dims: %w", err)
 	}
 	dims := make([]int, order)
 	for m, d := range dims64 {
+		if d == 0 || d > math.MaxInt32 {
+			return nil, fmt.Errorf("sptensor: mode %d has implausible length %d", m, d)
+		}
 		dims[m] = int(d)
 	}
-	t := New(dims, nnz)
+	t := &Tensor{Dims: dims, Inds: make([][]Index, order)}
 	for m := 0; m < order; m++ {
-		if err := binary.Read(br, binary.LittleEndian, t.Inds[m]); err != nil {
-			return nil, err
+		inds, err := readChunked[Index](br, nnz)
+		if err != nil {
+			return nil, fmt.Errorf("sptensor: reading mode %d indices: %w", m, err)
 		}
+		t.Inds[m] = inds
 	}
-	if err := binary.Read(br, binary.LittleEndian, t.Vals); err != nil {
-		return nil, err
+	vals, err := readChunked[float64](br, nnz)
+	if err != nil {
+		return nil, fmt.Errorf("sptensor: reading values: %w", err)
+	}
+	t.Vals = vals
+	for x, v := range t.Vals {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return nil, fmt.Errorf("sptensor: nonzero %d: non-finite value", x)
+		}
 	}
 	return t, t.Validate()
 }
 
-// LoadFile reads a tensor from path, selecting the format by content:
-// binary container if the magic matches, .tns text otherwise.
-func LoadFile(path string) (*Tensor, error) {
-	f, err := os.Open(path)
-	if err != nil {
-		return nil, err
-	}
-	defer f.Close()
-	br := bufio.NewReaderSize(f, 1<<20)
+// LoadTensorReader reads a tensor from r, selecting the format by content:
+// binary container if the magic matches, .tns text otherwise. It is the
+// streaming core of LoadFile and the ingest path of the serve subsystem
+// (no temp files).
+func LoadTensorReader(r io.Reader) (*Tensor, error) {
+	br := bufio.NewReaderSize(r, 1<<20)
 	peek, err := br.Peek(len(binaryMagic))
 	if err == nil && string(peek) == binaryMagic {
 		return ReadBinary(br)
@@ -172,16 +268,36 @@ func LoadFile(path string) (*Tensor, error) {
 	return ReadTNS(br)
 }
 
-// SaveFile writes a tensor to path; format chosen by extension (".tns" or
-// ".bin"/anything else binary).
+// SaveTensorWriter writes t to w in the given format. It is the streaming
+// core of SaveFile.
+func SaveTensorWriter(w io.Writer, t *Tensor, format Format) error {
+	if format == FormatTNS {
+		return WriteTNS(w, t)
+	}
+	return WriteBinary(w, t)
+}
+
+// LoadFile reads a tensor from path via LoadTensorReader (format
+// auto-detected by content).
+func LoadFile(path string) (*Tensor, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return LoadTensorReader(f)
+}
+
+// SaveFile writes a tensor to path via SaveTensorWriter; format chosen by
+// extension (".tns" text, anything else binary).
 func SaveFile(path string, t *Tensor) error {
 	f, err := os.Create(path)
 	if err != nil {
 		return err
 	}
-	defer f.Close()
-	if strings.HasSuffix(path, ".tns") {
-		return WriteTNS(f, t)
+	if err := SaveTensorWriter(f, t, FormatForPath(path)); err != nil {
+		f.Close()
+		return err
 	}
-	return WriteBinary(f, t)
+	return f.Close()
 }

@@ -1,0 +1,61 @@
+#!/usr/bin/env bash
+# bench.sh — run the Go micro-benchmarks into benchmarks/latest.txt and,
+# when benchmarks/baseline.txt exists, fail if any benchmark present in
+# both regressed by more than BENCH_MAX_REGRESSION_PCT percent (default 5).
+#
+# Environment knobs:
+#   BENCH_PATTERN             benchmark regex passed to -bench   (default: .)
+#   BENCH_TIME                -benchtime value                   (default: 1x)
+#   BENCH_COUNT               -count value; runs are averaged    (default: 1)
+#   BENCH_MAX_REGRESSION_PCT  allowed ns/op regression percent   (default: 5)
+#
+# To (re)pin a baseline:  ./scripts/bench.sh && cp benchmarks/latest.txt benchmarks/baseline.txt
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+PATTERN="${BENCH_PATTERN:-.}"
+BENCHTIME="${BENCH_TIME:-1x}"
+COUNT="${BENCH_COUNT:-1}"
+MAXPCT="${BENCH_MAX_REGRESSION_PCT:-5}"
+
+mkdir -p benchmarks
+echo "running benchmarks (pattern=$PATTERN benchtime=$BENCHTIME count=$COUNT) ..."
+go test -run '^$' -bench "$PATTERN" -benchtime "$BENCHTIME" -count "$COUNT" ./... | tee benchmarks/latest.txt
+
+if [ ! -f benchmarks/baseline.txt ]; then
+    echo "no benchmarks/baseline.txt committed; skipping regression gate."
+    echo "pin one with: cp benchmarks/latest.txt benchmarks/baseline.txt"
+    exit 0
+fi
+
+echo "comparing against benchmarks/baseline.txt (max regression ${MAXPCT}%) ..."
+awk -v maxpct="$MAXPCT" '
+    # Collect "BenchmarkName-N  iters  ns/op" rows, averaging repeated runs.
+    FNR == NR && $1 ~ /^Benchmark/ && $4 == "ns/op" { base[$1] += $3; basen[$1]++; next }
+    FNR != NR && $1 ~ /^Benchmark/ && $4 == "ns/op" { cur[$1]  += $3; curn[$1]++ }
+    END {
+        n = 0
+        for (name in cur) n++
+        if (n == 0) {
+            print "WARNING: no benchmark rows in benchmarks/latest.txt (bad BENCH_PATTERN?); nothing compared."
+            exit 0
+        }
+        bad = 0
+        for (name in cur) {
+            if (!(name in base)) continue
+            b = base[name] / basen[name]
+            c = cur[name] / curn[name]
+            if (b <= 0) continue
+            pct = (c - b) / b * 100
+            if (pct > maxpct) {
+                printf "REGRESSION %-60s %12.0f -> %12.0f ns/op (%+.1f%%)\n", name, b, c, pct
+                bad++
+            }
+        }
+        if (bad) {
+            printf "%d benchmark(s) regressed beyond %s%%\n", bad, maxpct
+            exit 1
+        }
+        print "benchmark gate passed."
+    }
+' benchmarks/baseline.txt benchmarks/latest.txt

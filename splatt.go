@@ -33,6 +33,7 @@ package splatt
 
 import (
 	"fmt"
+	"io"
 
 	"repro/internal/core"
 	"repro/internal/csf"
@@ -214,6 +215,25 @@ func LoadTensor(path string) (*Tensor, error) { return sptensor.LoadFile(path) }
 
 // SaveTensor writes a tensor; ".tns" suffix selects text, otherwise binary.
 func SaveTensor(path string, t *Tensor) error { return sptensor.SaveFile(path, t) }
+
+// TensorFormat selects a tensor encoding for SaveTensorWriter.
+type TensorFormat = sptensor.Format
+
+// Tensor encodings.
+const (
+	FormatTNS    = sptensor.FormatTNS
+	FormatBinary = sptensor.FormatBinary
+)
+
+// LoadTensorReader reads a tensor from an arbitrary stream (format
+// auto-detected by content), e.g. an HTTP upload or stdin — no temp files.
+func LoadTensorReader(r io.Reader) (*Tensor, error) { return sptensor.LoadTensorReader(r) }
+
+// SaveTensorWriter writes a tensor to an arbitrary stream in the given
+// format.
+func SaveTensorWriter(w io.Writer, t *Tensor, format TensorFormat) error {
+	return sptensor.SaveTensorWriter(w, t, format)
+}
 
 // ComputeStats derives the Table-I statistics row for a tensor.
 func ComputeStats(name string, t *Tensor) Stats { return sptensor.ComputeStats(name, t) }
