@@ -71,7 +71,10 @@ func benchFactors(t *sptensor.Tensor, rank int) []*dense.Matrix {
 // benchMTTKRP times one full round of MTTKRPs (every mode once).
 func benchMTTKRP(b *testing.B, t *sptensor.Tensor, tasks int, opts core.Options) {
 	b.Helper()
-	runner := core.NewMTTKRPRunner(t, benchRank, tasks, opts)
+	runner, err := core.NewMTTKRPRunner(t, benchRank, tasks, opts)
+	if err != nil {
+		b.Fatal(err)
+	}
 	defer runner.Close()
 	factors := benchFactors(t, benchRank)
 	outs := make([]*dense.Matrix, t.NModes())
@@ -315,6 +318,21 @@ func BenchmarkAblationCOO(b *testing.B) {
 				}
 			}
 		})
+	}
+}
+
+// BenchmarkAblationFormat compares the CSF and ALTO storage backends'
+// MTTKRP on the regular and hub-skewed twins.
+func BenchmarkAblationFormat(b *testing.B) {
+	for _, ds := range []string{"yelp", "nell-2"} {
+		t := benchTensor(b, ds)
+		for _, f := range []splatt.StorageFormat{splatt.FormatCSF, splatt.FormatALTO} {
+			b.Run(fmt.Sprintf("%s/%v", ds, f), func(b *testing.B) {
+				opts := core.DefaultOptions()
+				opts.Format = f
+				benchMTTKRP(b, t, 4, opts)
+			})
+		}
 	}
 }
 

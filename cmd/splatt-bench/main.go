@@ -37,6 +37,7 @@ func main() {
 		iters      = flag.Int("iters", def.Iters, "CP-ALS iterations per run")
 		trials     = flag.Int("trials", def.Trials, "trials per configuration (reported: mean)")
 		tasks      = flag.String("tasks", "1,2,4,8,16,32", "comma-separated task sweep")
+		formatStr  = flag.String("format", "", "storage backend for all experiments: csf|alto|auto (default csf)")
 		quick      = flag.Bool("quick", false, "tiny smoke configuration")
 	)
 	flag.Parse()
@@ -46,6 +47,7 @@ func main() {
 		Rank:   *rank,
 		Iters:  *iters,
 		Trials: *trials,
+		Format: *formatStr,
 	}
 	var err error
 	cfg.Tasks, err = parseTasks(*tasks)
@@ -54,6 +56,7 @@ func main() {
 	}
 	if *quick {
 		cfg = bench.QuickConfig()
+		cfg.Format = *formatStr
 	}
 
 	r, err := bench.NewRunner(cfg, os.Stdout)

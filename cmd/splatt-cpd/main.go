@@ -19,6 +19,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/csf"
+	"repro/internal/format"
 	"repro/internal/locks"
 	"repro/internal/mttkrp"
 	"repro/internal/perf"
@@ -44,6 +45,7 @@ func main() {
 		lockKind   = flag.String("locks", "", "override mutex pool: atomic|sync|fifo-sync")
 		sortVar    = flag.String("sort", "", "override sort variant: initial|array|slices|all")
 		alloc      = flag.String("alloc", "two", "CSF allocation policy: one|two|all")
+		formatStr  = flag.String("format", "csf", "tensor storage backend: csf|alto|auto")
 		strategy   = flag.String("strategy", "auto", "conflict strategy: auto|lock|privatize|tile")
 		nonneg     = flag.Bool("nonneg", false, "project factors onto the nonnegative orthant")
 		ridge      = flag.Float64("ridge", 0, "Tikhonov regularizer added to each normal system")
@@ -73,14 +75,14 @@ func main() {
 		log.Fatal(err)
 	}
 	opts.ApplyProfile(prof)
-	if err := applyOverrides(&opts, *access, *lockKind, *sortVar, *alloc, *strategy); err != nil {
+	if err := applyOverrides(&opts, *access, *lockKind, *sortVar, *alloc, *strategy, *formatStr); err != nil {
 		log.Fatal(err)
 	}
 
 	stats := sptensor.ComputeStats(name, t)
 	fmt.Printf("Tensor: %s\n", stats.Row())
-	fmt.Printf("Config: profile=%v access=%v locks=%v sort=%v alloc=%v rank=%d iters=%d tasks=%d\n\n",
-		prof, opts.Access, opts.LockKind, opts.SortVariant, opts.Alloc, opts.Rank, opts.MaxIters, opts.Tasks)
+	fmt.Printf("Config: profile=%v access=%v locks=%v sort=%v alloc=%v format=%v rank=%d iters=%d tasks=%d\n\n",
+		prof, opts.Access, opts.LockKind, opts.SortVariant, opts.Alloc, opts.Format, opts.Rank, opts.MaxIters, opts.Tasks)
 
 	timers := perf.NewRegistry()
 	opts.Timers = timers
@@ -93,7 +95,7 @@ func main() {
 	for m, s := range report.Strategies {
 		fmt.Printf("  mode %d MTTKRP conflict strategy: %v\n", m, s)
 	}
-	fmt.Printf("  CSF memory: %.2f MiB\n\n", float64(report.CSFBytes)/(1<<20))
+	fmt.Printf("  storage format: %s, %.2f MiB\n\n", report.Format, float64(report.CSFBytes)/(1<<20))
 	fmt.Print(timers.Report())
 
 	if err := k.Validate(); err != nil {
@@ -126,7 +128,7 @@ func loadInput(path, dataset string, scale float64) (*sptensor.Tensor, string, e
 }
 
 // applyOverrides layers individual axis flags over the profile defaults.
-func applyOverrides(opts *core.Options, access, lockKind, sortVar, alloc, strategy string) error {
+func applyOverrides(opts *core.Options, access, lockKind, sortVar, alloc, strategy, formatStr string) error {
 	if access != "" {
 		a, err := mttkrp.ParseAccessMode(access)
 		if err != nil {
@@ -165,5 +167,10 @@ func applyOverrides(opts *core.Options, access, lockKind, sortVar, alloc, strate
 		return err
 	}
 	opts.Strategy = s
+	f, err := format.Parse(formatStr)
+	if err != nil {
+		return err
+	}
+	opts.Format = f
 	return nil
 }

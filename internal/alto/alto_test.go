@@ -1,0 +1,317 @@
+package alto
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/dense"
+	"repro/internal/locks"
+	"repro/internal/mttkrp"
+	"repro/internal/parallel"
+	"repro/internal/sptensor"
+)
+
+func TestEncodingRoundTrip(t *testing.T) {
+	cases := [][]int{
+		{5, 4, 3},
+		{1, 8, 1},
+		{41000, 11000, 75000},
+		{7, 7, 7, 7},
+		{100, 3, 1000, 20, 9},
+		{1 << 20, 1 << 20, 1 << 20},         // 60 bits, single word
+		{1 << 24, 1 << 24, 1 << 24},         // 72 bits, two words
+		{1 << 30, 1 << 30, 1 << 30, 1 << 7}, // 97 bits, two words
+	}
+	for _, dims := range cases {
+		enc, err := NewEncoding(dims)
+		if err != nil {
+			t.Fatalf("%v: %v", dims, err)
+		}
+		rng := rand.New(rand.NewSource(7))
+		coord := make([]sptensor.Index, len(dims))
+		got := make([]sptensor.Index, len(dims))
+		for trial := 0; trial < 200; trial++ {
+			for m, d := range dims {
+				coord[m] = sptensor.Index(rng.Intn(d))
+			}
+			lo, hi := enc.Linearize(coord)
+			if !enc.Wide() && hi != 0 {
+				t.Fatalf("%v: narrow encoding produced high bits", dims)
+			}
+			enc.Delinearize(lo, hi, got)
+			for m := range dims {
+				if got[m] != coord[m] {
+					t.Fatalf("%v: mode %d: %d -> (%x,%x) -> %d", dims, m, coord[m], hi, lo, got[m])
+				}
+			}
+		}
+	}
+}
+
+func TestEncodingPreservesSortOrderPerMode(t *testing.T) {
+	// Within fixed other-mode coordinates, increasing one mode's index must
+	// increase the linearized index (bit interleaving is order-preserving
+	// per mode).
+	enc, err := NewEncoding([]int{64, 64, 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	coord := []sptensor.Index{13, 0, 57}
+	var prev uint64
+	for i := 0; i < 64; i++ {
+		coord[1] = sptensor.Index(i)
+		lo, _ := enc.Linearize(coord)
+		if i > 0 && lo <= prev {
+			t.Fatalf("linearized index not monotone in mode 1 at %d", i)
+		}
+		prev = lo
+	}
+}
+
+func TestEncodingRejectsOverwideDims(t *testing.T) {
+	// 5 modes near the int32 limit: 5 x 31 = 155 bits > 128.
+	huge := 1 << 31
+	if _, err := NewEncoding([]int{huge, huge, huge, huge, huge}); err == nil {
+		t.Fatal("155-bit encoding accepted")
+	}
+	if _, err := NewEncoding(nil); err == nil {
+		t.Fatal("zero-mode encoding accepted")
+	}
+	if _, err := NewEncoding([]int{4, 0, 4}); err == nil {
+		t.Fatal("zero-length mode accepted")
+	}
+}
+
+func TestFromCOORoundTrip(t *testing.T) {
+	for _, dims := range [][]int{
+		{12, 9, 7},
+		{6, 5, 4, 3},
+		{1 << 24, 1 << 24, 1 << 24}, // wide path
+	} {
+		tt := sptensor.Random(dims, 300, 11)
+		at, err := FromCOO(tt)
+		if err != nil {
+			t.Fatalf("%v: %v", dims, err)
+		}
+		if at.NNZ() != tt.NNZ() {
+			t.Fatalf("%v: nnz %d != %d", dims, at.NNZ(), tt.NNZ())
+		}
+		back := at.ToCOO()
+		if err := back.Validate(); err != nil {
+			t.Fatalf("%v: reconstructed tensor invalid: %v", dims, err)
+		}
+		// Linearization only reorders nonzeros: compare them as a set.
+		key := func(x *sptensor.Tensor, i int) [8]sptensor.Index {
+			var k [8]sptensor.Index
+			for m := range x.Inds {
+				k[m] = x.Inds[m][i]
+			}
+			return k
+		}
+		want := make(map[[8]sptensor.Index]float64, tt.NNZ())
+		for i := 0; i < tt.NNZ(); i++ {
+			want[key(tt, i)] = tt.Vals[i]
+		}
+		for i := 0; i < back.NNZ(); i++ {
+			v, ok := want[key(back, i)]
+			if !ok || v != back.Vals[i] {
+				t.Fatalf("%v: nonzero %d not in original (val %g)", dims, i, back.Vals[i])
+			}
+		}
+	}
+}
+
+// naiveMTTKRP is the quadratic reference: out[i_mode] += v · ∘ rows.
+func naiveMTTKRP(t *sptensor.Tensor, factors []*dense.Matrix, mode int, out *dense.Matrix) {
+	out.Zero()
+	rank := out.Cols
+	for x := 0; x < t.NNZ(); x++ {
+		acc := make([]float64, rank)
+		for j := range acc {
+			acc[j] = t.Vals[x]
+		}
+		for m := range t.Inds {
+			if m == mode {
+				continue
+			}
+			row := factors[m].Row(int(t.Inds[m][x]))
+			for j := range acc {
+				acc[j] *= row[j]
+			}
+		}
+		dst := out.Row(int(t.Inds[mode][x]))
+		for j := range dst {
+			dst[j] += acc[j]
+		}
+	}
+}
+
+func randomFactors(dims []int, rank int, seed int64) []*dense.Matrix {
+	rng := rand.New(rand.NewSource(seed))
+	factors := make([]*dense.Matrix, len(dims))
+	for m, d := range dims {
+		factors[m] = dense.NewRandomMatrix(d, rank, rng)
+	}
+	return factors
+}
+
+func TestOperatorMatchesReferenceAcrossOrdersAndStrategies(t *testing.T) {
+	const rank = 5
+	for _, dims := range [][]int{
+		{15, 11, 9},
+		{10, 8, 6, 5},
+		{7, 6, 5, 4, 3},
+	} {
+		tt := sptensor.Random(dims, 500, 21)
+		at, err := FromCOO(tt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		factors := randomFactors(dims, rank, 23)
+		for _, tasks := range []int{1, 4} {
+			team := parallel.NewTeam(tasks)
+			for _, strat := range []mttkrp.ConflictStrategy{
+				mttkrp.StrategyAuto, mttkrp.StrategyLock, mttkrp.StrategyPrivatize, mttkrp.StrategyTile,
+			} {
+				op := NewOperator(at, team, rank, mttkrp.Options{
+					Strategy: strat, LockKind: locks.Spin,
+				})
+				for mode := range dims {
+					want := dense.NewMatrix(dims[mode], rank)
+					naiveMTTKRP(tt, factors, mode, want)
+					got := dense.NewMatrix(dims[mode], rank)
+					op.Apply(mode, factors, got)
+					if d := got.MaxAbsDiff(want); d > 1e-9 {
+						t.Errorf("dims=%v strat=%v tasks=%d mode=%d: deviates by %g",
+							dims, strat, tasks, mode, d)
+					}
+					if got, want := op.LastStrategy(), op.StrategyFor(mode); got != want {
+						t.Errorf("LastStrategy %v != StrategyFor %v", got, want)
+					}
+				}
+			}
+			team.Close()
+		}
+	}
+}
+
+func TestOperatorDegenerateShapes(t *testing.T) {
+	const rank = 3
+	cases := []*sptensor.Tensor{}
+	// Single nonzero.
+	one := sptensor.New([]int{5, 4, 3}, 1)
+	one.Inds[0][0], one.Inds[1][0], one.Inds[2][0] = 2, 3, 1
+	one.Vals[0] = 2.5
+	cases = append(cases, one)
+	// Unit dimensions collapse modes to zero bits.
+	unit := sptensor.New([]int{1, 8, 1}, 8)
+	for x := 0; x < 8; x++ {
+		unit.Inds[1][x] = sptensor.Index(x)
+		unit.Vals[x] = float64(x + 1)
+	}
+	cases = append(cases, unit)
+	// Hub row: every nonzero hits mode-1 row 0.
+	hub := sptensor.Random([]int{9, 1, 9}, 60, 31)
+	cases = append(cases, hub)
+
+	for _, tt := range cases {
+		at, err := FromCOO(tt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		factors := randomFactors(tt.Dims, rank, 37)
+		for _, tasks := range []int{1, 4, 16} {
+			team := parallel.NewTeam(tasks)
+			op := NewOperator(at, team, rank, mttkrp.Options{LockKind: locks.Spin})
+			for mode := 0; mode < tt.NModes(); mode++ {
+				want := dense.NewMatrix(tt.Dims[mode], rank)
+				naiveMTTKRP(tt, factors, mode, want)
+				got := dense.NewMatrix(tt.Dims[mode], rank)
+				op.Apply(mode, factors, got)
+				if d := got.MaxAbsDiff(want); d > 1e-9 {
+					t.Errorf("%v tasks=%d mode=%d: deviates by %g", tt, tasks, mode, d)
+				}
+			}
+			team.Close()
+		}
+	}
+}
+
+func TestReuseStatsDriveDecision(t *testing.T) {
+	// A tensor where mode 0 has a single index: its linearized runs
+	// collapse to 1 run (maximal reuse), while mode 2 varies fastest.
+	tt := sptensor.New([]int{4, 4, 64}, 64)
+	for x := 0; x < 64; x++ {
+		tt.Inds[0][x] = 1
+		tt.Inds[1][x] = sptensor.Index(x % 4)
+		tt.Inds[2][x] = sptensor.Index(x)
+		tt.Vals[x] = 1
+	}
+	at, err := FromCOO(tt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if at.Runs(0) != 1 {
+		t.Errorf("constant mode 0 has %d runs, want 1", at.Runs(0))
+	}
+	if at.Reuse(0) != 64 {
+		t.Errorf("mode 0 reuse = %g, want 64", at.Reuse(0))
+	}
+	if at.Runs(2) < at.Runs(0) {
+		t.Errorf("fast-varying mode 2 has fewer runs (%d) than constant mode 0 (%d)",
+			at.Runs(2), at.Runs(0))
+	}
+
+	team := parallel.NewTeam(4)
+	defer team.Close()
+	op := NewOperator(at, team, 2, mttkrp.Options{LockKind: locks.Spin})
+	// Mode 0: 1 run, so runs/privRatio = 0 < dims*tasks → locks win under
+	// the reuse-driven rule even though nnz/privRatio would also be small.
+	if got := op.StrategyFor(0); got != mttkrp.StrategyLock {
+		t.Errorf("high-reuse mode chose %v, want lock", got)
+	}
+	// Mode 2 varies fastest (runs ≈ nnz): the rule degenerates to SPLATT's,
+	// and 64 rows × 4 tasks ≫ 64 runs / 50 → locks there too; a serial
+	// operator always reports StrategyNone.
+	serial := NewOperator(at, nil, 2, mttkrp.Options{})
+	if got := serial.StrategyFor(0); got != mttkrp.StrategyNone {
+		t.Errorf("serial operator chose %v, want none", got)
+	}
+}
+
+func TestOperatorRejectsBadOutputShape(t *testing.T) {
+	tt := sptensor.Random([]int{10, 8, 9}, 100, 41)
+	at, err := FromCOO(tt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	op := NewOperator(at, nil, 4, mttkrp.Options{})
+	factors := randomFactors(tt.Dims, 4, 43)
+	defer func() {
+		if recover() == nil {
+			t.Error("mis-shaped output accepted")
+		}
+	}()
+	op.Apply(0, factors, dense.NewMatrix(3, 4))
+}
+
+func TestMemoryBytesReflectsWideEncoding(t *testing.T) {
+	narrow := sptensor.Random([]int{16, 16, 16}, 100, 51)
+	wide := sptensor.Random([]int{1 << 24, 1 << 24, 1 << 24}, 100, 51)
+	an, err := FromCOO(narrow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aw, err := FromCOO(wide)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if an.Enc.Wide() || !aw.Enc.Wide() {
+		t.Fatalf("wideness wrong: narrow=%v wide=%v", an.Enc.Wide(), aw.Enc.Wide())
+	}
+	perNarrow := an.MemoryBytes() / int64(an.NNZ())
+	perWide := aw.MemoryBytes() / int64(aw.NNZ())
+	if perWide != perNarrow+8 {
+		t.Errorf("wide overhead %d bytes/nnz, want %d+8", perWide, perNarrow)
+	}
+}

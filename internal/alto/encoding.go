@@ -1,0 +1,162 @@
+// Package alto implements an ALTO-style adaptive linearized tensor format
+// (Laukemann et al., "Accelerating Sparse Tensor Decomposition Using
+// Adaptive Linearized Representation", arXiv:2403.06348) as an alternative
+// storage backend to CSF.
+//
+// Instead of a per-root-mode fiber tree, every nonzero's coordinates are
+// packed into a single linearized index by interleaving the bits of the
+// per-mode indices (each mode gets a bit mask sized from its dimension's
+// bit-width). The nonzero array is sorted once by that linearized index and
+// serves *every* mode's MTTKRP — no per-mode tensor copies, no mode-order
+// specialization — while the interleaving keeps nonzeros that are close in
+// any coordinate close in memory. Conflict handling reuses the lock-pool /
+// privatized-reduction machinery of internal/mttkrp, with the per-mode
+// decision driven by fiber-reuse statistics measured on the linearized
+// order (see Operator).
+package alto
+
+import (
+	"fmt"
+	"math/bits"
+
+	"repro/internal/sptensor"
+)
+
+// MaxBits is the widest supported linearized index: two 64-bit words. A
+// tensor whose summed dimension bit-widths exceed this cannot be encoded
+// (NewEncoding returns an error; the auto format heuristic falls back to
+// CSF).
+const MaxBits = 128
+
+// segment is a maximal run of one mode's bits that lands contiguously in
+// one word of the linearized index. Linearization and extraction move whole
+// runs with two shifts and a mask instead of single bits.
+type segment struct {
+	word     int    // 0 = low word, 1 = high word
+	dstShift uint   // run start within the word
+	srcShift uint   // run start within the mode's index
+	mask     uint64 // run mask in the index domain: ((1<<len)-1) << srcShift
+}
+
+// Encoding maps tensor coordinates to/from linearized indices for one set
+// of mode lengths.
+type Encoding struct {
+	// Dims are the mode lengths the encoding was built for.
+	Dims []int
+	// Bits[m] is the bit-width of mode m (bits.Len(dims[m]-1); 0 for
+	// unit-length modes, which carry no information).
+	Bits []int
+	// TotalBits is Σ Bits, the linearized index width (≤ MaxBits).
+	TotalBits int
+
+	segs [][]segment // per mode
+}
+
+// NewEncoding builds the bit-interleaved encoding for the given mode
+// lengths. Bit positions are assigned round-robin across modes from the
+// least-significant end (bit b of every mode that still has a bit b, in
+// mode order), so all modes share the low — fastest-varying — positions
+// and the sorted nonzero order exhibits locality in every mode at once.
+func NewEncoding(dims []int) (*Encoding, error) {
+	if len(dims) == 0 {
+		return nil, fmt.Errorf("alto: no modes")
+	}
+	e := &Encoding{
+		Dims: append([]int(nil), dims...),
+		Bits: make([]int, len(dims)),
+		segs: make([][]segment, len(dims)),
+	}
+	maxBits := 0
+	for m, d := range dims {
+		if d <= 0 {
+			return nil, fmt.Errorf("alto: mode %d has dimension %d", m, d)
+		}
+		e.Bits[m] = bits.Len(uint(d - 1))
+		e.TotalBits += e.Bits[m]
+		if e.Bits[m] > maxBits {
+			maxBits = e.Bits[m]
+		}
+	}
+	if e.TotalBits > MaxBits {
+		return nil, fmt.Errorf("alto: %d index bits exceed the %d-bit linearized limit", e.TotalBits, MaxBits)
+	}
+	// Assign global bit positions round-robin, then compress each mode's
+	// position list into contiguous segments.
+	pos := make([][]int, len(dims)) // pos[m][b] = global position of mode m's bit b
+	p := 0
+	for b := 0; b < maxBits; b++ {
+		for m := range dims {
+			if b < e.Bits[m] {
+				pos[m] = append(pos[m], p)
+				p++
+			}
+		}
+	}
+	for m := range dims {
+		e.segs[m] = compress(pos[m])
+	}
+	return e, nil
+}
+
+// compress turns a sorted global-position list into maximal contiguous
+// segments (consecutive source bits landing on consecutive destinations in
+// one word).
+func compress(pos []int) []segment {
+	var out []segment
+	for b := 0; b < len(pos); {
+		start := b
+		word := pos[b] / 64
+		for b+1 < len(pos) && pos[b+1] == pos[b]+1 && pos[b+1]/64 == word {
+			b++
+		}
+		n := b - start + 1
+		out = append(out, segment{
+			word:     word,
+			dstShift: uint(pos[start] % 64),
+			srcShift: uint(start),
+			mask:     ((uint64(1) << n) - 1) << uint(start),
+		})
+		b++
+	}
+	return out
+}
+
+// Wide reports whether linearized indices need the second word.
+func (e *Encoding) Wide() bool { return e.TotalBits > 64 }
+
+// Linearize packs one coordinate tuple into a (lo, hi) linearized index.
+func (e *Encoding) Linearize(coord []sptensor.Index) (lo, hi uint64) {
+	for m, segs := range e.segs {
+		idx := uint64(coord[m])
+		for _, s := range segs {
+			run := (idx & s.mask) >> s.srcShift
+			if s.word == 0 {
+				lo |= run << s.dstShift
+			} else {
+				hi |= run << s.dstShift
+			}
+		}
+	}
+	return lo, hi
+}
+
+// Extract recovers mode m's index from a linearized (lo, hi) pair — the
+// delinearization accessor of the MTTKRP inner loop.
+func (e *Encoding) Extract(lo, hi uint64, m int) sptensor.Index {
+	var idx uint64
+	for _, s := range e.segs[m] {
+		w := lo
+		if s.word == 1 {
+			w = hi
+		}
+		idx |= (w >> s.dstShift << s.srcShift) & s.mask
+	}
+	return sptensor.Index(idx)
+}
+
+// Delinearize recovers the full coordinate tuple into dst (len = order).
+func (e *Encoding) Delinearize(lo, hi uint64, dst []sptensor.Index) {
+	for m := range e.segs {
+		dst[m] = e.Extract(lo, hi, m)
+	}
+}

@@ -1,0 +1,203 @@
+package alto
+
+import (
+	"fmt"
+
+	"repro/internal/dense"
+	"repro/internal/locks"
+	"repro/internal/mttkrp"
+	"repro/internal/parallel"
+	"repro/internal/sptensor"
+)
+
+// Operator performs MTTKRPs for every mode of an ALTO tensor. One Operator
+// is built per CP-ALS run and reused across all iterations, owning the
+// mutex pool and privatization buffers exactly as the CSF operator does.
+//
+// Parallelization splits the linearized nonzero array into contiguous
+// per-task ranges (perfect nnz balance by construction — no slice-weight
+// partitioning needed, since there is no root mode). Every task walks its
+// range once, delinearizing coordinates on the fly, and accumulates into a
+// register-resident row buffer that is flushed only when the output-mode
+// index changes — so lock traffic scales with the mode's fiber-run count,
+// not with nnz.
+type Operator struct {
+	t    *Tensor
+	team *parallel.Team
+	opts mttkrp.Options
+	rank int
+
+	pool   locks.Pool
+	priv   *parallel.Scratch
+	bounds []int // contiguous nonzero ranges, len tasks+1
+
+	lastStrategy mttkrp.ConflictStrategy
+}
+
+// NewOperator builds an operator for the given ALTO tensor. rank is the
+// decomposition rank R; team may be nil for serial execution.
+func NewOperator(t *Tensor, team *parallel.Team, rank int, opts mttkrp.Options) *Operator {
+	o := &Operator{t: t, team: team, opts: opts, rank: rank}
+	o.pool = locks.NewPool(opts.LockKind, opts.PoolSize)
+	maxDim := 0
+	for _, d := range t.Enc.Dims {
+		if d > maxDim {
+			maxDim = d
+		}
+	}
+	o.priv = parallel.NewScratch(o.tasks(), maxDim*rank)
+	o.bounds = make([]int, o.tasks()+1)
+	for tid := 0; tid < o.tasks(); tid++ {
+		begin, _ := parallel.Partition(t.NNZ(), o.tasks(), tid)
+		o.bounds[tid] = begin
+	}
+	o.bounds[o.tasks()] = t.NNZ()
+	return o
+}
+
+func (o *Operator) tasks() int {
+	if o.team == nil {
+		return 1
+	}
+	return o.team.N()
+}
+
+// LastStrategy reports the conflict strategy used by the most recent Apply.
+func (o *Operator) LastStrategy() mttkrp.ConflictStrategy { return o.lastStrategy }
+
+// StrategyFor reports the conflict strategy Apply would use for a mode.
+//
+// The automatic decision adapts SPLATT's lock-vs-privatize rule to the
+// linearized layout: because row flushes happen once per fiber run, the
+// rule compares the privatization-reduction cost I_m × tasks against
+// runs(m) / privRatio — the *run* count, not nnz. A mode with high fiber
+// reuse (runs ≪ nnz) therefore leans toward locks, which it acquires
+// rarely, instead of paying the dense O(I_m × tasks) reduction.
+func (o *Operator) StrategyFor(mode int) mttkrp.ConflictStrategy {
+	if o.tasks() == 1 {
+		return mttkrp.StrategyNone
+	}
+	switch o.opts.Strategy {
+	case mttkrp.StrategyLock, mttkrp.StrategyPrivatize, mttkrp.StrategyNone:
+		return o.opts.Strategy
+	case mttkrp.StrategyTile:
+		// Tiling is a CSF-tree phase schedule; the linearized layout has no
+		// tiles, so fall back to the mutex pool (as CSF does for order > 3).
+		return mttkrp.StrategyLock
+	}
+	return mttkrp.Decide(o.t.Enc.Dims[mode], int(o.t.Runs(mode)), o.tasks(), o.opts.PrivRatio)
+}
+
+// Apply computes out = MTTKRP(tensor, factors, mode). out must be
+// Dims[mode]×rank and is overwritten.
+func (o *Operator) Apply(mode int, factors []*dense.Matrix, out *dense.Matrix) {
+	dims := o.t.Enc.Dims
+	if out.Rows != dims[mode] || out.Cols != o.rank {
+		panic(fmt.Sprintf("alto: output %dx%d, want %dx%d",
+			out.Rows, out.Cols, dims[mode], o.rank))
+	}
+	out.Zero()
+	strategy := o.StrategyFor(mode)
+	o.lastStrategy = strategy
+
+	if strategy == mttkrp.StrategyPrivatize {
+		o.priv.Zero(dims[mode] * o.rank)
+	}
+	run := func(tid int) {
+		begin, end := o.bounds[tid], o.bounds[tid+1]
+		if begin >= end {
+			return
+		}
+		o.runRange(mode, factors, out, strategy, tid, begin, end)
+	}
+	if o.team == nil || o.team.N() == 1 {
+		run(0)
+	} else {
+		o.team.Run(run)
+	}
+	if strategy == mttkrp.StrategyPrivatize {
+		o.priv.ReduceInto(o.team, out.Data, dims[mode]*o.rank)
+	}
+}
+
+// runRange is the kernel body for one task's contiguous nonzero range:
+// delinearize, form the value-scaled Hadamard product of the other modes'
+// factor rows, and accumulate into a run buffer flushed on output-row
+// change.
+func (o *Operator) runRange(mode int, factors []*dense.Matrix, out *dense.Matrix,
+	strategy mttkrp.ConflictStrategy, tid, begin, end int) {
+
+	enc := o.t.Enc
+	order := o.t.Order()
+	rank := o.rank
+	lo, hi, vals := o.t.Lo, o.t.Hi, o.t.Vals
+	coord := make([]sptensor.Index, order)
+	acc := make([]float64, rank)
+	tmp := make([]float64, rank)
+
+	var privBuf []float64
+	if strategy == mttkrp.StrategyPrivatize {
+		privBuf = o.priv.Buf(tid)
+	}
+	flush := func(row sptensor.Index) {
+		switch strategy {
+		case mttkrp.StrategyLock:
+			id := int(row)
+			o.pool.Lock(id)
+			dst := out.Row(id)
+			for j := range dst {
+				dst[j] += acc[j]
+			}
+			o.pool.Unlock(id)
+		case mttkrp.StrategyPrivatize:
+			dst := privBuf[int(row)*rank : int(row)*rank+rank]
+			for j := range dst {
+				dst[j] += acc[j]
+			}
+		default: // StrategyNone: single task, direct writes
+			dst := out.Row(int(row))
+			for j := range dst {
+				dst[j] += acc[j]
+			}
+		}
+		for j := range acc {
+			acc[j] = 0
+		}
+	}
+
+	curRow := sptensor.Index(-1)
+	for x := begin; x < end; x++ {
+		var h uint64
+		if hi != nil {
+			h = hi[x]
+		}
+		enc.Delinearize(lo[x], h, coord)
+		row := coord[mode]
+		if row != curRow {
+			if curRow >= 0 {
+				flush(curRow)
+			}
+			curRow = row
+		}
+		// acc += v · ∘_{m≠mode} factors[m][coord[m], :]
+		v := vals[x]
+		for j := 0; j < rank; j++ {
+			tmp[j] = v
+		}
+		for m := 0; m < order; m++ {
+			if m == mode {
+				continue
+			}
+			fr := factors[m].Row(int(coord[m]))
+			for j := 0; j < rank; j++ {
+				tmp[j] *= fr[j]
+			}
+		}
+		for j := 0; j < rank; j++ {
+			acc[j] += tmp[j]
+		}
+	}
+	if curRow >= 0 {
+		flush(curRow)
+	}
+}

@@ -3,7 +3,6 @@ package bench
 import (
 	"runtime"
 
-	"repro/internal/core"
 	"repro/internal/csf"
 	"repro/internal/dense"
 	"repro/internal/dist"
@@ -35,7 +34,7 @@ func (r *Runner) AblationBLAS() {
 		{4, 0}, {4, 300000},
 		{8, 300000},
 	} {
-		opts := core.DefaultOptions()
+		opts := r.options()
 		opts.BLASThreads = blas.threads
 		opts.BLASSpin = blas.spin
 		times, _ := r.runCPD(t, tasks, opts)
@@ -62,12 +61,12 @@ func (r *Runner) AblationLockDecision() {
 		row := []string{datasetName(ds)}
 		var chose string
 		for _, strat := range []mttkrp.ConflictStrategy{mttkrp.StrategyAuto, mttkrp.StrategyLock, mttkrp.StrategyPrivatize} {
-			opts := core.DefaultOptions()
+			opts := r.options()
 			opts.Strategy = strat
 			s := r.timeMTTKRP(t, tasks, opts)
 			row = append(row, secs(s))
 			if strat == mttkrp.StrategyAuto {
-				runner := core.NewMTTKRPRunner(t, r.cfg.Rank, tasks, opts)
+				runner := mustRunner(t, r.cfg.Rank, tasks, opts)
 				chose = "privatize"
 				for m := 0; m < t.NModes(); m++ {
 					if runner.StrategyFor(m) == mttkrp.StrategyLock {
@@ -94,18 +93,18 @@ func (r *Runner) AblationCSFAlloc() {
 		"Policy", "MTTKRP s", "CSF memory", "conflict-free modes")
 	t := r.dataset("yelp")
 	for _, policy := range []csf.AllocPolicy{csf.AllocOne, csf.AllocTwo, csf.AllocAll} {
-		opts := core.DefaultOptions()
+		opts := r.options()
 		opts.Alloc = policy
 		s := r.timeMTTKRP(t, tasks, opts)
 
-		runner := core.NewMTTKRPRunner(t, r.cfg.Rank, tasks, opts)
+		runner := mustRunner(t, r.cfg.Rank, tasks, opts)
 		free := 0
 		for m := 0; m < t.NModes(); m++ {
 			if runner.StrategyFor(m) == mttkrp.StrategyNone {
 				free++
 			}
 		}
-		mem := runner.Set().MemoryBytes()
+		mem := runner.MemoryBytes()
 		runner.Close()
 
 		tbl.addRow(policy.String(), secs(s),
@@ -131,7 +130,7 @@ func (r *Runner) AblationTiling() {
 		row := []string{humanInt(tasks) + oversubscribed(tasks)}
 		vals := map[string]float64{}
 		for _, strat := range []mttkrp.ConflictStrategy{mttkrp.StrategyLock, mttkrp.StrategyPrivatize, mttkrp.StrategyTile} {
-			opts := core.DefaultOptions()
+			opts := r.options()
 			opts.Strategy = strat
 			s := r.timeMTTKRP(t, tasks, opts)
 			row = append(row, secs(s))
@@ -201,7 +200,7 @@ func (r *Runner) AblationCOOBaseline() {
 		"Dataset", "CSF (reference)", "COO + locks", "CSF speedup")
 	for _, ds := range []string{"yelp", "nell-2"} {
 		t := r.dataset(ds)
-		csfS := r.timeMTTKRP(t, tasks, core.DefaultOptions())
+		csfS := r.timeMTTKRP(t, tasks, r.options())
 
 		// Time the COO baseline over the same invocation schedule.
 		factors := benchFactors(t, r.cfg.Rank)

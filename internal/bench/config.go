@@ -13,6 +13,7 @@ import (
 	"sort"
 	"strings"
 
+	"repro/internal/format"
 	"repro/internal/sptensor"
 )
 
@@ -31,6 +32,10 @@ type Config struct {
 	Trials int
 	// Tasks is the thread/task sweep (paper: 1..32).
 	Tasks []int
+	// Format selects the default storage backend for every experiment
+	// ("" or "csf" = the paper's CSF; "alto"|"auto" available). The
+	// ablformat ablation sweeps both formats regardless.
+	Format string
 }
 
 // DefaultConfig returns the laptop-scale defaults.
@@ -71,7 +76,16 @@ func (c Config) Validate() error {
 			return fmt.Errorf("bench: task count %d < 1", t)
 		}
 	}
+	if _, err := format.Parse(c.Format); err != nil {
+		return err
+	}
 	return nil
+}
+
+// formatSpec resolves the validated Format string.
+func (c Config) formatSpec() format.Spec {
+	spec, _ := format.Parse(c.Format)
+	return spec
 }
 
 // Runner executes experiments, caching generated dataset twins.
@@ -130,7 +144,7 @@ func oversubscribed(tasks int) string {
 var experimentOrder = []string{
 	"table1", "table2", "table3",
 	"fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10",
-	"ablblas", "abllock", "ablcsf", "ablcoo", "abltile", "abldist",
+	"ablblas", "abllock", "ablcsf", "ablcoo", "abltile", "abldist", "ablformat",
 }
 
 // ExperimentIDs lists every runnable experiment id in report order.
@@ -186,6 +200,8 @@ func (r *Runner) Run(id string) error {
 		r.AblationTiling()
 	case "abldist":
 		r.AblationDistributed()
+	case "ablformat":
+		r.AblationFormats()
 	default:
 		ids := append(ExperimentIDs(), "all")
 		sort.Strings(ids)

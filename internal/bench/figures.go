@@ -45,7 +45,7 @@ func (r *Runner) Fig1() {
 	tbl := newTable("seconds (series = sort variant)",
 		"Tasks", "Initial", "Array-opt", "Slices-opt", "All-opts", "Init/All")
 	for _, tasks := range r.cfg.Tasks {
-		opts := core.DefaultOptions()
+		opts := r.options()
 		row := []string{humanInt(tasks) + oversubscribed(tasks)}
 		var initial, allopt float64
 		for _, v := range []tsort.Variant{tsort.Initial, tsort.ArrayOpt, tsort.SliceOpt, tsort.AllOpt} {
@@ -77,7 +77,7 @@ func (r *Runner) figAccess(id, title, ds string) {
 		row := []string{humanInt(tasks) + oversubscribed(tasks)}
 		var sl, ptr float64
 		for _, access := range []mttkrp.AccessMode{mttkrp.AccessSlice, mttkrp.AccessIndex2D, mttkrp.AccessPointer} {
-			opts := core.DefaultOptions()
+			opts := r.options()
 			opts.Access = access
 			s := r.timeMTTKRP(t, tasks, opts)
 			row = append(row, secs(s))
@@ -119,7 +119,7 @@ func (r *Runner) Fig4() {
 		var syncS, atomicS float64
 		usesLocks := "no"
 		for _, kind := range []locks.Kind{locks.Sync, locks.Spin, locks.FIFO} {
-			opts := core.DefaultOptions()
+			opts := r.options()
 			opts.Access = mttkrp.AccessPointer
 			opts.LockKind = kind
 			s := r.timeMTTKRP(t, tasks, opts)
@@ -132,7 +132,7 @@ func (r *Runner) Fig4() {
 			}
 		}
 		// Observe whether the auto decision chose locks at this count.
-		runner := core.NewMTTKRPRunner(t, r.cfg.Rank, tasks, core.DefaultOptions())
+		runner := mustRunner(t, r.cfg.Rank, tasks, r.options())
 		for m := 0; m < t.NModes(); m++ {
 			if runner.StrategyFor(m) == mttkrp.StrategyLock {
 				usesLocks = "yes"
@@ -154,8 +154,8 @@ func (r *Runner) figPerRoutine(id, title, ds string, tasks int) {
 	t := r.dataset(ds)
 	tbl := newTable("per-routine seconds (measured)",
 		"Routine", "C", "Chapel-optimize", "C/Chapel")
-	refTimes, _ := r.runCPD(t, tasks, profileOptions(core.ProfileReference))
-	optTimes, _ := r.runCPD(t, tasks, profileOptions(core.ProfileOptimized))
+	refTimes, _ := r.runCPD(t, tasks, r.profileOptions(core.ProfileReference))
+	optTimes, _ := r.runCPD(t, tasks, r.profileOptions(core.ProfileOptimized))
 	for _, routine := range fig5to8Routines {
 		c, ch := refTimes[routine], optTimes[routine]
 		tbl.addRow(routine, secs(c), secs(ch), pct(perf.RelativePerformance(c, ch)))
@@ -204,7 +204,7 @@ func (r *Runner) figScaling(id, title, ds string) {
 		row := []string{humanInt(tasks) + oversubscribed(tasks)}
 		var c, opt float64
 		for _, p := range []core.Profile{core.ProfileReference, core.ProfileInitial, core.ProfileOptimized} {
-			s := r.timeMTTKRP(t, tasks, profileOptions(p))
+			s := r.timeMTTKRP(t, tasks, r.profileOptions(p))
 			row = append(row, secs(s))
 			switch p {
 			case core.ProfileReference:

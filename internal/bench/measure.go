@@ -14,6 +14,16 @@ import (
 // on: an isolated MTTKRP timing loop (Figures 2-4, 9-10) and a full CP-ALS
 // run with per-routine timers (Table III, Figures 5-8).
 
+// mustRunner builds an MTTKRP runner, panicking on backend-build failure
+// (the harness's tensors are always encodable).
+func mustRunner(t *sptensor.Tensor, rank, tasks int, opts core.Options) *core.MTTKRPRunner {
+	runner, err := core.NewMTTKRPRunner(t, rank, tasks, opts)
+	if err != nil {
+		panic(err)
+	}
+	return runner
+}
+
 // benchFactors builds deterministic random factor matrices for a tensor.
 func benchFactors(t *sptensor.Tensor, rank int) []*dense.Matrix {
 	rng := rand.New(rand.NewSource(12345))
@@ -32,6 +42,15 @@ func benchFactors(t *sptensor.Tensor, rank int) []*dense.Matrix {
 // is returned.
 func (r *Runner) timeMTTKRP(t *sptensor.Tensor, tasks int, opts core.Options) float64 {
 	opts.Rank = r.cfg.Rank
+	runner := mustRunner(t, r.cfg.Rank, tasks, opts)
+	defer runner.Close()
+	return r.timeMTTKRPOn(runner, t)
+}
+
+// timeMTTKRPOn is the timing core over an already-built runner, so
+// callers that also need backend introspection (the formats ablation)
+// construct the backend once.
+func (r *Runner) timeMTTKRPOn(runner *core.MTTKRPRunner, t *sptensor.Tensor) float64 {
 	factors := benchFactors(t, r.cfg.Rank)
 	maxDim := 0
 	for _, d := range t.Dims {
@@ -40,9 +59,6 @@ func (r *Runner) timeMTTKRP(t *sptensor.Tensor, tasks int, opts core.Options) fl
 		}
 	}
 	out := dense.NewMatrix(maxDim, r.cfg.Rank)
-
-	runner := core.NewMTTKRPRunner(t, r.cfg.Rank, tasks, opts)
-	defer runner.Close()
 
 	// Warm up (page in the CSF, JIT the team) and reset the GC so heap
 	// growth from a previous configuration (the allocation-heavy Initial
@@ -113,9 +129,22 @@ func withTasks(opts core.Options, tasks int) core.Options {
 	return opts
 }
 
-// profileOptions returns DefaultOptions with a profile applied.
-func profileOptions(p core.Profile) core.Options {
+// options returns core.DefaultOptions with the Config-level storage-format
+// default applied. Experiments build their per-run options from this, so a
+// `-format` sweep default reaches every experiment while a per-experiment
+// pin (the ablformat sweep sets opts.Format itself) is never overridden.
+func (r *Runner) options() core.Options {
 	opts := core.DefaultOptions()
+	if r.cfg.Format != "" {
+		opts.Format = r.cfg.formatSpec()
+	}
+	return opts
+}
+
+// profileOptions returns the runner's default options with a profile
+// applied.
+func (r *Runner) profileOptions(p core.Profile) core.Options {
+	opts := r.options()
 	opts.ApplyProfile(p)
 	return opts
 }

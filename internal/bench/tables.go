@@ -99,7 +99,7 @@ func (r *Runner) Table3() {
 			"Tasks", "Code", "MTTKRP", "Sort", "Mat A^TA", "Mat norm", "CPD fit", "Inverse")
 		for _, tasks := range taskPoints {
 			for _, p := range []core.Profile{core.ProfileReference, core.ProfileInitial} {
-				times, _ := r.runCPD(t, tasks, profileOptions(p))
+				times, _ := r.runCPD(t, tasks, r.profileOptions(p))
 				row := []string{humanInt(tasks) + oversubscribed(tasks), p.String()}
 				for _, routine := range table3Routines {
 					row = append(row, secs(times[routine]))

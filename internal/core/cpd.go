@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/csf"
 	"repro/internal/dense"
+	"repro/internal/format"
 	"repro/internal/mttkrp"
 	"repro/internal/parallel"
 	"repro/internal/perf"
@@ -12,10 +13,11 @@ import (
 	"repro/internal/tsort"
 )
 
-// CPD runs CP-ALS (Algorithm 1) on tensor t. It builds the CSF set
-// (timing the sort, as the paper's pre-processing "Sort" routine), then
-// iterates mode-wise least-squares updates until MaxIters or convergence.
-// The input tensor is not modified.
+// CPD runs CP-ALS (Algorithm 1) on tensor t. It builds the storage backend
+// selected by Options.Format (the CSF set — timing the sort, as the
+// paper's pre-processing "Sort" routine — or the ALTO linearized arrays),
+// then iterates mode-wise least-squares updates until MaxIters or
+// convergence. The input tensor is not modified.
 func CPD(t *sptensor.Tensor, opts Options) (*KruskalTensor, *Report, error) {
 	if err := opts.Validate(); err != nil {
 		return nil, nil, err
@@ -34,8 +36,13 @@ func CPD(t *sptensor.Tensor, opts Options) (*KruskalTensor, *Report, error) {
 	team := parallel.NewTeam(tasks)
 	defer team.Close()
 
-	set := buildCSFSet(t, opts, team, timers)
-	d := newDecomposer(t, set, team, opts, timers)
+	cfg := opts.backendConfig(timers)
+	cfg.Team = team
+	backend, err := format.Build(t, opts.Format, cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	d := newDecomposer(t, backend, team, opts, timers)
 	k, report := d.run()
 	if report.Cancelled {
 		return k, report, opts.Ctx.Err()
@@ -43,36 +50,15 @@ func CPD(t *sptensor.Tensor, opts Options) (*KruskalTensor, *Report, error) {
 	return k, report, nil
 }
 
-// buildCSFSet sorts clones of t (charged to the Sort timer, the paper's
-// pre-processing step) and assembles the CSF representations (charged to
-// the CSF build timer).
-func buildCSFSet(t *sptensor.Tensor, opts Options, team *parallel.Team, timers *perf.Registry) *csf.Set {
-	roots := csf.RootsFor(t.Dims, opts.Alloc)
-	sortT := timers.Get(perf.RoutineSort)
-	buildT := timers.Get(perf.RoutineCSF)
-	csfs := make([]*csf.CSF, len(roots))
-	for i, root := range roots {
-		clone := t.Clone()
-		sortT.Start()
-		perm := tsort.SortForRoot(clone, root, team, opts.SortVariant)
-		sortT.Stop()
-		buildT.Start()
-		csfs[i] = csf.BuildPresorted(clone, perm)
-		buildT.Stop()
-	}
-	return csf.NewSetFrom(opts.Alloc, csfs)
-}
-
 // decomposer holds the state of one CP-ALS run.
 type decomposer struct {
-	t      *sptensor.Tensor
-	set    *csf.Set
-	team   *parallel.Team
-	opts   Options
-	timers *perf.Registry
+	t       *sptensor.Tensor
+	backend format.Backend
+	team    *parallel.Team
+	opts    Options
+	timers  *perf.Registry
 
 	k     *KruskalTensor
-	op    *mttkrp.Operator
 	grams []*dense.Matrix // A(m)ᵀA(m), maintained per mode
 	v     *dense.Matrix   // Hadamard product of the other modes' grams
 	mbuf  *dense.Matrix   // MTTKRP output buffer (maxDim rows used per mode)
@@ -80,24 +66,17 @@ type decomposer struct {
 	normX float64
 }
 
-func newDecomposer(t *sptensor.Tensor, set *csf.Set, team *parallel.Team,
+func newDecomposer(t *sptensor.Tensor, backend format.Backend, team *parallel.Team,
 	opts Options, timers *perf.Registry) *decomposer {
 
 	r := opts.Rank
 	d := &decomposer{
-		t: t, set: set, team: team, opts: opts, timers: timers,
+		t: t, backend: backend, team: team, opts: opts, timers: timers,
 		k:     NewRandomKruskal(t.Dims, r, opts.Seed),
 		grams: make([]*dense.Matrix, t.NModes()),
 		v:     dense.NewMatrix(r, r),
 		normX: t.NormSquared(),
 	}
-	mopts := mttkrp.Options{
-		Access:    opts.Access,
-		Strategy:  opts.Strategy,
-		LockKind:  opts.LockKind,
-		PrivRatio: opts.PrivRatio,
-	}
-	d.op = mttkrp.NewOperator(set, team, r, mopts)
 	maxDim := 0
 	for _, dim := range t.Dims {
 		if dim > maxDim {
@@ -120,7 +99,8 @@ func (d *decomposer) run() (*KruskalTensor, *Report) {
 	order := t.NModes()
 	report := &Report{
 		Strategies: make([]mttkrp.ConflictStrategy, order),
-		CSFBytes:   d.set.MemoryBytes(),
+		Format:     d.backend.Format().String(),
+		CSFBytes:   d.backend.MemoryBytes(),
 	}
 	cpdT := d.timers.Get(perf.RoutineCPD)
 	cpdT.Start()
@@ -188,9 +168,9 @@ func (d *decomposer) updateMode(m, iter int, report *Report) {
 
 	// M ← X(m) · (⊙_{n≠m} A(n)), the MTTKRP.
 	d.timers.Time(perf.RoutineMTTKRP, func() {
-		d.op.Apply(m, d.k.Factors, mrows)
+		d.backend.MTTKRP(m, d.k.Factors, mrows)
 	})
-	report.Strategies[m] = d.op.LastStrategy()
+	report.Strategies[m] = d.backend.LastStrategy()
 
 	// A(m) ← M · V†.
 	d.timers.Time(perf.RoutineInverse, func() {
@@ -269,9 +249,9 @@ func (d *decomposer) modelNormSquared() float64 {
 	return d.k.NormSquaredFromGrams(d.grams)
 }
 
-// SortOnly runs just the pre-processing sort the way CPD would, for the
-// Figure 1 study: it clones t, sorts for the policy's first root, and
-// reports the elapsed seconds.
+// SortOnly runs just the pre-processing sort the way the CSF backend
+// would, for the Figure 1 study: it clones t, sorts for the policy's first
+// root, and reports the elapsed seconds.
 func SortOnly(t *sptensor.Tensor, opts Options) float64 {
 	tasks := opts.Tasks
 	if tasks < 1 {

@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"repro/internal/csf"
+	"repro/internal/format"
 	"repro/internal/locks"
 	"repro/internal/mttkrp"
 	"repro/internal/perf"
@@ -82,8 +83,13 @@ type Options struct {
 	PrivRatio int
 	// SortVariant selects the §V-C sorting implementation.
 	SortVariant tsort.Variant
-	// Alloc selects the CSF allocation policy.
+	// Alloc selects the CSF allocation policy (CSF backend only).
 	Alloc csf.AllocPolicy
+	// Format selects the tensor storage backend: format.CSF (the paper's
+	// compressed sparse fiber, the zero-value default), format.ALTO (the
+	// adaptive linearized representation), or format.Auto (per-tensor
+	// heuristic, see format.Choose).
+	Format format.Spec
 
 	// BLASThreads > 1 runs the inverse routine on an independent BLAS
 	// goroutine pool (the OMP_NUM_THREADS axis of §V-E); BLASSpin is the
@@ -143,6 +149,23 @@ func (o *Options) ApplyProfile(p Profile) {
 	}
 }
 
+// backendConfig maps the options onto a storage-backend build config; the
+// caller fills Config.Team.
+func (o Options) backendConfig(timers *perf.Registry) format.Config {
+	return format.Config{
+		Rank: o.Rank,
+		Kernel: mttkrp.Options{
+			Access:    o.Access,
+			Strategy:  o.Strategy,
+			LockKind:  o.LockKind,
+			PrivRatio: o.PrivRatio,
+		},
+		Alloc:       o.Alloc,
+		SortVariant: o.SortVariant,
+		Timers:      timers,
+	}
+}
+
 // Validate sanity-checks option values.
 func (o Options) Validate() error {
 	if o.Rank <= 0 {
@@ -176,7 +199,12 @@ type Report struct {
 	// Strategies records the conflict strategy used per mode — the
 	// observable lock-vs-privatize decision.
 	Strategies []mttkrp.ConflictStrategy
-	// CSFBytes is the total CSF footprint.
+	// Format is the resolved storage backend ("csf" or "alto"; Auto is
+	// resolved before the run starts).
+	Format string
+	// CSFBytes is the storage footprint of the selected backend (the CSF
+	// set, or the linearized ALTO arrays — field name kept for
+	// compatibility with existing consumers).
 	CSFBytes int64
 	// Cancelled reports that Options.Ctx was cancelled and the run stopped
 	// early; Fit and FitHistory reflect the last completed iteration.

@@ -1,56 +1,52 @@
 package core
 
 import (
-	"repro/internal/csf"
 	"repro/internal/dense"
+	"repro/internal/format"
 	"repro/internal/mttkrp"
 	"repro/internal/parallel"
 	"repro/internal/sptensor"
 )
 
-// MTTKRPRunner packages a CSF set, worker team, and MTTKRP operator for
-// standalone kernel use outside the ALS loop — the public MTTKRP helper
-// and the Figure 2/3/4/9/10 benchmarks (which time MTTKRP in isolation)
-// are built on it.
+// MTTKRPRunner packages a storage backend and worker team for standalone
+// kernel use outside the ALS loop — the public MTTKRP helper and the
+// Figure 2/3/4/9/10 benchmarks (which time MTTKRP in isolation) are built
+// on it.
 type MTTKRPRunner struct {
-	team *parallel.Team
-	set  *csf.Set
-	op   *mttkrp.Operator
+	team    *parallel.Team
+	backend format.Backend
 }
 
-// NewMTTKRPRunner builds the CSF set for t (using opts.Alloc and
-// opts.SortVariant) and an operator configured from opts.
-func NewMTTKRPRunner(t *sptensor.Tensor, rank, tasks int, opts Options) *MTTKRPRunner {
+// NewMTTKRPRunner builds the storage backend selected by opts.Format for t
+// (CSF uses opts.Alloc and opts.SortVariant) and its MTTKRP operator.
+func NewMTTKRPRunner(t *sptensor.Tensor, rank, tasks int, opts Options) (*MTTKRPRunner, error) {
 	if tasks < 1 {
 		tasks = 1
 	}
 	team := parallel.NewTeam(tasks)
-	set := csf.NewSet(t, opts.Alloc, team, opts.SortVariant)
-	mopts := mttkrp.Options{
-		Access:    opts.Access,
-		Strategy:  opts.Strategy,
-		LockKind:  opts.LockKind,
-		PrivRatio: opts.PrivRatio,
+	opts.Rank = rank
+	cfg := opts.backendConfig(nil)
+	cfg.Team = team
+	backend, err := format.Build(t, opts.Format, cfg)
+	if err != nil {
+		team.Close()
+		return nil, err
 	}
-	return &MTTKRPRunner{
-		team: team,
-		set:  set,
-		op:   mttkrp.NewOperator(set, team, rank, mopts),
-	}
+	return &MTTKRPRunner{team: team, backend: backend}, nil
 }
 
 // Apply computes out = MTTKRP(mode); out must be Dims[mode]×rank.
 func (r *MTTKRPRunner) Apply(mode int, factors []*dense.Matrix, out *dense.Matrix) {
-	r.op.Apply(mode, factors, out)
+	r.backend.MTTKRP(mode, factors, out)
 }
 
 // StrategyFor exposes the conflict-strategy decision per mode.
 func (r *MTTKRPRunner) StrategyFor(mode int) mttkrp.ConflictStrategy {
-	return r.op.StrategyFor(mode)
+	return r.backend.StrategyFor(mode)
 }
 
-// Set exposes the underlying CSF set (memory accounting, tests).
-func (r *MTTKRPRunner) Set() *csf.Set { return r.set }
+// MemoryBytes reports the backend's storage footprint.
+func (r *MTTKRPRunner) MemoryBytes() int64 { return r.backend.MemoryBytes() }
 
 // Close releases the worker team.
 func (r *MTTKRPRunner) Close() { r.team.Close() }

@@ -26,6 +26,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/csf"
 	"repro/internal/dense"
+	"repro/internal/format"
 	"repro/internal/locks"
 	"repro/internal/mttkrp"
 	"repro/internal/parallel"
@@ -53,13 +54,17 @@ type Options struct {
 	// TasksPerLocale is each locale's intra-locale team size (0 = 1).
 	TasksPerLocale int
 
-	// Access / LockKind / Strategy / SortVariant / Alloc select the
-	// intra-locale kernel configuration, as in core.Options.
+	// Access / LockKind / Strategy / SortVariant / Alloc / Format select
+	// the intra-locale kernel configuration, as in core.Options. Each
+	// locale stores its shard in the selected format (Auto resolves per
+	// shard, so a skewed shard may linearize while a regular one keeps the
+	// fiber tree).
 	Access      mttkrp.AccessMode
 	LockKind    locks.Kind
 	Strategy    mttkrp.ConflictStrategy
 	SortVariant tsort.Variant
 	Alloc       csf.AllocPolicy
+	Format      format.Spec
 
 	// NonNegative and Ridge mirror the constrained-CP options.
 	NonNegative bool
@@ -130,6 +135,7 @@ func (o Options) coreOptions() core.Options {
 	co.Strategy = o.Strategy
 	co.SortVariant = o.SortVariant
 	co.Alloc = o.Alloc
+	co.Format = o.Format
 	co.NonNegative = o.NonNegative
 	co.Ridge = o.Ridge
 	co.Ctx = o.Ctx
@@ -167,6 +173,14 @@ func CPD(t *sptensor.Tensor, opts Options) (*core.KruskalTensor, *Report, error)
 		}(lid)
 	}
 	setup.Wait()
+	for _, lc := range locales {
+		if lc.err != nil {
+			for _, l := range locales {
+				l.team.Close()
+			}
+			return nil, nil, fmt.Errorf("dist: locale %d backend: %w", lc.lid, lc.err)
+		}
+	}
 
 	var wg sync.WaitGroup
 	for _, lc := range locales {
@@ -186,6 +200,14 @@ func CPD(t *sptensor.Tensor, opts Options) (*core.KruskalTensor, *Report, error)
 		Cancelled:  locales[0].cancelled,
 		ShardRows:  make([]int, world),
 		ShardNNZ:   make([]int, world),
+	}
+	if locales[0].op != nil {
+		report.Format = locales[0].op.Format().String()
+	} else if spec := opts.Format; spec == format.Auto {
+		resolved, _ := format.Choose(t)
+		report.Format = resolved.String()
+	} else {
+		report.Format = spec.String()
 	}
 	for lid, s := range slabs {
 		report.ShardRows[lid] = s.Rows()
@@ -218,6 +240,7 @@ func cpdSingle(t *sptensor.Tensor, opts Options) (*core.KruskalTensor, *Report, 
 		Fit:           cr.Fit,
 		FitHistory:    cr.FitHistory,
 		Cancelled:     cr.Cancelled,
+		Format:        cr.Format,
 		ShardRows:     []int{t.Dims[0]},
 		ShardNNZ:      []int{t.NNZ()},
 		MTTKRPSeconds: cr.Times[perf.RoutineMTTKRP],
@@ -235,7 +258,8 @@ type locale struct {
 
 	local *sptensor.Tensor // slab tensor, mode 0 in local coordinates
 	team  *parallel.Team
-	op    *mttkrp.Operator // nil when the shard holds no nonzeros
+	op    format.Backend // nil when the shard holds no nonzeros
+	err   error          // backend build failure (surfaced after setup)
 
 	k       *core.KruskalTensor // full factor replica (all modes)
 	a0      *dense.Matrix       // view of the owned mode-0 rows
@@ -288,11 +312,16 @@ func newLocale(lid int, slab Slab, t *sptensor.Tensor, seed *core.KruskalTensor,
 		lc.grams[m] = dense.NewMatrix(r, r)
 	}
 	if lc.local.NNZ() > 0 {
-		set := csf.NewSet(lc.local, opts.Alloc, lc.team, opts.SortVariant)
-		lc.op = mttkrp.NewOperator(set, lc.team, r, mttkrp.Options{
-			Access:   opts.Access,
-			Strategy: opts.Strategy,
-			LockKind: opts.LockKind,
+		lc.op, lc.err = format.Build(lc.local, opts.Format, format.Config{
+			Team: lc.team,
+			Rank: r,
+			Kernel: mttkrp.Options{
+				Access:   opts.Access,
+				Strategy: opts.Strategy,
+				LockKind: opts.LockKind,
+			},
+			Alloc:       opts.Alloc,
+			SortVariant: opts.SortVariant,
 		})
 	}
 	return lc
@@ -409,7 +438,7 @@ func (lc *locale) applyMTTKRP(m int, out *dense.Matrix) {
 	if lc.op == nil {
 		out.Zero()
 	} else {
-		lc.op.Apply(m, lc.factors, out)
+		lc.op.MTTKRP(m, lc.factors, out)
 	}
 	lc.mttkrpSeconds += time.Since(start).Seconds()
 }

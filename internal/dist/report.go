@@ -17,6 +17,10 @@ type Report struct {
 	// Cancelled reports that Options.Ctx was cancelled and the run stopped
 	// at an iteration boundary.
 	Cancelled bool
+	// Format is the resolved storage backend of locale 0's shard ("csf" or
+	// "alto"; with format.Auto other locales may resolve differently per
+	// shard).
+	Format string
 
 	// ShardRows[l] is the number of mode-0 slices locale l owns.
 	ShardRows []int

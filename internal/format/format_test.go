@@ -1,0 +1,152 @@
+package format
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/dense"
+	"repro/internal/locks"
+	"repro/internal/mttkrp"
+	"repro/internal/parallel"
+	"repro/internal/perf"
+	"repro/internal/sptensor"
+)
+
+func TestParseAndString(t *testing.T) {
+	for _, c := range []struct {
+		in   string
+		want Spec
+	}{
+		{"csf", CSF}, {"", CSF}, {"CSF", CSF},
+		{"alto", ALTO}, {" ALTO ", ALTO},
+		{"auto", Auto},
+	} {
+		got, err := Parse(c.in)
+		if err != nil || got != c.want {
+			t.Errorf("Parse(%q) = %v, %v; want %v", c.in, got, err, c.want)
+		}
+	}
+	if _, err := Parse("hicoo"); err == nil {
+		t.Error("unknown format accepted")
+	}
+	if CSF.String() != "csf" || ALTO.String() != "alto" || Auto.String() != "auto" {
+		t.Error("Spec labels changed")
+	}
+	var zero Spec
+	if zero != CSF {
+		t.Error("zero Spec is not CSF: existing configurations would change format")
+	}
+}
+
+func TestChooseHeuristic(t *testing.T) {
+	// Order ≥ 4 → ALTO.
+	t4 := sptensor.Random([]int{10, 9, 8, 7}, 200, 3)
+	if got, reason := Choose(t4); got != ALTO {
+		t.Errorf("order-4 chose %v (%s), want alto", got, reason)
+	}
+	// Unencodable (5 × 31 bits) → CSF even at high order. Dims only need
+	// declaring; a single in-range nonzero keeps validation happy.
+	huge := sptensor.New([]int{1 << 31, 1 << 31, 1 << 31, 1 << 31, 1 << 31}, 1)
+	if got, reason := Choose(huge); got != CSF {
+		t.Errorf("unencodable chose %v (%s), want csf", got, reason)
+	}
+	// Regular 3rd-order → CSF.
+	uniform := sptensor.Random([]int{40, 40, 40}, 2000, 5)
+	if got, reason := Choose(uniform); got != CSF {
+		t.Errorf("uniform 3rd-order chose %v (%s), want csf", got, reason)
+	}
+	// Hub-skewed 3rd-order, narrow encoding → ALTO: one slice of the
+	// longest mode holds most nonzeros.
+	hub := sptensor.New([]int{8, 8, 64}, 256)
+	rng := rand.New(rand.NewSource(7))
+	for x := 0; x < 256; x++ {
+		hub.Inds[0][x] = sptensor.Index(rng.Intn(8))
+		hub.Inds[1][x] = sptensor.Index(rng.Intn(8))
+		if x < 200 {
+			hub.Inds[2][x] = 0 // hub slice
+		} else {
+			hub.Inds[2][x] = sptensor.Index(rng.Intn(64))
+		}
+		hub.Vals[x] = 1
+	}
+	if got, reason := Choose(hub); got != ALTO {
+		t.Errorf("hub-skewed chose %v (%s), want alto", got, reason)
+	}
+	// Same skew but a two-word encoding → CSF.
+	wide := sptensor.New([]int{1 << 24, 1 << 24, 1 << 24}, 64)
+	for x := 0; x < 64; x++ {
+		wide.Inds[0][x] = sptensor.Index(x)
+		wide.Inds[1][x] = sptensor.Index(x)
+		wide.Inds[2][x] = 0
+		wide.Vals[x] = 1
+	}
+	if got, reason := Choose(wide); got != CSF {
+		t.Errorf("wide-encoding chose %v (%s), want csf", got, reason)
+	}
+}
+
+func TestBuildBackendsAgree(t *testing.T) {
+	const rank = 6
+	tt := sptensor.Random([]int{20, 15, 12}, 800, 9)
+	team := parallel.NewTeam(4)
+	defer team.Close()
+	rng := rand.New(rand.NewSource(13))
+	factors := make([]*dense.Matrix, tt.NModes())
+	for m, d := range tt.Dims {
+		factors[m] = dense.NewRandomMatrix(d, rank, rng)
+	}
+	cfg := Config{Team: team, Rank: rank, Kernel: mttkrp.Options{LockKind: locks.Spin}}
+
+	csfB, err := Build(tt, CSF, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	altoB, err := Build(tt, ALTO, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if csfB.Format() != CSF || altoB.Format() != ALTO {
+		t.Fatalf("resolved formats wrong: %v / %v", csfB.Format(), altoB.Format())
+	}
+	if CSFSet(csfB) == nil || CSFSet(altoB) != nil {
+		t.Error("CSFSet introspection wrong")
+	}
+	for mode := 0; mode < tt.NModes(); mode++ {
+		a := dense.NewMatrix(tt.Dims[mode], rank)
+		b := dense.NewMatrix(tt.Dims[mode], rank)
+		csfB.MTTKRP(mode, factors, a)
+		altoB.MTTKRP(mode, factors, b)
+		if d := a.MaxAbsDiff(b); d > 1e-9 {
+			t.Errorf("mode %d: CSF and ALTO MTTKRP differ by %g", mode, d)
+		}
+		if altoB.LastStrategy() != altoB.StrategyFor(mode) {
+			t.Errorf("mode %d: ALTO LastStrategy mismatch", mode)
+		}
+	}
+	if csfB.MemoryBytes() <= 0 || altoB.MemoryBytes() <= 0 {
+		t.Error("memory accounting empty")
+	}
+}
+
+func TestBuildAutoResolvesAndTimes(t *testing.T) {
+	timers := perf.NewRegistry()
+	t4 := sptensor.Random([]int{10, 9, 8, 7}, 300, 17)
+	b, err := Build(t4, Auto, Config{Rank: 4, Timers: timers})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Format() != ALTO {
+		t.Fatalf("auto on order-4 resolved to %v", b.Format())
+	}
+	if timers.Seconds(perf.RoutineALTO) <= 0 {
+		t.Error("ALTO build not charged to its timer")
+	}
+	// Explicit ALTO on unencodable dims must error; Auto must not.
+	huge := sptensor.New([]int{1 << 31, 1 << 31, 1 << 31, 1 << 31, 1 << 31}, 1)
+	if _, err := Build(huge, ALTO, Config{Rank: 2}); err == nil {
+		t.Error("unencodable explicit alto accepted")
+	}
+	if b, err := Build(huge, Auto, Config{Rank: 2}); err != nil || b.Format() != CSF {
+		t.Errorf("auto fallback failed: %v %v", b, err)
+	}
+}

@@ -26,6 +26,7 @@ const (
 	RoutineCPD     = "CPD TOTAL"
 	RoutineIO      = "IO"
 	RoutineCSF     = "CSF BUILD"
+	RoutineALTO    = "ALTO BUILD"
 )
 
 // CanonicalRoutines lists the six per-routine rows reported by the paper,

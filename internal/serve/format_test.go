@@ -1,0 +1,82 @@
+package serve
+
+import (
+	"math"
+	"net/http"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/format"
+	"repro/internal/sptensor"
+)
+
+// TestFormatRoundTrip is the acceptance scenario of the pluggable-format
+// axis at the service layer: "alto"-formatted jobs run end to end through
+// the HTTP API, report the resolved backend in their result, match the
+// direct CSF engine to 1e-8, and show up in the /metrics format counters.
+func TestFormatRoundTrip(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 2, QueueCapacity: 16})
+	tensor := sptensor.Random([]int{24, 18, 14}, 900, 61)
+	res := uploadTensor(t, ts.URL, tnsBytes(t, tensor))
+
+	// Reference fit from the direct CSF engine with the same knobs.
+	opts := core.DefaultOptions()
+	opts.Rank = 6
+	opts.MaxIters = 8
+	opts.Seed = 5
+	_, want, err := core.CPD(tensor, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cases := []struct {
+		spec       JobSpec
+		wantFormat string
+	}{
+		{JobSpec{TensorID: res.ID, Kind: KindCPD, Rank: 6, MaxIters: 8, Seed: 5, Format: "alto"}, "alto"},
+		{JobSpec{TensorID: res.ID, Kind: KindCPD, Rank: 6, MaxIters: 8, Seed: 5}, "csf"},
+		{JobSpec{TensorID: res.ID, Kind: KindCPD, Rank: 6, MaxIters: 8, Seed: 5, Format: "auto"}, "csf"},
+		{JobSpec{TensorID: res.ID, Kind: KindDistributed, Rank: 6, MaxIters: 8, Seed: 5, Locales: 2, Format: "alto"}, "alto"},
+	}
+	for _, c := range cases {
+		st, code := submitJob(t, ts.URL, c.spec)
+		if code != http.StatusAccepted {
+			t.Fatalf("format %q: submit status %d", c.spec.Format, code)
+		}
+		final := waitState(t, ts.URL, st.ID, 30*time.Second, terminal)
+		if final.State != StateDone {
+			t.Fatalf("format %q: job ended %s (err=%q)", c.spec.Format, final.State, final.Error)
+		}
+		if final.Result == nil || final.Result.Format != c.wantFormat {
+			t.Fatalf("format %q: result %+v, want resolved format %q", c.spec.Format, final.Result, c.wantFormat)
+		}
+		if d := math.Abs(final.Result.Fit - want.Fit); d > 1e-8 {
+			t.Errorf("format %q: fit %.12f vs direct CSF %.12f (|Δ|=%g)",
+				c.spec.Format, final.Result.Fit, want.Fit, d)
+		}
+	}
+
+	m := getMetrics(t, ts.URL)
+	if m.Jobs.ByFormat["alto"] != 2 || m.Jobs.ByFormat["csf"] != 2 {
+		t.Errorf("metrics by_format = %v, want alto:2 csf:2", m.Jobs.ByFormat)
+	}
+}
+
+// TestFormatSpecValidation rejects unknown formats at submission time and
+// accepts every parseable one.
+func TestFormatSpecValidation(t *testing.T) {
+	spec := JobSpec{TensorID: "x", Format: "hicoo"}
+	if err := spec.normalize(); err == nil {
+		t.Error("unknown format accepted")
+	}
+	for _, f := range []string{"", "csf", "alto", "auto"} {
+		spec := JobSpec{TensorID: "x", Format: f}
+		if err := spec.normalize(); err != nil {
+			t.Errorf("format %q rejected: %v", f, err)
+		}
+	}
+	if (&JobSpec{Format: "alto"}).formatSpec() != format.ALTO {
+		t.Error("formatSpec resolution wrong")
+	}
+}

@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/dist"
+	"repro/internal/format"
 	"repro/internal/sptensor"
 )
 
@@ -52,6 +53,10 @@ type JobSpec struct {
 	Ridge       float64 `json:"ridge,omitempty"`
 	// Locales applies to kind "dist" only.
 	Locales int `json:"locales,omitempty"`
+	// Format selects the tensor storage backend: "csf" (default), "alto",
+	// or "auto". Applies to kinds "cpd" and "dist"; the completion engine
+	// streams coordinates directly and ignores it.
+	Format string `json:"format,omitempty"`
 }
 
 // normalize fills defaults and validates the engine-independent fields.
@@ -70,7 +75,16 @@ func (s *JobSpec) normalize() error {
 	if s.Rank < 0 || s.MaxIters < 0 || s.Tasks < 0 || s.Locales < 0 {
 		return fmt.Errorf("serve: job spec has negative parameters")
 	}
+	if _, err := format.Parse(s.Format); err != nil {
+		return err
+	}
 	return nil
+}
+
+// formatSpec resolves the already-validated format string.
+func (s *JobSpec) formatSpec() format.Spec {
+	spec, _ := format.Parse(s.Format)
+	return spec
 }
 
 // coreOptions maps the spec onto core.Options (kind "cpd").
@@ -91,6 +105,7 @@ func (s *JobSpec) coreOptions(ctx context.Context) core.Options {
 	o.Tolerance = s.Tolerance
 	o.NonNegative = s.NonNegative
 	o.Ridge = s.Ridge
+	o.Format = s.formatSpec()
 	o.Ctx = ctx
 	return o
 }
@@ -116,6 +131,7 @@ func (s *JobSpec) distOptions(ctx context.Context) dist.Options {
 	o.Tolerance = s.Tolerance
 	o.NonNegative = s.NonNegative
 	o.Ridge = s.Ridge
+	o.Format = s.formatSpec()
 	o.Ctx = ctx
 	return o
 }
@@ -152,7 +168,10 @@ type JobResult struct {
 	RMSE       float64 `json:"rmse,omitempty"` // completion jobs
 	Iterations int     `json:"iterations"`
 	CommBytes  int64   `json:"comm_bytes,omitempty"` // dist jobs
-	Seconds    float64 `json:"seconds"`
+	// Format is the resolved storage backend the engine ran on ("csf" or
+	// "alto"; empty for completion jobs, which stream coordinates).
+	Format  string  `json:"format,omitempty"`
+	Seconds float64 `json:"seconds"`
 }
 
 // JobStatus is the JSON view of a job (GET /jobs/{id}).

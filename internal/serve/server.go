@@ -94,6 +94,7 @@ type Server struct {
 	cancelled int64
 	rejected  int64
 	routines  map[string]float64
+	formats   map[string]int64 // completed jobs per resolved storage format
 }
 
 // NewServer builds the service and starts its worker pool.
@@ -109,6 +110,7 @@ func NewServer(cfg Config) *Server {
 		jobs:     make(map[string]*Job),
 		started:  time.Now(),
 		routines: make(map[string]float64),
+		formats:  make(map[string]int64),
 	}
 	for i := 0; i < cfg.Workers; i++ {
 		s.wg.Add(1)
@@ -332,6 +334,9 @@ type Metrics struct {
 		Completed int64 `json:"completed"`
 		Failed    int64 `json:"failed"`
 		Cancelled int64 `json:"cancelled"`
+		// ByFormat counts completed jobs per resolved storage backend
+		// ("csf", "alto", or "coo" for completion jobs).
+		ByFormat map[string]int64 `json:"by_format,omitempty"`
 	} `json:"jobs"`
 
 	Cache CacheStats `json:"cache"`
@@ -359,6 +364,10 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	m.Jobs.Completed = s.completed
 	m.Jobs.Failed = s.failed
 	m.Jobs.Cancelled = s.cancelled
+	m.Jobs.ByFormat = make(map[string]int64, len(s.formats))
+	for k, v := range s.formats {
+		m.Jobs.ByFormat[k] = v
+	}
 	m.RoutineSeconds = make(map[string]float64, len(s.routines))
 	for k, v := range s.routines {
 		m.RoutineSeconds[k] = v

@@ -55,6 +55,7 @@ func (s *Server) execute(j *Job) {
 		if report != nil {
 			res.Fit = report.Fit
 			res.Iterations = report.Iterations
+			res.Format = report.Format
 			cancelled = report.Cancelled
 		}
 	case KindDistributed:
@@ -64,6 +65,7 @@ func (s *Server) execute(j *Job) {
 			res.Fit = report.Fit
 			res.Iterations = report.Iterations
 			res.CommBytes = report.CommBytes
+			res.Format = report.Format
 			cancelled = report.Cancelled
 		}
 	case KindComplete:
@@ -87,6 +89,7 @@ func (s *Server) execute(j *Job) {
 	default:
 		j.finish(StateDone, res, nil)
 		s.tally(StateDone, timers)
+		s.tallyFormat(res.Format)
 	}
 }
 
@@ -108,4 +111,16 @@ func (s *Server) tally(state JobState, timers *perf.Registry) {
 			s.routines[name] += secs
 		}
 	}
+}
+
+// tallyFormat counts a completed job against the storage backend it
+// resolved to ("" = completion jobs, counted under "coo" since the
+// completion engine streams raw coordinates).
+func (s *Server) tallyFormat(resolved string) {
+	if resolved == "" {
+		resolved = "coo"
+	}
+	s.statsMu.Lock()
+	s.formats[resolved]++
+	s.statsMu.Unlock()
 }

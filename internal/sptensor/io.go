@@ -256,16 +256,24 @@ func ReadBinary(r io.Reader) (*Tensor, error) {
 }
 
 // LoadTensorReader reads a tensor from r, selecting the format by content:
-// binary container if the magic matches, .tns text otherwise. It is the
-// streaming core of LoadFile and the ingest path of the serve subsystem
-// (no temp files).
+// binary container if the magic matches, .tns text otherwise. Duplicate
+// coordinates are merged by summing their values (files are not trusted to
+// be duplicate-free; see MergeDuplicates). It is the streaming core of
+// LoadFile and the ingest path of the serve subsystem (no temp files).
 func LoadTensorReader(r io.Reader) (*Tensor, error) {
 	br := bufio.NewReaderSize(r, 1<<20)
 	peek, err := br.Peek(len(binaryMagic))
+	var t *Tensor
 	if err == nil && string(peek) == binaryMagic {
-		return ReadBinary(br)
+		t, err = ReadBinary(br)
+	} else {
+		t, err = ReadTNS(br)
 	}
-	return ReadTNS(br)
+	if err != nil {
+		return nil, err
+	}
+	MergeDuplicates(t)
+	return t, nil
 }
 
 // SaveTensorWriter writes t to w in the given format. It is the streaming

@@ -1,0 +1,111 @@
+package sptensor
+
+import "sort"
+
+// MergeDuplicates merges nonzeros with identical coordinates by summing
+// their values, in place, and returns the number of duplicates removed.
+// Input files are not trusted to be duplicate-free (FROSTT dumps and
+// concatenated logs routinely repeat coordinates); without merging, a
+// duplicated nonzero silently inflates nnz and double-counts its value in
+// every kernel.
+//
+// Already-lexicographically-sorted input (every binary container written
+// by this package, most published .tns dumps) is handled by a single
+// linear pass — no allocation, no sort. Unsorted input pays one O(n log n)
+// permutation sort. When the tensor has no duplicates it is left
+// untouched, preserving the input's nonzero order; when duplicates exist
+// in unsorted input the survivors end up in lexicographic order.
+func MergeDuplicates(t *Tensor) int {
+	n := t.NNZ()
+	if n < 2 {
+		return 0
+	}
+	order := t.NModes()
+	cmp := func(x, y int) int {
+		for m := 0; m < order; m++ {
+			if t.Inds[m][x] != t.Inds[m][y] {
+				if t.Inds[m][x] < t.Inds[m][y] {
+					return -1
+				}
+				return 1
+			}
+		}
+		return 0
+	}
+	sorted := true
+	for i := 1; i < n; i++ {
+		if cmp(i-1, i) > 0 {
+			sorted = false
+			break
+		}
+	}
+	if sorted {
+		return mergeAdjacent(t, cmp)
+	}
+
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = i
+	}
+	sort.Slice(perm, func(a, b int) bool { return cmp(perm[a], perm[b]) < 0 })
+	dups := 0
+	for i := 1; i < n; i++ {
+		if cmp(perm[i-1], perm[i]) == 0 {
+			dups++
+		}
+	}
+	if dups == 0 {
+		return 0
+	}
+	outInds := make([][]Index, order)
+	for m := range outInds {
+		outInds[m] = make([]Index, 0, n-dups)
+	}
+	outVals := make([]float64, 0, n-dups)
+	for i := 0; i < n; {
+		x := perm[i]
+		v := t.Vals[x]
+		j := i + 1
+		for j < n && cmp(x, perm[j]) == 0 {
+			v += t.Vals[perm[j]]
+			j++
+		}
+		for m := 0; m < order; m++ {
+			outInds[m] = append(outInds[m], t.Inds[m][x])
+		}
+		outVals = append(outVals, v)
+		i = j
+	}
+	t.Inds = outInds
+	t.Vals = outVals
+	return dups
+}
+
+// mergeAdjacent compacts an already-sorted tensor in place: equal
+// neighbours collapse onto one surviving nonzero whose value accumulates.
+func mergeAdjacent(t *Tensor, cmp func(x, y int) int) int {
+	n := t.NNZ()
+	w := 0 // write cursor: position of the current surviving nonzero
+	for x := 1; x < n; x++ {
+		if cmp(w, x) == 0 {
+			t.Vals[w] += t.Vals[x]
+			continue
+		}
+		w++
+		if w != x {
+			for m := range t.Inds {
+				t.Inds[m][w] = t.Inds[m][x]
+			}
+			t.Vals[w] = t.Vals[x]
+		}
+	}
+	dups := n - (w + 1)
+	if dups == 0 {
+		return 0
+	}
+	for m := range t.Inds {
+		t.Inds[m] = t.Inds[m][:w+1]
+	}
+	t.Vals = t.Vals[:w+1]
+	return dups
+}

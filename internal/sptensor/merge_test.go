@@ -1,0 +1,129 @@
+package sptensor
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestMergeDuplicates(t *testing.T) {
+	tt := New([]int{4, 4, 4}, 5)
+	coords := [][3]Index{{1, 2, 3}, {0, 0, 0}, {1, 2, 3}, {2, 1, 0}, {1, 2, 3}}
+	for x, c := range coords {
+		for m := 0; m < 3; m++ {
+			tt.Inds[m][x] = c[m]
+		}
+		tt.Vals[x] = float64(x + 1)
+	}
+	if merged := MergeDuplicates(tt); merged != 2 {
+		t.Fatalf("merged %d duplicates, want 2", merged)
+	}
+	if tt.NNZ() != 3 {
+		t.Fatalf("nnz %d after merge, want 3", tt.NNZ())
+	}
+	// (1,2,3) appeared with values 1, 3, 5 → 9.
+	found := false
+	for x := 0; x < tt.NNZ(); x++ {
+		if tt.Inds[0][x] == 1 && tt.Inds[1][x] == 2 && tt.Inds[2][x] == 3 {
+			found = true
+			if tt.Vals[x] != 9 {
+				t.Errorf("merged value %g, want 9", tt.Vals[x])
+			}
+		}
+	}
+	if !found {
+		t.Error("merged coordinate lost")
+	}
+}
+
+func TestMergeDuplicatesPreservesOrderWhenClean(t *testing.T) {
+	tt := New([]int{4, 4}, 3)
+	coords := [][2]Index{{3, 1}, {0, 2}, {1, 0}} // deliberately unsorted
+	for x, c := range coords {
+		tt.Inds[0][x], tt.Inds[1][x] = c[0], c[1]
+		tt.Vals[x] = float64(x)
+	}
+	if merged := MergeDuplicates(tt); merged != 0 {
+		t.Fatalf("merged %d on a duplicate-free tensor", merged)
+	}
+	for x, c := range coords {
+		if tt.Inds[0][x] != c[0] || tt.Inds[1][x] != c[1] || tt.Vals[x] != float64(x) {
+			t.Fatalf("duplicate-free tensor reordered at %d", x)
+		}
+	}
+}
+
+func TestMergeDuplicatesSortedFastPath(t *testing.T) {
+	// Already lexicographically sorted with adjacent duplicates: the
+	// in-place linear pass must compact without reordering survivors.
+	tt := New([]int{5, 5}, 5)
+	coords := [][2]Index{{0, 1}, {0, 1}, {1, 0}, {1, 0}, {2, 4}}
+	for x, c := range coords {
+		tt.Inds[0][x], tt.Inds[1][x] = c[0], c[1]
+		tt.Vals[x] = float64(x + 1)
+	}
+	if merged := MergeDuplicates(tt); merged != 2 {
+		t.Fatalf("merged %d, want 2", merged)
+	}
+	wantCoords := [][2]Index{{0, 1}, {1, 0}, {2, 4}}
+	wantVals := []float64{3, 7, 5}
+	if tt.NNZ() != 3 {
+		t.Fatalf("nnz %d, want 3", tt.NNZ())
+	}
+	for x := range wantCoords {
+		if tt.Inds[0][x] != wantCoords[x][0] || tt.Inds[1][x] != wantCoords[x][1] || tt.Vals[x] != wantVals[x] {
+			t.Errorf("survivor %d = (%d,%d)=%g, want (%d,%d)=%g", x,
+				tt.Inds[0][x], tt.Inds[1][x], tt.Vals[x],
+				wantCoords[x][0], wantCoords[x][1], wantVals[x])
+		}
+	}
+	if err := tt.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestLoadMergesDuplicateCoordinates is the regression test for the
+// load path: duplicated lines in a .tns file (and duplicated records in
+// the binary container) must accumulate instead of inflating nnz.
+func TestLoadMergesDuplicateCoordinates(t *testing.T) {
+	text := "2 3 1 1.5\n1 1 1 1.0\n2 3 1 2.0\n2 3 1 0.5\n"
+	got, err := LoadTensorReader(strings.NewReader(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NNZ() != 2 {
+		t.Fatalf("text load: nnz %d, want 2 (duplicates merged)", got.NNZ())
+	}
+	sum := 0.0
+	for x := 0; x < got.NNZ(); x++ {
+		if got.Inds[0][x] == 1 && got.Inds[1][x] == 2 && got.Inds[2][x] == 0 {
+			sum = got.Vals[x]
+		}
+	}
+	if sum != 4.0 {
+		t.Errorf("text load: duplicate values summed to %g, want 4", sum)
+	}
+
+	// Binary path: write a tensor that carries duplicates (the writer does
+	// not merge; only loading does).
+	dup := New([]int{3, 3}, 3)
+	dup.Inds[0] = []Index{2, 2, 0}
+	dup.Inds[1] = []Index{1, 1, 0}
+	dup.Vals = []float64{1, 2, 3}
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, dup); err != nil {
+		t.Fatal(err)
+	}
+	rb, err := LoadTensorReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rb.NNZ() != 2 {
+		t.Fatalf("binary load: nnz %d, want 2", rb.NNZ())
+	}
+	for x := 0; x < rb.NNZ(); x++ {
+		if rb.Inds[0][x] == 2 && rb.Vals[x] != 3 {
+			t.Errorf("binary load: merged value %g, want 3", rb.Vals[x])
+		}
+	}
+}

@@ -3,7 +3,6 @@ package sptensor
 import (
 	"fmt"
 	"math/rand"
-	"sort"
 	"strings"
 )
 
@@ -166,55 +165,6 @@ func generate(rng *rand.Rand, dims []int, target int, skew, hubFrac float64) *Te
 		vals[x] = 1 + 4*rng.Float64() // rating-like magnitudes
 	}
 	t := &Tensor{Dims: append([]int(nil), dims...), Inds: inds, Vals: vals}
-	dedupe(t)
+	MergeDuplicates(t)
 	return t
-}
-
-// dedupe sorts nonzeros lexicographically and merges equal coordinates by
-// summing their values, in place.
-func dedupe(t *Tensor) {
-	n := t.NNZ()
-	order := t.NModes()
-	perm := make([]int, n)
-	for i := range perm {
-		perm[i] = i
-	}
-	sort.Slice(perm, func(a, b int) bool {
-		x, y := perm[a], perm[b]
-		for m := 0; m < order; m++ {
-			if t.Inds[m][x] != t.Inds[m][y] {
-				return t.Inds[m][x] < t.Inds[m][y]
-			}
-		}
-		return false
-	})
-	same := func(x, y int) bool {
-		for m := 0; m < order; m++ {
-			if t.Inds[m][x] != t.Inds[m][y] {
-				return false
-			}
-		}
-		return true
-	}
-	outInds := make([][]Index, order)
-	for m := range outInds {
-		outInds[m] = make([]Index, 0, n)
-	}
-	outVals := make([]float64, 0, n)
-	for i := 0; i < n; {
-		x := perm[i]
-		v := t.Vals[x]
-		j := i + 1
-		for j < n && same(x, perm[j]) {
-			v += t.Vals[perm[j]]
-			j++
-		}
-		for m := 0; m < order; m++ {
-			outInds[m] = append(outInds[m], t.Inds[m][x])
-		}
-		outVals = append(outVals, v)
-		i = j
-	}
-	t.Inds = outInds
-	t.Vals = outVals
 }

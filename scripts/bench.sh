@@ -8,6 +8,9 @@
 #   BENCH_TIME                -benchtime value                   (default: 1x)
 #   BENCH_COUNT               -count value; runs are averaged    (default: 1)
 #   BENCH_MAX_REGRESSION_PCT  allowed ns/op regression percent   (default: 5)
+#   BENCH_MIN_NSOP            gate floor: benchmarks whose baseline is below
+#                             this many ns/op are too noisy at 1x iteration
+#                             to compare and are skipped (default: 100000)
 #
 # To (re)pin a baseline:  ./scripts/bench.sh && cp benchmarks/latest.txt benchmarks/baseline.txt
 set -euo pipefail
@@ -17,6 +20,7 @@ PATTERN="${BENCH_PATTERN:-.}"
 BENCHTIME="${BENCH_TIME:-1x}"
 COUNT="${BENCH_COUNT:-1}"
 MAXPCT="${BENCH_MAX_REGRESSION_PCT:-5}"
+MINNSOP="${BENCH_MIN_NSOP:-100000}"
 
 mkdir -p benchmarks
 echo "running benchmarks (pattern=$PATTERN benchtime=$BENCHTIME count=$COUNT) ..."
@@ -28,8 +32,8 @@ if [ ! -f benchmarks/baseline.txt ]; then
     exit 0
 fi
 
-echo "comparing against benchmarks/baseline.txt (max regression ${MAXPCT}%) ..."
-awk -v maxpct="$MAXPCT" '
+echo "comparing against benchmarks/baseline.txt (max regression ${MAXPCT}%, floor ${MINNSOP} ns/op) ..."
+awk -v maxpct="$MAXPCT" -v minns="$MINNSOP" '
     # Collect "BenchmarkName-N  iters  ns/op" rows, averaging repeated runs.
     FNR == NR && $1 ~ /^Benchmark/ && $4 == "ns/op" { base[$1] += $3; basen[$1]++; next }
     FNR != NR && $1 ~ /^Benchmark/ && $4 == "ns/op" { cur[$1]  += $3; curn[$1]++ }
@@ -46,6 +50,7 @@ awk -v maxpct="$MAXPCT" '
             b = base[name] / basen[name]
             c = cur[name] / curn[name]
             if (b <= 0) continue
+            if (b < minns) continue # sub-floor benchmarks: pure jitter at 1x
             pct = (c - b) / b * 100
             if (pct > maxpct) {
                 printf "REGRESSION %-60s %12.0f -> %12.0f ns/op (%+.1f%%)\n", name, b, c, pct

@@ -39,6 +39,7 @@ import (
 	"repro/internal/csf"
 	"repro/internal/dense"
 	"repro/internal/dist"
+	"repro/internal/format"
 	"repro/internal/locks"
 	"repro/internal/mttkrp"
 	"repro/internal/perf"
@@ -108,6 +109,28 @@ const (
 	AllocAll = csf.AllocAll
 )
 
+// StorageFormat selects the tensor storage backend via Options.Format.
+type StorageFormat = format.Spec
+
+// Tensor storage backends. FormatCSF is the paper's compressed sparse
+// fiber forest (the default); FormatALTO is the adaptive linearized
+// representation (one bit-interleaved index array serving every mode's
+// MTTKRP); FormatAuto picks per tensor by order, slice skew, and
+// index bit-width (see ChooseFormat).
+const (
+	FormatCSF  = format.CSF
+	FormatALTO = format.ALTO
+	FormatAuto = format.Auto
+)
+
+// ParseStorageFormat converts a CLI/API string ("csf"|"alto"|"auto") into
+// a StorageFormat.
+func ParseStorageFormat(s string) (StorageFormat, error) { return format.Parse(s) }
+
+// ChooseFormat reports the storage backend FormatAuto would pick for a
+// tensor, with a human-readable reason.
+func ChooseFormat(t *Tensor) (StorageFormat, string) { return format.Choose(t) }
+
 // MTTKRP conflict strategies.
 const (
 	StrategyAuto      = mttkrp.StrategyAuto
@@ -176,7 +199,10 @@ func MTTKRP(t *Tensor, factors []*Matrix, mode int, out *Matrix, tasks int) erro
 		return fmt.Errorf("splatt: %d factors for order-%d tensor", len(factors), t.NModes())
 	}
 	rank := factors[0].Cols
-	runner := core.NewMTTKRPRunner(t, rank, tasks, core.DefaultOptions())
+	runner, err := core.NewMTTKRPRunner(t, rank, tasks, core.DefaultOptions())
+	if err != nil {
+		return err
+	}
 	defer runner.Close()
 	runner.Apply(mode, factors, out)
 	return nil
