@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race bench bench-gate serve fmt vet ci
+.PHONY: all build test race bench bench-gate serve fmt vet lint cover ci
 
 all: build
 
@@ -33,4 +33,18 @@ fmt:
 vet:
 	$(GO) vet ./...
 
-ci: fmt vet build test race
+# lint runs golangci-lint (.golangci.yml) when installed; otherwise it
+# falls back to the gofmt + vet pair so `make ci` works on any machine.
+lint:
+	@if command -v golangci-lint >/dev/null 2>&1; then \
+		golangci-lint run ./...; \
+	else \
+		echo "golangci-lint not installed; falling back to gofmt + go vet"; \
+		$(MAKE) fmt vet; \
+	fi
+
+# cover enforces the pinned total-coverage floor (scripts/coverage.sh).
+cover:
+	./scripts/coverage.sh
+
+ci: lint build test race

@@ -1,0 +1,127 @@
+// Unit-style tests for scripts/bench_compare.sh, the benchmark regression
+// comparator behind the CI bench gate: it must flag regressions beyond the
+// threshold, skip sub-floor noise, and — the failure mode that motivated
+// extracting it — fail loudly when a benchmark present in the baseline is
+// missing from the fresh run instead of silently passing.
+package splatt_test
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// runCompare drives the comparator on synthetic baseline/latest files and
+// returns (combined output, exit error).
+func runCompare(t *testing.T, baseline, latest string, env ...string) (string, error) {
+	t.Helper()
+	if _, err := exec.LookPath("bash"); err != nil {
+		t.Skip("bash not available")
+	}
+	dir := t.TempDir()
+	base := filepath.Join(dir, "baseline.txt")
+	cur := filepath.Join(dir, "latest.txt")
+	if err := os.WriteFile(base, []byte(baseline), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(cur, []byte(latest), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cmd := exec.Command("bash", "scripts/bench_compare.sh", base, cur)
+	cmd.Env = append(os.Environ(), env...)
+	out, err := cmd.CombinedOutput()
+	return string(out), err
+}
+
+const benchHeader = "goos: linux\ngoarch: amd64\npkg: repro\n"
+
+func row(name string, nsop int) string {
+	return name + "-8   \t       1\t" + itoa(nsop) + " ns/op\n"
+}
+
+func itoa(v int) string {
+	var b []byte
+	if v == 0 {
+		return "0"
+	}
+	for v > 0 {
+		b = append([]byte{byte('0' + v%10)}, b...)
+		v /= 10
+	}
+	return string(b)
+}
+
+func TestBenchComparePasses(t *testing.T) {
+	base := benchHeader + row("BenchmarkA", 1_000_000) + row("BenchmarkB", 2_000_000)
+	cur := benchHeader + row("BenchmarkA", 1_020_000) + row("BenchmarkB", 1_900_000)
+	out, err := runCompare(t, base, cur, "BENCH_MAX_REGRESSION_PCT=5")
+	if err != nil {
+		t.Fatalf("clean run failed: %v\n%s", err, out)
+	}
+	if !strings.Contains(out, "benchmark gate passed") {
+		t.Errorf("missing pass message:\n%s", out)
+	}
+}
+
+func TestBenchCompareFlagsRegression(t *testing.T) {
+	base := benchHeader + row("BenchmarkA", 1_000_000)
+	cur := benchHeader + row("BenchmarkA", 1_500_000)
+	out, err := runCompare(t, base, cur, "BENCH_MAX_REGRESSION_PCT=5")
+	if err == nil {
+		t.Fatalf("50%% regression passed:\n%s", out)
+	}
+	if !strings.Contains(out, "REGRESSION") || !strings.Contains(out, "BenchmarkA") {
+		t.Errorf("regression not reported:\n%s", out)
+	}
+}
+
+func TestBenchCompareFailsOnMissingBenchmark(t *testing.T) {
+	// BenchmarkB exists in the baseline but not in the fresh run — the
+	// silent-drop case the gate previously let through.
+	base := benchHeader + row("BenchmarkA", 1_000_000) + row("BenchmarkB", 2_000_000)
+	cur := benchHeader + row("BenchmarkA", 1_000_000)
+	out, err := runCompare(t, base, cur)
+	if err == nil {
+		t.Fatalf("missing benchmark passed the gate:\n%s", out)
+	}
+	if !strings.Contains(out, "MISSING") || !strings.Contains(out, "BenchmarkB") {
+		t.Errorf("missing benchmark not named:\n%s", out)
+	}
+}
+
+func TestBenchCompareAllowsMissingWhenPartialRun(t *testing.T) {
+	base := benchHeader + row("BenchmarkA", 1_000_000) + row("BenchmarkB", 2_000_000)
+	cur := benchHeader + row("BenchmarkA", 1_000_000)
+	out, err := runCompare(t, base, cur, "BENCH_ALLOW_MISSING=1")
+	if err != nil {
+		t.Fatalf("partial-pattern run failed: %v\n%s", err, out)
+	}
+	if !strings.Contains(out, "missing") {
+		t.Errorf("partial run should still warn about missing benchmarks:\n%s", out)
+	}
+}
+
+func TestBenchCompareSkipsSubFloorNoise(t *testing.T) {
+	// A 10x "regression" on a 1000 ns/op benchmark is jitter at 1x
+	// iteration and must not trip the gate; the benchmark still counts as
+	// present for the missing check.
+	base := benchHeader + row("BenchmarkTiny", 1_000) + row("BenchmarkBig", 5_000_000)
+	cur := benchHeader + row("BenchmarkTiny", 10_000) + row("BenchmarkBig", 5_000_000)
+	out, err := runCompare(t, base, cur, "BENCH_MIN_NSOP=100000")
+	if err != nil {
+		t.Fatalf("sub-floor jitter tripped the gate: %v\n%s", err, out)
+	}
+}
+
+func TestBenchCompareAveragesRepeatedRuns(t *testing.T) {
+	// BENCH_COUNT>1 emits repeated rows; the comparator averages them, so
+	// one noisy sample among good ones must not fail the gate.
+	base := benchHeader + row("BenchmarkA", 1_000_000)
+	cur := benchHeader + row("BenchmarkA", 900_000) + row("BenchmarkA", 1_100_000) + row("BenchmarkA", 1_000_000)
+	out, err := runCompare(t, base, cur, "BENCH_MAX_REGRESSION_PCT=5")
+	if err != nil {
+		t.Fatalf("averaged run failed: %v\n%s", err, out)
+	}
+}

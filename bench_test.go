@@ -336,6 +336,28 @@ func BenchmarkAblationFormat(b *testing.B) {
 	}
 }
 
+// BenchmarkAblationSolver compares the exact and leverage-score sampled
+// (CP-ARLS-LEV) solvers on a short full CP-ALS run over the skewed twin.
+func BenchmarkAblationSolver(b *testing.B) {
+	t := benchTensor(b, "yelp")
+	for _, solver := range []splatt.Solver{splatt.SolverALS, splatt.SolverARLS} {
+		b.Run(fmt.Sprintf("solver=%v", solver), func(b *testing.B) {
+			opts := core.DefaultOptions()
+			opts.Solver = solver
+			opts.Rank = benchRank
+			opts.MaxIters = 6
+			opts.RefineIters = 2
+			opts.Tasks = 4
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := core.CPD(t, opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkAblationDistributed times the simulated multi-locale CP-ALS
 // extension across world sizes.
 func BenchmarkAblationDistributed(b *testing.B) {

@@ -38,6 +38,7 @@ func main() {
 		trials     = flag.Int("trials", def.Trials, "trials per configuration (reported: mean)")
 		tasks      = flag.String("tasks", "1,2,4,8,16,32", "comma-separated task sweep")
 		formatStr  = flag.String("format", "", "storage backend for all experiments: csf|alto|auto (default csf)")
+		solverStr  = flag.String("solver", "", "factor-update solver for all experiments: als|arls|auto (default als)")
 		quick      = flag.Bool("quick", false, "tiny smoke configuration")
 	)
 	flag.Parse()
@@ -48,6 +49,7 @@ func main() {
 		Iters:  *iters,
 		Trials: *trials,
 		Format: *formatStr,
+		Solver: *solverStr,
 	}
 	var err error
 	cfg.Tasks, err = parseTasks(*tasks)
@@ -57,6 +59,7 @@ func main() {
 	if *quick {
 		cfg = bench.QuickConfig()
 		cfg.Format = *formatStr
+		cfg.Solver = *solverStr
 	}
 
 	r, err := bench.NewRunner(cfg, os.Stdout)

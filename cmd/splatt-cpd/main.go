@@ -23,6 +23,7 @@ import (
 	"repro/internal/locks"
 	"repro/internal/mttkrp"
 	"repro/internal/perf"
+	"repro/internal/sketch"
 	"repro/internal/sptensor"
 	"repro/internal/tsort"
 )
@@ -46,6 +47,9 @@ func main() {
 		sortVar    = flag.String("sort", "", "override sort variant: initial|array|slices|all")
 		alloc      = flag.String("alloc", "two", "CSF allocation policy: one|two|all")
 		formatStr  = flag.String("format", "csf", "tensor storage backend: csf|alto|auto")
+		solverStr  = flag.String("solver", "als", "factor-update solver: als|arls|auto (arls = leverage-score sampled with exact refinement)")
+		samples    = flag.Int("samples", 0, "arls Khatri-Rao rows sampled per update (0 = heuristic)")
+		refine     = flag.Int("refine", 0, "arls trailing exact refinement iterations (0 = default)")
 		strategy   = flag.String("strategy", "auto", "conflict strategy: auto|lock|privatize|tile")
 		nonneg     = flag.Bool("nonneg", false, "project factors onto the nonnegative orthant")
 		ridge      = flag.Float64("ridge", 0, "Tikhonov regularizer added to each normal system")
@@ -75,14 +79,16 @@ func main() {
 		log.Fatal(err)
 	}
 	opts.ApplyProfile(prof)
-	if err := applyOverrides(&opts, *access, *lockKind, *sortVar, *alloc, *strategy, *formatStr); err != nil {
+	if err := applyOverrides(&opts, *access, *lockKind, *sortVar, *alloc, *strategy, *formatStr, *solverStr); err != nil {
 		log.Fatal(err)
 	}
+	opts.Samples = *samples
+	opts.RefineIters = *refine
 
 	stats := sptensor.ComputeStats(name, t)
 	fmt.Printf("Tensor: %s\n", stats.Row())
-	fmt.Printf("Config: profile=%v access=%v locks=%v sort=%v alloc=%v format=%v rank=%d iters=%d tasks=%d\n\n",
-		prof, opts.Access, opts.LockKind, opts.SortVariant, opts.Alloc, opts.Format, opts.Rank, opts.MaxIters, opts.Tasks)
+	fmt.Printf("Config: profile=%v access=%v locks=%v sort=%v alloc=%v format=%v solver=%v rank=%d iters=%d tasks=%d\n\n",
+		prof, opts.Access, opts.LockKind, opts.SortVariant, opts.Alloc, opts.Format, opts.Solver, opts.Rank, opts.MaxIters, opts.Tasks)
 
 	timers := perf.NewRegistry()
 	opts.Timers = timers
@@ -95,7 +101,9 @@ func main() {
 	for m, s := range report.Strategies {
 		fmt.Printf("  mode %d MTTKRP conflict strategy: %v\n", m, s)
 	}
-	fmt.Printf("  storage format: %s, %.2f MiB\n\n", report.Format, float64(report.CSFBytes)/(1<<20))
+	fmt.Printf("  storage format: %s, %.2f MiB\n", report.Format, float64(report.CSFBytes)/(1<<20))
+	fmt.Printf("  solver: %s (%d sampled + %d exact iterations)\n\n",
+		report.Solver, report.SampledIters, report.Iterations-report.SampledIters)
 	fmt.Print(timers.Report())
 
 	if err := k.Validate(); err != nil {
@@ -128,7 +136,7 @@ func loadInput(path, dataset string, scale float64) (*sptensor.Tensor, string, e
 }
 
 // applyOverrides layers individual axis flags over the profile defaults.
-func applyOverrides(opts *core.Options, access, lockKind, sortVar, alloc, strategy, formatStr string) error {
+func applyOverrides(opts *core.Options, access, lockKind, sortVar, alloc, strategy, formatStr, solverStr string) error {
 	if access != "" {
 		a, err := mttkrp.ParseAccessMode(access)
 		if err != nil {
@@ -172,5 +180,10 @@ func applyOverrides(opts *core.Options, access, lockKind, sortVar, alloc, strate
 		return err
 	}
 	opts.Format = f
+	sv, err := sketch.Parse(solverStr)
+	if err != nil {
+		return err
+	}
+	opts.Solver = sv
 	return nil
 }

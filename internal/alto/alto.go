@@ -144,6 +144,19 @@ func (at *Tensor) MemoryBytes() int64 {
 	return words*8 + int64(len(at.Vals))*8
 }
 
+// ForEachNonzero streams every nonzero with its full coordinate and value
+// in linearized order, delinearizing one index word at a time. The coord
+// slice is reused across calls; fn must copy what it keeps. This is the
+// nonzero access path the sampled (ARLS) solver builds its fiber index
+// from.
+func (at *Tensor) ForEachNonzero(fn func(coord []sptensor.Index, val float64)) {
+	coord := make([]sptensor.Index, at.Order())
+	for x := 0; x < at.NNZ(); x++ {
+		at.at(x, coord)
+		fn(coord, at.Vals[x])
+	}
+}
+
 // ToCOO reconstructs the coordinate tensor (in linearized order). Tests
 // use it to prove linearization loses nothing.
 func (at *Tensor) ToCOO() *sptensor.Tensor {

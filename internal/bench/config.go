@@ -14,6 +14,7 @@ import (
 	"strings"
 
 	"repro/internal/format"
+	"repro/internal/sketch"
 	"repro/internal/sptensor"
 )
 
@@ -36,6 +37,10 @@ type Config struct {
 	// ("" or "csf" = the paper's CSF; "alto"|"auto" available). The
 	// ablformat ablation sweeps both formats regardless.
 	Format string
+	// Solver selects the default factor-update solver for every experiment
+	// ("" or "als" = exact; "arls"|"auto" available). The ablsolver
+	// ablation sweeps both solvers regardless.
+	Solver string
 }
 
 // DefaultConfig returns the laptop-scale defaults.
@@ -79,6 +84,9 @@ func (c Config) Validate() error {
 	if _, err := format.Parse(c.Format); err != nil {
 		return err
 	}
+	if _, err := sketch.Parse(c.Solver); err != nil {
+		return err
+	}
 	return nil
 }
 
@@ -86,6 +94,12 @@ func (c Config) Validate() error {
 func (c Config) formatSpec() format.Spec {
 	spec, _ := format.Parse(c.Format)
 	return spec
+}
+
+// solverSpec resolves the validated Solver string.
+func (c Config) solverSpec() sketch.Solver {
+	solver, _ := sketch.Parse(c.Solver)
+	return solver
 }
 
 // Runner executes experiments, caching generated dataset twins.
@@ -145,6 +159,7 @@ var experimentOrder = []string{
 	"table1", "table2", "table3",
 	"fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10",
 	"ablblas", "abllock", "ablcsf", "ablcoo", "abltile", "abldist", "ablformat",
+	"ablsolver",
 }
 
 // ExperimentIDs lists every runnable experiment id in report order.
@@ -202,6 +217,8 @@ func (r *Runner) Run(id string) error {
 		r.AblationDistributed()
 	case "ablformat":
 		r.AblationFormats()
+	case "ablsolver":
+		r.AblationSolvers()
 	default:
 		ids := append(ExperimentIDs(), "all")
 		sort.Strings(ids)

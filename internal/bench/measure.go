@@ -138,6 +138,9 @@ func (r *Runner) options() core.Options {
 	if r.cfg.Format != "" {
 		opts.Format = r.cfg.formatSpec()
 	}
+	if r.cfg.Solver != "" {
+		opts.Solver = r.cfg.solverSpec()
+	}
 	return opts
 }
 

@@ -9,6 +9,7 @@ import (
 	"repro/internal/mttkrp"
 	"repro/internal/parallel"
 	"repro/internal/perf"
+	"repro/internal/sketch"
 	"repro/internal/sptensor"
 	"repro/internal/tsort"
 )
@@ -64,6 +65,12 @@ type decomposer struct {
 	mbuf  *dense.Matrix   // MTTKRP output buffer (maxDim rows used per mode)
 	blas  *dense.BLASPool
 	normX float64
+
+	// Sampled-solver state (nil / zero for the exact solver).
+	solver       sketch.Solver   // resolved: ALS or ARLS, never Auto
+	sampler      *sketch.Sampler // sampled-MTTKRP machinery
+	vs           *dense.Matrix   // sampled normal matrix HᵀWH
+	sampledIters int
 }
 
 func newDecomposer(t *sptensor.Tensor, backend format.Backend, team *parallel.Team,
@@ -90,7 +97,46 @@ func newDecomposer(t *sptensor.Tensor, backend format.Backend, team *parallel.Te
 	if opts.BLASThreads > 1 || opts.BLASSpin > 0 {
 		d.blas = &dense.BLASPool{Threads: opts.BLASThreads, SpinCount: opts.BLASSpin}
 	}
+	d.resolveSolver()
 	return d
+}
+
+// resolveSolver fixes the factor-update algorithm before the loop starts:
+// Auto picks per tensor, and an ARLS request builds the sampler through
+// the backend's nonzero access path (falling back to exact ALS when the
+// tensor cannot be sampled, e.g. a complement index space beyond 64 bits).
+func (d *decomposer) resolveSolver() {
+	solver := d.opts.Solver
+	if solver == sketch.Auto {
+		solver, _ = sketch.Choose(d.t.NNZ(), d.t.Dims, d.opts.Rank)
+	}
+	if solver != sketch.ARLS {
+		d.solver = sketch.ALS
+		return
+	}
+	// A budget the refinement pass fully consumes runs exact everywhere;
+	// skip the sampler build (O(nnz) copy + leverage maintenance) and
+	// report the run as what it is.
+	if sketch.SampledIters(d.opts.MaxIters, d.opts.RefineIters) == 0 {
+		d.solver = sketch.ALS
+		return
+	}
+	buildT := d.timers.Get(perf.RoutineSketchBuild)
+	buildT.Start()
+	sampler, err := sketch.NewSampler(d.backend, d.t.Dims, sketch.Config{
+		Rank:    d.opts.Rank,
+		Samples: d.opts.Samples,
+		Seed:    d.opts.Seed,
+		Team:    d.team,
+	})
+	buildT.Stop()
+	if err != nil {
+		d.solver = sketch.ALS
+		return
+	}
+	d.solver = sketch.ARLS
+	d.sampler = sampler
+	d.vs = dense.NewMatrix(d.opts.Rank, d.opts.Rank)
 }
 
 // run executes the ALS loop and assembles the report.
@@ -100,6 +146,7 @@ func (d *decomposer) run() (*KruskalTensor, *Report) {
 	report := &Report{
 		Strategies: make([]mttkrp.ConflictStrategy, order),
 		Format:     d.backend.Format().String(),
+		Solver:     d.solver.String(),
 		CSFBytes:   d.backend.MemoryBytes(),
 	}
 	cpdT := d.timers.Get(perf.RoutineCPD)
@@ -112,29 +159,68 @@ func (d *decomposer) run() (*KruskalTensor, *Report) {
 		}
 	})
 
+	// Sampled phase budget: the last RefineIters iterations always run
+	// exact, restoring exact-MTTKRP fit semantics before reporting.
+	sampledLeft := 0
+	if d.solver == sketch.ARLS {
+		sampledLeft = sketch.SampledIters(d.opts.MaxIters, d.opts.RefineIters)
+		for m := 0; m < order; m++ {
+			d.refreshLeverage(m)
+		}
+	}
+
 	oldFit := 0.0
+	prevSampled := false
 loop:
 	for it := 0; it < d.opts.MaxIters; it++ {
+		sampled := sampledLeft > 0
 		for m := 0; m < order; m++ {
 			if d.cancelled() {
 				report.Cancelled = true
 				break loop
 			}
-			d.updateMode(m, it, report)
+			d.updateMode(m, it, sampled, report)
 		}
-		fit := d.computeFit()
+		var fit float64
+		if sampled {
+			fit = d.estimateFit(it)
+			d.sampledIters++
+			sampledLeft--
+		} else {
+			fit = d.computeFit()
+		}
 		report.FitHistory = append(report.FitHistory, fit)
 		report.Iterations = it + 1
-		if d.opts.Tolerance > 0 && it > 0 && math.Abs(fit-oldFit) < d.opts.Tolerance {
-			oldFit = fit
-			break
+		// Convergence: a converged sampled phase hands over to the exact
+		// refinement pass instead of stopping; the first exact iteration
+		// after the switch skips the test (its predecessor fit was an
+		// estimate).
+		if d.opts.Tolerance > 0 && it > 0 && prevSampled == sampled &&
+			math.Abs(fit-oldFit) < d.opts.Tolerance {
+			if sampled {
+				sampledLeft = 0
+			} else {
+				oldFit = fit
+				break
+			}
 		}
 		oldFit = fit
+		prevSampled = sampled
 	}
 	cpdT.Stop()
 	report.Fit = oldFit
+	report.SampledIters = d.sampledIters
 	report.Times = d.timers.Snapshot()
 	return d.k, report
+}
+
+// refreshLeverage recomputes mode m's sampling distribution from the
+// current factor and Gram (CP-ARLS-LEV maintains scores per factor,
+// refreshed whenever that factor changes).
+func (d *decomposer) refreshLeverage(m int) {
+	d.timers.Time(perf.RoutineLeverage, func() {
+		d.sampler.RefreshLeverage(m, d.k.Factors[m], d.grams[m])
+	})
 }
 
 // cancelled reports whether the run's context has been cancelled. It is
@@ -145,40 +231,57 @@ func (d *decomposer) cancelled() bool {
 }
 
 // updateMode performs one least-squares factor update (one of lines 4-6,
-// 7-9, or 10-12 of Algorithm 1) for mode m.
-func (d *decomposer) updateMode(m, iter int, report *Report) {
+// 7-9, or 10-12 of Algorithm 1) for mode m. A sampled update replaces the
+// exact MTTKRP and the Hadamard-of-Grams normal matrix with their
+// leverage-score-sampled counterparts (CP-ARLS-LEV); everything after the
+// solve (clamp, normalize, Gram refresh) is identical.
+func (d *decomposer) updateMode(m, iter int, sampled bool, report *Report) {
 	r := d.opts.Rank
 	factor := d.k.Factors[m]
 	mrows := dense.NewMatrixFrom(factor.Rows, r, d.mbuf.Data[:factor.Rows*r])
 
-	// V ← ∘_{n≠m} A(n)ᵀA(n) (+ optional ridge).
-	d.timers.Time(perf.RoutineATA, func() {
-		d.v.Fill(1)
-		for n := range d.grams {
-			if n != m {
-				dense.HadamardProduct(d.v, d.grams[n])
-			}
-		}
+	v := d.v
+	if sampled {
+		// M ← X(m)·W·H and V ← HᵀWH over the sampled Khatri-Rao rows.
+		d.timers.Time(perf.RoutineSketch, func() {
+			d.sampler.SampledMTTKRP(m, iter, d.k.Factors, mrows, d.vs)
+		})
+		v = d.vs
 		if d.opts.Ridge > 0 {
 			for i := 0; i < r; i++ {
-				d.v.Set(i, i, d.v.At(i, i)+d.opts.Ridge)
+				v.Set(i, i, v.At(i, i)+d.opts.Ridge)
 			}
 		}
-	})
+	} else {
+		// V ← ∘_{n≠m} A(n)ᵀA(n) (+ optional ridge).
+		d.timers.Time(perf.RoutineATA, func() {
+			d.v.Fill(1)
+			for n := range d.grams {
+				if n != m {
+					dense.HadamardProduct(d.v, d.grams[n])
+				}
+			}
+			if d.opts.Ridge > 0 {
+				for i := 0; i < r; i++ {
+					d.v.Set(i, i, d.v.At(i, i)+d.opts.Ridge)
+				}
+			}
+		})
 
-	// M ← X(m) · (⊙_{n≠m} A(n)), the MTTKRP.
-	d.timers.Time(perf.RoutineMTTKRP, func() {
-		d.backend.MTTKRP(m, d.k.Factors, mrows)
-	})
-	report.Strategies[m] = d.backend.LastStrategy()
+		// M ← X(m) · (⊙_{n≠m} A(n)), the MTTKRP.
+		d.timers.Time(perf.RoutineMTTKRP, func() {
+			d.backend.MTTKRP(m, d.k.Factors, mrows)
+		})
+		report.Strategies[m] = d.backend.LastStrategy()
+	}
 
 	// A(m) ← M · V†.
 	d.timers.Time(perf.RoutineInverse, func() {
 		factor.CopyFrom(mrows)
 		if d.blas != nil {
-			dense.SolveNormalsBLAS(d.blas, d.v, factor)
+			dense.SolveNormalsBLAS(d.blas, v, factor)
 		} else {
-			dense.SolveNormals(d.team, d.v, factor)
+			dense.SolveNormals(d.team, v, factor)
 		}
 	})
 
@@ -200,6 +303,32 @@ func (d *decomposer) updateMode(m, iter int, report *Report) {
 	d.timers.Time(perf.RoutineATA, func() {
 		dense.Syrk(d.team, factor, d.grams[m])
 	})
+
+	// The sampled solver keeps mode m's leverage scores in sync with the
+	// factor it just rewrote.
+	if sampled {
+		d.refreshLeverage(m)
+	}
+}
+
+// estimateFit evaluates the sampled-phase fit estimate: the model norm is
+// exact (from the maintained Grams) while ⟨X, model⟩ comes from a seeded
+// uniform subset of the nonzeros — the exact inner-product identity needs
+// the exact last-mode MTTKRP, which sampled iterations never compute.
+func (d *decomposer) estimateFit(iter int) float64 {
+	fit := 0.0
+	d.timers.Time(perf.RoutineFit, func() {
+		inner := d.sampler.EstimateInner(iter, 0, d.k.Lambda, d.k.Factors)
+		modelNorm2 := d.modelNormSquared()
+		residual2 := d.normX + modelNorm2 - 2*inner
+		if residual2 < 0 {
+			residual2 = 0
+		}
+		if d.normX > 0 {
+			fit = 1 - math.Sqrt(residual2)/math.Sqrt(d.normX)
+		}
+	})
+	return fit
 }
 
 // computeFit evaluates the fit via SPLATT's cheap inner-product identity:

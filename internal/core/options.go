@@ -9,6 +9,7 @@ import (
 	"repro/internal/locks"
 	"repro/internal/mttkrp"
 	"repro/internal/perf"
+	"repro/internal/sketch"
 	"repro/internal/tsort"
 )
 
@@ -90,6 +91,21 @@ type Options struct {
 	// adaptive linearized representation), or format.Auto (per-tensor
 	// heuristic, see format.Choose).
 	Format format.Spec
+
+	// Solver selects the factor-update algorithm: sketch.ALS (the paper's
+	// exact alternating least squares, the zero-value default),
+	// sketch.ARLS (leverage-score sampled least squares, CP-ARLS-LEV
+	// style, with trailing exact refinement), or sketch.Auto (per-tensor
+	// heuristic, see sketch.Choose).
+	Solver sketch.Solver
+	// Samples overrides the ARLS per-update Khatri-Rao row sample count
+	// (0 = sketch.DefaultSamples).
+	Samples int
+	// RefineIters is how many trailing exact-ALS iterations an ARLS run
+	// finishes with (0 = sketch.DefaultRefineIters). The refinement pass
+	// restores exact-fit semantics: the reported final fit is computed
+	// from an exact MTTKRP, not an estimate.
+	RefineIters int
 
 	// BLASThreads > 1 runs the inverse routine on an independent BLAS
 	// goroutine pool (the OMP_NUM_THREADS axis of §V-E); BLASSpin is the
@@ -183,6 +199,12 @@ func (o Options) Validate() error {
 	if o.Ridge < 0 {
 		return fmt.Errorf("core: ridge %g < 0", o.Ridge)
 	}
+	if o.Samples < 0 {
+		return fmt.Errorf("core: samples %d < 0", o.Samples)
+	}
+	if o.RefineIters < 0 {
+		return fmt.Errorf("core: refine iterations %d < 0", o.RefineIters)
+	}
 	return nil
 }
 
@@ -202,6 +224,15 @@ type Report struct {
 	// Format is the resolved storage backend ("csf" or "alto"; Auto is
 	// resolved before the run starts).
 	Format string
+	// Solver is the resolved factor-update algorithm ("als" or "arls";
+	// Auto is resolved before the run starts, and an ARLS request that
+	// cannot sample — a complement index space beyond 64 bits, or an
+	// iteration budget the refinement pass fully consumes — resolves back
+	// to "als").
+	Solver string
+	// SampledIters is how many ALS iterations ran on the sampled system
+	// (0 for the exact solver); Iterations − SampledIters ran exact.
+	SampledIters int
 	// CSFBytes is the storage footprint of the selected backend (the CSF
 	// set, or the linearized ALTO arrays — field name kept for
 	// compatibility with existing consumers).

@@ -201,6 +201,50 @@ func (c *CSF) NonzeroSpan(l, f int) (int, int) {
 	return int(lo), int(hi)
 }
 
+// ForEachNonzero streams every nonzero with its full coordinate (in
+// original tensor mode order) and value, walking the fiber tree in CSF
+// (sorted) order without materializing a coordinate tensor. The coord
+// slice is reused across calls; fn must copy what it keeps. This is the
+// nonzero access path the sampled (ARLS) solver builds its fiber index
+// from.
+func (c *CSF) ForEachNonzero(fn func(coord []sptensor.Index, val float64)) {
+	order := c.Order()
+	nnz := c.NNZ()
+	if nnz == 0 {
+		return
+	}
+	coord := make([]sptensor.Index, order)
+	if order == 1 {
+		for x := 0; x < nnz; x++ {
+			coord[c.ModeOrder[0]] = c.Fids[0][x]
+			fn(coord, c.Vals[x])
+		}
+		return
+	}
+	// fiber[l] is the current fiber at level l, end[l] the first nonzero
+	// position beyond it; fibers advance as the leaf scan crosses spans.
+	fiber := make([]int, order-1)
+	end := make([]int, order-1)
+	for l := 0; l < order-1; l++ {
+		_, hi := c.NonzeroSpan(l, 0)
+		end[l] = hi
+		coord[c.ModeOrder[l]] = c.Fids[l][0]
+	}
+	leafMode := c.ModeOrder[order-1]
+	for x := 0; x < nnz; x++ {
+		for l := 0; l < order-1; l++ {
+			for x >= end[l] {
+				fiber[l]++
+				_, hi := c.NonzeroSpan(l, fiber[l])
+				end[l] = hi
+				coord[c.ModeOrder[l]] = c.Fids[l][fiber[l]]
+			}
+		}
+		coord[leafMode] = c.Fids[order-1][x]
+		fn(coord, c.Vals[x])
+	}
+}
+
 // SliceWeights returns, for each root slice, its nonzero population — the
 // load-balancing weights for distributing slices across tasks.
 func (c *CSF) SliceWeights() []int64 {

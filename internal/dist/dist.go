@@ -31,6 +31,7 @@ import (
 	"repro/internal/mttkrp"
 	"repro/internal/parallel"
 	"repro/internal/perf"
+	"repro/internal/sketch"
 	"repro/internal/sptensor"
 	"repro/internal/tsort"
 )
@@ -69,6 +70,17 @@ type Options struct {
 	// NonNegative and Ridge mirror the constrained-CP options.
 	NonNegative bool
 	Ridge       float64
+
+	// Solver selects the factor-update algorithm (als|arls|auto), as in
+	// core.Options. The choice is resolved once for the whole world — never
+	// per shard — so every locale runs the same update schedule and the
+	// collectives stay aligned; sampled draws are seed-split per
+	// (iteration, mode) from Seed, making every locale's sample set
+	// identical without communication. Samples and RefineIters mirror
+	// core.Options.
+	Solver      sketch.Solver
+	Samples     int
+	RefineIters int
 
 	// Ctx, when non-nil, is polled once per ALS iteration: the locales
 	// allreduce a cancellation flag so every replica stops at the same
@@ -114,6 +126,12 @@ func (o Options) Validate() error {
 	if o.Ridge < 0 {
 		return fmt.Errorf("dist: ridge %g < 0", o.Ridge)
 	}
+	if o.Samples < 0 {
+		return fmt.Errorf("dist: samples %d < 0", o.Samples)
+	}
+	if o.RefineIters < 0 {
+		return fmt.Errorf("dist: refine iterations %d < 0", o.RefineIters)
+	}
 	return nil
 }
 
@@ -138,8 +156,34 @@ func (o Options) coreOptions() core.Options {
 	co.Format = o.Format
 	co.NonNegative = o.NonNegative
 	co.Ridge = o.Ridge
+	co.Solver = o.Solver
+	co.Samples = o.Samples
+	co.RefineIters = o.RefineIters
 	co.Ctx = o.Ctx
 	return co
+}
+
+// resolveSolver fixes the world-uniform solver before any locale spawns:
+// Auto resolves from the full tensor (not per shard), and an ARLS request
+// falls back to exact ALS when the tensor cannot be sampled (complement
+// index space beyond 64 bits) — the same check every locale would hit.
+func resolveSolver(t *sptensor.Tensor, opts Options) sketch.Solver {
+	solver := opts.Solver
+	if solver == sketch.Auto {
+		solver, _ = sketch.Choose(t.NNZ(), t.Dims, opts.Rank)
+	}
+	if solver != sketch.ARLS {
+		return sketch.ALS
+	}
+	// A budget the refinement pass fully consumes runs exact everywhere.
+	if sketch.SampledIters(opts.MaxIters, opts.RefineIters) == 0 {
+		return sketch.ALS
+	}
+	// A nil-source sampler performs only the encodability checks.
+	if _, err := sketch.NewSampler(nil, t.Dims, sketch.Config{Rank: opts.Rank}); err != nil {
+		return sketch.ALS
+	}
+	return sketch.ARLS
 }
 
 // CPD factors t into a rank-R Kruskal model with distributed CP-ALS over
@@ -160,6 +204,7 @@ func CPD(t *sptensor.Tensor, opts Options) (*core.KruskalTensor, *Report, error)
 
 	start := time.Now()
 	world := opts.Locales
+	solver := resolveSolver(t, opts)
 	slabs := PartitionSlabs(t, world)
 	fabric := newComm(world, t.Dims[0]*opts.Rank)
 	seed := core.NewRandomKruskal(t.Dims, opts.Rank, opts.Seed)
@@ -169,7 +214,7 @@ func CPD(t *sptensor.Tensor, opts Options) (*core.KruskalTensor, *Report, error)
 		setup.Add(1)
 		go func(lid int) {
 			defer setup.Done()
-			locales[lid] = newLocale(lid, slabs[lid], t, seed, opts)
+			locales[lid] = newLocale(lid, slabs[lid], t, seed, solver, opts)
 		}(lid)
 	}
 	setup.Wait()
@@ -193,13 +238,15 @@ func CPD(t *sptensor.Tensor, opts Options) (*core.KruskalTensor, *Report, error)
 	wg.Wait()
 
 	report := &Report{
-		Locales:    world,
-		Iterations: locales[0].iterations,
-		Fit:        locales[0].fit,
-		FitHistory: locales[0].fitHistory,
-		Cancelled:  locales[0].cancelled,
-		ShardRows:  make([]int, world),
-		ShardNNZ:   make([]int, world),
+		Locales:      world,
+		Iterations:   locales[0].iterations,
+		Fit:          locales[0].fit,
+		FitHistory:   locales[0].fitHistory,
+		Cancelled:    locales[0].cancelled,
+		Solver:       solver.String(),
+		SampledIters: locales[0].sampledIters,
+		ShardRows:    make([]int, world),
+		ShardNNZ:     make([]int, world),
 	}
 	if locales[0].op != nil {
 		report.Format = locales[0].op.Format().String()
@@ -241,6 +288,8 @@ func cpdSingle(t *sptensor.Tensor, opts Options) (*core.KruskalTensor, *Report, 
 		FitHistory:    cr.FitHistory,
 		Cancelled:     cr.Cancelled,
 		Format:        cr.Format,
+		Solver:        cr.Solver,
+		SampledIters:  cr.SampledIters,
 		ShardRows:     []int{t.Dims[0]},
 		ShardNNZ:      []int{t.NNZ()},
 		MTTKRPSeconds: cr.Times[perf.RoutineMTTKRP],
@@ -275,10 +324,20 @@ type locale struct {
 	iterations    int
 	cancelled     bool
 	mttkrpSeconds float64
+
+	// Sampled-solver state (nil / zero for the exact solver). Every locale
+	// holds identical leverage tables and draws identical samples (same
+	// seed, same replicated factors), so the sampled schedule needs no
+	// extra coordination.
+	solver       sketch.Solver
+	sampler      *sketch.Sampler
+	vs           *dense.Matrix
+	sampledIters int
 }
 
 // newLocale extracts locale lid's shard and builds its local engine.
-func newLocale(lid int, slab Slab, t *sptensor.Tensor, seed *core.KruskalTensor, opts Options) *locale {
+func newLocale(lid int, slab Slab, t *sptensor.Tensor, seed *core.KruskalTensor,
+	solver sketch.Solver, opts Options) *locale {
 	r := opts.Rank
 	order := t.NModes()
 	tasks := opts.TasksPerLocale
@@ -324,6 +383,28 @@ func newLocale(lid int, slab Slab, t *sptensor.Tensor, seed *core.KruskalTensor,
 			SortVariant: opts.SortVariant,
 		})
 	}
+	lc.solver = solver
+	if solver == sketch.ARLS && lc.err == nil {
+		// The shard's coordinates are local in mode 0; the offset puts the
+		// sampler in global coordinate space so all locales draw from (and
+		// key fibers by) the same index domain. Empty shards still build a
+		// sampler: they contribute zero rows but must compute the identical
+		// sampled normal matrix.
+		offsets := make([]int, order)
+		offsets[0] = slab.Lo
+		var src sketch.NonzeroSource
+		if lc.op != nil {
+			src = lc.op
+		}
+		lc.sampler, lc.err = sketch.NewSampler(src, t.Dims, sketch.Config{
+			Rank:    r,
+			Samples: opts.Samples,
+			Seed:    opts.Seed,
+			Offsets: offsets,
+			Team:    lc.team,
+		})
+		lc.vs = dense.NewMatrix(r, r)
+	}
 	return lc
 }
 
@@ -345,7 +426,18 @@ func (lc *locale) run(c *comm, opts Options) {
 		dense.Syrk(lc.team, lc.k.Factors[m], lc.grams[m])
 	}
 
+	// Sampled phase budget — a deterministic function of the uniform
+	// options, so every locale runs the same schedule without coordination.
+	sampledLeft := 0
+	if lc.solver == sketch.ARLS {
+		sampledLeft = sketch.SampledIters(opts.MaxIters, opts.RefineIters)
+		for m := 0; m < order; m++ {
+			lc.sampler.RefreshLeverage(m, lc.k.Factors[m], lc.grams[m])
+		}
+	}
+
 	oldFit := 0.0
+	prevSampled := false
 	for it := 0; it < opts.MaxIters; it++ {
 		if opts.Ctx != nil {
 			// Every locale contributes its view of the context to a sum
@@ -360,19 +452,60 @@ func (lc *locale) run(c *comm, opts Options) {
 				break
 			}
 		}
+		sampled := sampledLeft > 0
 		for m := 0; m < order; m++ {
-			lc.updateMode(c, m, it, opts)
+			lc.updateMode(c, m, it, sampled, opts)
 		}
-		fit := lc.computeFit()
+		var fit float64
+		if sampled {
+			fit = lc.estimateFit(c, it)
+			lc.sampledIters++
+			sampledLeft--
+		} else {
+			fit = lc.computeFit()
+		}
 		lc.fitHistory = append(lc.fitHistory, fit)
 		lc.iterations = it + 1
-		if opts.Tolerance > 0 && it > 0 && math.Abs(fit-oldFit) < opts.Tolerance {
-			oldFit = fit
-			break
+		// Mirrors core: a converged sampled phase hands over to exact
+		// refinement; the first exact iteration after the switch skips the
+		// test (its predecessor fit was an estimate). The fit is identical
+		// on every locale (allreduced or replicated), so the decision is
+		// uniform.
+		if opts.Tolerance > 0 && it > 0 && prevSampled == sampled &&
+			math.Abs(fit-oldFit) < opts.Tolerance {
+			if sampled {
+				sampledLeft = 0
+			} else {
+				oldFit = fit
+				break
+			}
 		}
 		oldFit = fit
+		prevSampled = sampled
 	}
 	lc.fit = oldFit
+}
+
+// estimateFit is the sampled-phase fit estimate: each locale estimates its
+// shard's share of ⟨X, model⟩ from a seeded uniform nonzero subset (salted
+// by locale id), the shares are summed with one allreduce, and the model
+// norm comes exactly from the replicated Grams. Every locale returns the
+// identical value.
+func (lc *locale) estimateFit(c *comm, it int) float64 {
+	part := 0.0
+	if lc.sampler != nil {
+		part = lc.sampler.EstimateInner(it, uint64(lc.lid), lc.k.Lambda, lc.k.Factors)
+	}
+	inner := c.AllreduceScalar(lc.lid, part)
+	modelNorm2 := lc.k.NormSquaredFromGrams(lc.grams)
+	residual2 := lc.normX + modelNorm2 - 2*inner
+	if residual2 < 0 {
+		residual2 = 0
+	}
+	if lc.normX <= 0 {
+		return 0
+	}
+	return 1 - math.Sqrt(residual2)/math.Sqrt(lc.normX)
 }
 
 // updateMode performs one distributed least-squares factor update.
@@ -386,20 +519,24 @@ func (lc *locale) run(c *comm, opts Options) {
 // full mode dimension from its shard, the partials are allreduced, and the
 // solve/normalize/Gram steps run redundantly on identical inputs, keeping
 // every replica consistent without further traffic.
-func (lc *locale) updateMode(c *comm, m, iter int, opts Options) {
+func (lc *locale) updateMode(c *comm, m, iter int, sampled bool, opts Options) {
 	r := opts.Rank
 	factor := lc.k.Factors[m]
 
-	// V ← ∘_{n≠m} A(n)ᵀA(n) (+ optional ridge); identical on all locales.
-	lc.v.Fill(1)
-	for n := range lc.grams {
-		if n != m {
-			dense.HadamardProduct(lc.v, lc.grams[n])
-		}
-	}
-	if opts.Ridge > 0 {
-		for i := 0; i < r; i++ {
-			lc.v.Set(i, i, lc.v.At(i, i)+opts.Ridge)
+	// The normal matrix of the least-squares solve: the exact path takes
+	// V ← ∘_{n≠m} A(n)ᵀA(n) (identical on all locales, from replicated
+	// Grams); the sampled path takes HᵀWH over the drawn Khatri-Rao rows
+	// (identical on all locales: same seed, same leverage tables). The
+	// sampled M is filled inside applyMTTKRP below.
+	v := lc.v
+	if sampled {
+		v = lc.vs
+	} else {
+		lc.v.Fill(1)
+		for n := range lc.grams {
+			if n != m {
+				dense.HadamardProduct(lc.v, lc.grams[n])
+			}
 		}
 	}
 
@@ -409,26 +546,71 @@ func (lc *locale) updateMode(c *comm, m, iter int, opts Options) {
 	}
 
 	if m == 0 {
+		// Mode 0 writes only the slab-owned rows: sampled or exact, no
+		// reduction of M is needed.
 		mrows := dense.NewMatrixFrom(lc.slab.Rows(), r, lc.mbuf.Data[:lc.slab.Rows()*r])
-		lc.applyMTTKRP(0, mrows)
+		if sampled {
+			lc.applySampledMTTKRP(0, iter, mrows)
+		} else {
+			lc.applyMTTKRP(0, mrows)
+		}
+		lc.addRidge(v, opts)
 		lc.a0.CopyFrom(mrows)
-		dense.SolveNormals(lc.team, lc.v, lc.a0)
+		dense.SolveNormals(lc.team, v, lc.a0)
 		lc.clampNonNegative(lc.a0, opts)
 		lc.normalizeOwnedRows(c, kind)
 		dense.Syrk(lc.team, lc.a0, lc.grams[0])
 		c.AllreduceSum(lc.lid, lc.grams[0].Data)
 		c.AllgatherRows(lc.lid, lc.slab.Lo, lc.slab.Hi, r, factor.Data)
+		lc.refreshLeverage(m, sampled)
 		return
 	}
 
 	mrows := dense.NewMatrixFrom(factor.Rows, r, lc.mbuf.Data[:factor.Rows*r])
-	lc.applyMTTKRP(m, mrows)
+	if sampled {
+		lc.applySampledMTTKRP(m, iter, mrows)
+	} else {
+		lc.applyMTTKRP(m, mrows)
+	}
+	// Replicated modes reduce the per-shard partial M — the same collective
+	// for both solvers, so sampled and exact runs stay aligned.
 	c.AllreduceSum(lc.lid, mrows.Data)
+	lc.addRidge(v, opts)
 	factor.CopyFrom(mrows)
-	dense.SolveNormals(lc.team, lc.v, factor)
+	dense.SolveNormals(lc.team, v, factor)
 	lc.clampNonNegative(factor, opts)
 	dense.NormalizeColumns(lc.team, factor, lc.k.Lambda, kind)
 	dense.Syrk(lc.team, factor, lc.grams[m])
+	lc.refreshLeverage(m, sampled)
+}
+
+// addRidge adds the Tikhonov diagonal to the normal matrix (the exact path
+// pre-ridged V during its Hadamard assembly historically; both paths now
+// ridge here, after the sampled normal is available).
+func (lc *locale) addRidge(v *dense.Matrix, opts Options) {
+	if opts.Ridge <= 0 {
+		return
+	}
+	for i := 0; i < opts.Rank; i++ {
+		v.Set(i, i, v.At(i, i)+opts.Ridge)
+	}
+}
+
+// refreshLeverage keeps mode m's sampling distribution in sync with the
+// factor a sampled iteration just rewrote. Identical on every locale.
+func (lc *locale) refreshLeverage(m int, sampled bool) {
+	if sampled {
+		lc.sampler.RefreshLeverage(m, lc.k.Factors[m], lc.grams[m])
+	}
+}
+
+// applySampledMTTKRP runs the sampled kernel into out (the shard's partial
+// sampled M) and the locale's sampled normal matrix, charging the time to
+// the locale's MTTKRP clock.
+func (lc *locale) applySampledMTTKRP(m, iter int, out *dense.Matrix) {
+	start := time.Now()
+	lc.sampler.SampledMTTKRP(m, iter, lc.k.Factors, out, lc.vs)
+	lc.mttkrpSeconds += time.Since(start).Seconds()
 }
 
 // applyMTTKRP runs the local kernel into out (zeroing it when the shard is

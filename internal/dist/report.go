@@ -21,6 +21,12 @@ type Report struct {
 	// "alto"; with format.Auto other locales may resolve differently per
 	// shard).
 	Format string
+	// Solver is the resolved factor-update algorithm ("als" or "arls"),
+	// uniform across locales so the collectives stay aligned.
+	Solver string
+	// SampledIters is how many ALS iterations ran on the sampled system
+	// (0 for the exact solver).
+	SampledIters int
 
 	// ShardRows[l] is the number of mode-0 slices locale l owns.
 	ShardRows []int

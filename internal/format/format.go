@@ -77,6 +77,12 @@ type Backend interface {
 	LastStrategy() mttkrp.ConflictStrategy
 	// MemoryBytes estimates the representation's storage footprint.
 	MemoryBytes() int64
+	// ForEachNonzero streams every stored nonzero (coordinates in tensor
+	// mode order, value) in the backend's storage order. The sampled
+	// (ARLS) solver builds its fiber index through this path, so it works
+	// against whichever representation the run selected. The coord slice
+	// is reused across calls; fn must copy what it keeps.
+	ForEachNonzero(fn func(coord []sptensor.Index, val float64))
 }
 
 // Config carries everything a backend build needs from the engine.
@@ -218,6 +224,10 @@ func (b *csfBackend) MTTKRP(mode int, factors []*dense.Matrix, out *dense.Matrix
 func (b *csfBackend) StrategyFor(mode int) mttkrp.ConflictStrategy { return b.op.StrategyFor(mode) }
 func (b *csfBackend) LastStrategy() mttkrp.ConflictStrategy        { return b.op.LastStrategy() }
 func (b *csfBackend) MemoryBytes() int64                           { return b.set.MemoryBytes() }
+func (b *csfBackend) ForEachNonzero(fn func(coord []sptensor.Index, val float64)) {
+	c, _ := b.set.For(0) // every CSF in the set stores the same nonzeros
+	c.ForEachNonzero(fn)
+}
 
 // altoBackend wraps the linearized tensor + operator.
 type altoBackend struct {
@@ -249,6 +259,9 @@ func (b *altoBackend) MTTKRP(mode int, factors []*dense.Matrix, out *dense.Matri
 func (b *altoBackend) StrategyFor(mode int) mttkrp.ConflictStrategy { return b.op.StrategyFor(mode) }
 func (b *altoBackend) LastStrategy() mttkrp.ConflictStrategy        { return b.op.LastStrategy() }
 func (b *altoBackend) MemoryBytes() int64                           { return b.t.MemoryBytes() }
+func (b *altoBackend) ForEachNonzero(fn func(coord []sptensor.Index, val float64)) {
+	b.t.ForEachNonzero(fn)
+}
 
 // CSFSet returns the CSF set behind a backend, or nil when the backend is
 // not CSF-based (bench introspection without type assertions at call

@@ -27,6 +27,13 @@ const (
 	RoutineIO      = "IO"
 	RoutineCSF     = "CSF BUILD"
 	RoutineALTO    = "ALTO BUILD"
+	// RoutineSketch is the sampled (ARLS) solver's replacement for the
+	// exact MTTKRP: drawing + sampled accumulation per factor update.
+	// RoutineSketchBuild and RoutineLeverage are its setup costs (fiber
+	// index construction, leverage-score maintenance).
+	RoutineSketch      = "SKETCH MTTKRP"
+	RoutineSketchBuild = "SKETCH BUILD"
+	RoutineLeverage    = "LEVERAGE"
 )
 
 // CanonicalRoutines lists the six per-routine rows reported by the paper,

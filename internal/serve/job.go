@@ -9,6 +9,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/dist"
 	"repro/internal/format"
+	"repro/internal/sketch"
 	"repro/internal/sptensor"
 )
 
@@ -57,6 +58,16 @@ type JobSpec struct {
 	// or "auto". Applies to kinds "cpd" and "dist"; the completion engine
 	// streams coordinates directly and ignores it.
 	Format string `json:"format,omitempty"`
+	// Solver selects the factor-update algorithm: "als" (exact, default),
+	// "arls" (leverage-score sampled with exact refinement), or "auto".
+	// Applies to kinds "cpd" and "dist"; the completion engine is
+	// stochastic-free exact ALS over observed entries and ignores it.
+	Solver string `json:"solver,omitempty"`
+	// Samples overrides the ARLS per-update sample count (0 = heuristic).
+	Samples int `json:"samples,omitempty"`
+	// RefineIters overrides the trailing exact iterations of an ARLS run
+	// (0 = default).
+	RefineIters int `json:"refine_iters,omitempty"`
 }
 
 // normalize fills defaults and validates the engine-independent fields.
@@ -72,10 +83,14 @@ func (s *JobSpec) normalize() error {
 	default:
 		return fmt.Errorf("serve: unknown job kind %q (want cpd|dist|complete)", s.Kind)
 	}
-	if s.Rank < 0 || s.MaxIters < 0 || s.Tasks < 0 || s.Locales < 0 {
+	if s.Rank < 0 || s.MaxIters < 0 || s.Tasks < 0 || s.Locales < 0 ||
+		s.Samples < 0 || s.RefineIters < 0 {
 		return fmt.Errorf("serve: job spec has negative parameters")
 	}
 	if _, err := format.Parse(s.Format); err != nil {
+		return err
+	}
+	if _, err := sketch.Parse(s.Solver); err != nil {
 		return err
 	}
 	return nil
@@ -85,6 +100,12 @@ func (s *JobSpec) normalize() error {
 func (s *JobSpec) formatSpec() format.Spec {
 	spec, _ := format.Parse(s.Format)
 	return spec
+}
+
+// solverSpec resolves the already-validated solver string.
+func (s *JobSpec) solverSpec() sketch.Solver {
+	solver, _ := sketch.Parse(s.Solver)
+	return solver
 }
 
 // coreOptions maps the spec onto core.Options (kind "cpd").
@@ -106,6 +127,9 @@ func (s *JobSpec) coreOptions(ctx context.Context) core.Options {
 	o.NonNegative = s.NonNegative
 	o.Ridge = s.Ridge
 	o.Format = s.formatSpec()
+	o.Solver = s.solverSpec()
+	o.Samples = s.Samples
+	o.RefineIters = s.RefineIters
 	o.Ctx = ctx
 	return o
 }
@@ -132,6 +156,9 @@ func (s *JobSpec) distOptions(ctx context.Context) dist.Options {
 	o.NonNegative = s.NonNegative
 	o.Ridge = s.Ridge
 	o.Format = s.formatSpec()
+	o.Solver = s.solverSpec()
+	o.Samples = s.Samples
+	o.RefineIters = s.RefineIters
 	o.Ctx = ctx
 	return o
 }
@@ -170,8 +197,13 @@ type JobResult struct {
 	CommBytes  int64   `json:"comm_bytes,omitempty"` // dist jobs
 	// Format is the resolved storage backend the engine ran on ("csf" or
 	// "alto"; empty for completion jobs, which stream coordinates).
-	Format  string  `json:"format,omitempty"`
-	Seconds float64 `json:"seconds"`
+	Format string `json:"format,omitempty"`
+	// Solver is the resolved factor-update algorithm ("als" or "arls";
+	// empty for completion jobs).
+	Solver string `json:"solver,omitempty"`
+	// SampledIters is how many ALS iterations ran on the sampled system.
+	SampledIters int     `json:"sampled_iters,omitempty"`
+	Seconds      float64 `json:"seconds"`
 }
 
 // JobStatus is the JSON view of a job (GET /jobs/{id}).

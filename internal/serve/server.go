@@ -95,6 +95,7 @@ type Server struct {
 	rejected  int64
 	routines  map[string]float64
 	formats   map[string]int64 // completed jobs per resolved storage format
+	solvers   map[string]int64 // completed jobs per resolved solver
 }
 
 // NewServer builds the service and starts its worker pool.
@@ -111,6 +112,7 @@ func NewServer(cfg Config) *Server {
 		started:  time.Now(),
 		routines: make(map[string]float64),
 		formats:  make(map[string]int64),
+		solvers:  make(map[string]int64),
 	}
 	for i := 0; i < cfg.Workers; i++ {
 		s.wg.Add(1)
@@ -337,6 +339,9 @@ type Metrics struct {
 		// ByFormat counts completed jobs per resolved storage backend
 		// ("csf", "alto", or "coo" for completion jobs).
 		ByFormat map[string]int64 `json:"by_format,omitempty"`
+		// BySolver counts completed jobs per resolved factor-update
+		// algorithm ("als" or "arls"; completion jobs count as "als").
+		BySolver map[string]int64 `json:"by_solver,omitempty"`
 	} `json:"jobs"`
 
 	Cache CacheStats `json:"cache"`
@@ -367,6 +372,10 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	m.Jobs.ByFormat = make(map[string]int64, len(s.formats))
 	for k, v := range s.formats {
 		m.Jobs.ByFormat[k] = v
+	}
+	m.Jobs.BySolver = make(map[string]int64, len(s.solvers))
+	for k, v := range s.solvers {
+		m.Jobs.BySolver[k] = v
 	}
 	m.RoutineSeconds = make(map[string]float64, len(s.routines))
 	for k, v := range s.routines {

@@ -56,6 +56,8 @@ func (s *Server) execute(j *Job) {
 			res.Fit = report.Fit
 			res.Iterations = report.Iterations
 			res.Format = report.Format
+			res.Solver = report.Solver
+			res.SampledIters = report.SampledIters
 			cancelled = report.Cancelled
 		}
 	case KindDistributed:
@@ -66,6 +68,8 @@ func (s *Server) execute(j *Job) {
 			res.Iterations = report.Iterations
 			res.CommBytes = report.CommBytes
 			res.Format = report.Format
+			res.Solver = report.Solver
+			res.SampledIters = report.SampledIters
 			cancelled = report.Cancelled
 		}
 	case KindComplete:
@@ -90,6 +94,7 @@ func (s *Server) execute(j *Job) {
 		j.finish(StateDone, res, nil)
 		s.tally(StateDone, timers)
 		s.tallyFormat(res.Format)
+		s.tallySolver(res.Solver)
 	}
 }
 
@@ -122,5 +127,17 @@ func (s *Server) tallyFormat(resolved string) {
 	}
 	s.statsMu.Lock()
 	s.formats[resolved]++
+	s.statsMu.Unlock()
+}
+
+// tallySolver counts a completed job against the factor-update algorithm
+// it resolved to ("" = completion jobs, whose observed-entry engine is
+// exact ALS by construction).
+func (s *Server) tallySolver(resolved string) {
+	if resolved == "" {
+		resolved = "als"
+	}
+	s.statsMu.Lock()
+	s.solvers[resolved]++
 	s.statsMu.Unlock()
 }

@@ -1,0 +1,50 @@
+package sketch
+
+// Deterministic seed-split RNG: every (seed, purpose, iteration, mode)
+// tuple derives an independent stream, so the sampled solver draws
+// identical samples on every run with the same options — and, in the
+// distributed engine, on every locale — without sharing generator state
+// across call sites.
+
+// splitmix64 is the SplitMix64 finalizer: a bijective 64-bit mixer used
+// both to combine seed components and as the PRNG step function.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// splitSeed folds the parts into one derived seed.
+func splitSeed(seed int64, parts ...uint64) uint64 {
+	s := splitmix64(uint64(seed))
+	for _, p := range parts {
+		s = splitmix64(s ^ p)
+	}
+	return s
+}
+
+// rng is a small splitmix64-sequence generator (state increments by the
+// golden-ratio constant per draw, each output finalized independently).
+type rng struct{ state uint64 }
+
+func newRNG(seed uint64) *rng { return &rng{state: seed} }
+
+// next returns the next 64 random bits.
+func (r *rng) next() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	x := r.state
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// float64 returns a uniform draw in [0, 1).
+func (r *rng) float64() float64 {
+	return float64(r.next()>>11) / (1 << 53)
+}
+
+// intn returns a uniform draw in [0, n).
+func (r *rng) intn(n int) int {
+	return int(r.next() % uint64(n))
+}

@@ -1,0 +1,423 @@
+package sketch
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/dense"
+	"repro/internal/parallel"
+	"repro/internal/sptensor"
+)
+
+func TestParseSolver(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Solver
+	}{
+		{"", ALS}, {"als", ALS}, {"exact", ALS},
+		{"arls", ARLS}, {"sampled", ARLS}, {"ARLS", ARLS},
+		{"auto", Auto}, {" Auto ", Auto},
+	}
+	for _, c := range cases {
+		got, err := Parse(c.in)
+		if err != nil || got != c.want {
+			t.Errorf("Parse(%q) = %v, %v; want %v", c.in, got, err, c.want)
+		}
+	}
+	if _, err := Parse("bogus"); err == nil {
+		t.Error("Parse accepted bogus solver")
+	}
+	for _, s := range []Solver{ALS, ARLS, Auto} {
+		back, err := Parse(s.String())
+		if err != nil || back != s {
+			t.Errorf("round trip %v failed: %v, %v", s, back, err)
+		}
+	}
+}
+
+func TestChooseHeuristic(t *testing.T) {
+	dims := []int{1000, 1000, 1000}
+	if s, reason := Choose(100, dims, 8); s != ALS {
+		t.Errorf("tiny tensor chose %v (%s)", s, reason)
+	}
+	if s, reason := Choose(100_000_000, dims, 8); s != ARLS {
+		t.Errorf("huge tensor chose %v (%s)", s, reason)
+	}
+	// Just above the nnz floor but under the sample-advantage ratio.
+	small := DefaultSamples(dims, 64)
+	if s, reason := Choose(AutoNNZThreshold, dims, 64); small*AutoSampleAdvantage > AutoNNZThreshold && s != ALS {
+		t.Errorf("marginal tensor chose %v (%s)", s, reason)
+	}
+}
+
+func TestSampledIters(t *testing.T) {
+	if got := SampledIters(20, 0); got != 20-DefaultRefineIters {
+		t.Errorf("SampledIters(20, 0) = %d", got)
+	}
+	if got := SampledIters(20, 5); got != 15 {
+		t.Errorf("SampledIters(20, 5) = %d", got)
+	}
+	if got := SampledIters(2, 5); got != 0 {
+		t.Errorf("SampledIters(2, 5) = %d (budget smaller than refinement)", got)
+	}
+}
+
+func TestSeedSplitIndependence(t *testing.T) {
+	a := splitSeed(1, purposeMTTKRP, 0, 0)
+	b := splitSeed(1, purposeMTTKRP, 0, 1)
+	c := splitSeed(1, purposeMTTKRP, 1, 0)
+	d := splitSeed(2, purposeMTTKRP, 0, 0)
+	if a == b || a == c || a == d || b == c {
+		t.Errorf("seed splits collide: %x %x %x %x", a, b, c, d)
+	}
+	r := newRNG(a)
+	for i := 0; i < 1000; i++ {
+		if f := r.float64(); f < 0 || f >= 1 {
+			t.Fatalf("float64 out of range: %g", f)
+		}
+	}
+}
+
+// cooSource adapts a coordinate tensor to NonzeroSource for direct tests.
+type cooSource struct{ t *sptensor.Tensor }
+
+func (s cooSource) ForEachNonzero(fn func(coord []sptensor.Index, val float64)) {
+	coord := make([]sptensor.Index, s.t.NModes())
+	for x := range s.t.Vals {
+		for m := range coord {
+			coord[m] = s.t.Inds[m][x]
+		}
+		fn(coord, s.t.Vals[x])
+	}
+}
+
+func testFactors(dims []int, rank int, seed uint64) []*dense.Matrix {
+	rng := newRNG(seed)
+	fs := make([]*dense.Matrix, len(dims))
+	for m, d := range dims {
+		fs[m] = dense.NewMatrix(d, rank)
+		for i := range fs[m].Data {
+			fs[m].Data[i] = rng.float64()
+		}
+	}
+	return fs
+}
+
+func grams(fs []*dense.Matrix) []*dense.Matrix {
+	gs := make([]*dense.Matrix, len(fs))
+	for m, f := range fs {
+		gs[m] = dense.NewMatrix(f.Cols, f.Cols)
+		dense.Syrk(nil, f, gs[m])
+	}
+	return gs
+}
+
+func refreshAll(s *Sampler, fs, gs []*dense.Matrix) {
+	for m := range fs {
+		s.RefreshLeverage(m, fs[m], gs[m])
+	}
+}
+
+func TestLeverageDistribution(t *testing.T) {
+	dims := []int{40, 30, 20}
+	tt := sptensor.Random(dims, 2000, 3)
+	s, err := NewSampler(cooSource{tt}, dims, Config{Rank: 6, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs := testFactors(dims, 6, 9)
+	gs := grams(fs)
+	refreshAll(s, fs, gs)
+	for m, tbl := range s.lev {
+		sum := 0.0
+		for _, p := range tbl.p {
+			if p <= 0 {
+				t.Fatalf("mode %d: non-positive probability %g", m, p)
+			}
+			sum += p
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Errorf("mode %d: probabilities sum to %g", m, sum)
+		}
+		if got := tbl.cum[len(tbl.cum)-1]; math.Abs(got-1) > 1e-9 {
+			t.Errorf("mode %d: final cumulative %g", m, got)
+		}
+	}
+}
+
+func TestComplementKeyRoundTrip(t *testing.T) {
+	dims := []int{7, 5, 3, 4}
+	s, err := NewSampler(nil, dims, Config{Rank: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for mode := 0; mode < len(dims); mode++ {
+		// Enumerate a few multi-indices, encode, decode, compare.
+		rng := newRNG(uint64(mode) + 5)
+		for trial := 0; trial < 100; trial++ {
+			want := make([]int, len(dims))
+			key := uint64(0)
+			for n := range dims {
+				if n == mode {
+					continue
+				}
+				want[n] = rng.intn(dims[n])
+				key += uint64(want[n]) * s.radix[mode][n]
+			}
+			got := make([]int, len(dims))
+			s.decode(mode, key, got)
+			for n := range dims {
+				if n != mode && got[n] != want[n] {
+					t.Fatalf("mode %d: decode(%d) = %v, want %v", mode, key, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestSamplerOverflowRejected(t *testing.T) {
+	huge := 1 << 21
+	dims := []int{huge, huge, huge, huge} // complement ≈ 2^63
+	if _, err := NewSampler(nil, dims, Config{Rank: 4}); err == nil {
+		t.Fatal("oversized complement index space accepted")
+	}
+}
+
+func TestSamplerRejectsBadConfig(t *testing.T) {
+	if _, err := NewSampler(nil, []int{5}, Config{Rank: 4}); err == nil {
+		t.Error("order-1 tensor accepted")
+	}
+	if _, err := NewSampler(nil, []int{5, 5}, Config{Rank: 0}); err == nil {
+		t.Error("rank 0 accepted")
+	}
+	if _, err := NewSampler(nil, []int{5, 5}, Config{Rank: 2, Offsets: []int{1}}); err == nil {
+		t.Error("mismatched offsets accepted")
+	}
+}
+
+func TestSampledMTTKRPDeterminism(t *testing.T) {
+	dims := []int{50, 40, 30}
+	tt := sptensor.Random(dims, 5000, 17)
+	fs := testFactors(dims, 5, 2)
+	gs := grams(fs)
+
+	run := func(team *parallel.Team) (*dense.Matrix, *dense.Matrix) {
+		s, err := NewSampler(cooSource{tt}, dims, Config{Rank: 5, Seed: 42, Samples: 500, Team: team})
+		if err != nil {
+			t.Fatal(err)
+		}
+		refreshAll(s, fs, gs)
+		out := dense.NewMatrix(dims[1], 5)
+		normal := dense.NewMatrix(5, 5)
+		s.SampledMTTKRP(1, 3, fs, out, normal)
+		return out, normal
+	}
+
+	o1, n1 := run(nil)
+	o2, n2 := run(nil)
+	for i := range o1.Data {
+		if o1.Data[i] != o2.Data[i] {
+			t.Fatalf("out not bitwise deterministic at %d: %g vs %g", i, o1.Data[i], o2.Data[i])
+		}
+	}
+	for i := range n1.Data {
+		if n1.Data[i] != n2.Data[i] {
+			t.Fatalf("normal not bitwise deterministic at %d", i)
+		}
+	}
+
+	// Parallel teams of the same size are bitwise deterministic too.
+	teamA := parallel.NewTeam(4)
+	defer teamA.Close()
+	teamB := parallel.NewTeam(4)
+	defer teamB.Close()
+	o3, n3 := run(teamA)
+	o4, n4 := run(teamB)
+	for i := range o3.Data {
+		if o3.Data[i] != o4.Data[i] {
+			t.Fatalf("parallel out not deterministic at %d", i)
+		}
+	}
+	for i := range n3.Data {
+		if n3.Data[i] != n4.Data[i] {
+			t.Fatalf("parallel normal not deterministic at %d", i)
+		}
+	}
+	// And a different seed draws a different sample set.
+	s, _ := NewSampler(cooSource{tt}, dims, Config{Rank: 5, Seed: 43, Samples: 500})
+	refreshAll(s, fs, gs)
+	out := dense.NewMatrix(dims[1], 5)
+	normal := dense.NewMatrix(5, 5)
+	s.SampledMTTKRP(1, 3, fs, out, normal)
+	same := true
+	for i := range out.Data {
+		if out.Data[i] != o1.Data[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical sampled MTTKRP")
+	}
+}
+
+// TestSampledEstimatesUnbiased drives the sample count far above the
+// complement space so the sampled normal matrix and sampled MTTKRP
+// concentrate on their exact expectations: normal → ∘_{n≠m} Gram_n and
+// out → exact MTTKRP.
+func TestSampledEstimatesUnbiased(t *testing.T) {
+	dims := []int{12, 8, 6}
+	tt := sptensor.Random(dims, 300, 5)
+	rank := 4
+	fs := testFactors(dims, rank, 7)
+	gs := grams(fs)
+	s, err := NewSampler(cooSource{tt}, dims, Config{Rank: rank, Seed: 9, Samples: 400000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	refreshAll(s, fs, gs)
+
+	mode := 0
+	out := dense.NewMatrix(dims[mode], rank)
+	normal := dense.NewMatrix(rank, rank)
+	s.SampledMTTKRP(mode, 0, fs, out, normal)
+
+	// Exact normal: Hadamard of the other modes' Grams.
+	exactN := dense.NewMatrix(rank, rank)
+	exactN.Fill(1)
+	for n := range fs {
+		if n != mode {
+			dense.HadamardProduct(exactN, gs[n])
+		}
+	}
+	for i := range normal.Data {
+		rel := math.Abs(normal.Data[i]-exactN.Data[i]) / (math.Abs(exactN.Data[i]) + 1e-12)
+		if rel > 0.05 {
+			t.Fatalf("normal[%d] = %g, exact %g (rel %.3f)", i, normal.Data[i], exactN.Data[i], rel)
+		}
+	}
+
+	// Exact MTTKRP by brute force over nonzeros.
+	exactM := dense.NewMatrix(dims[mode], rank)
+	for x := range tt.Vals {
+		i0 := int(tt.Inds[0][x])
+		row := exactM.Row(i0)
+		for j := 0; j < rank; j++ {
+			row[j] += tt.Vals[x] * fs[1].At(int(tt.Inds[1][x]), j) * fs[2].At(int(tt.Inds[2][x]), j)
+		}
+	}
+	maxAbs := 0.0
+	for _, v := range exactM.Data {
+		if a := math.Abs(v); a > maxAbs {
+			maxAbs = a
+		}
+	}
+	for i := range out.Data {
+		if math.Abs(out.Data[i]-exactM.Data[i]) > 0.05*maxAbs {
+			t.Fatalf("out[%d] = %g, exact %g", i, out.Data[i], exactM.Data[i])
+		}
+	}
+}
+
+func TestEstimateInnerMatchesExactOnFullSample(t *testing.T) {
+	dims := []int{20, 15, 10}
+	tt := sptensor.Random(dims, 500, 3)
+	rank := 3
+	fs := testFactors(dims, rank, 4)
+	lambda := []float64{1.5, 0.5, 2.0}
+	// FitSamples ≥ nnz means every draw is a uniform resample of the full
+	// set; the estimate stays an unbiased uniform estimator, so with
+	// samples ≫ nnz it concentrates tightly.
+	s, err := NewSampler(cooSource{tt}, dims, Config{Rank: rank, Seed: 2, FitSamples: 200000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact := 0.0
+	for x := range tt.Vals {
+		v := 0.0
+		for c := 0; c < rank; c++ {
+			term := lambda[c]
+			for m := 0; m < 3; m++ {
+				term *= fs[m].At(int(tt.Inds[m][x]), c)
+			}
+			v += term
+		}
+		exact += tt.Vals[x] * v
+	}
+	got := s.EstimateInner(0, 0, lambda, fs)
+	if rel := math.Abs(got-exact) / (math.Abs(exact) + 1e-12); rel > 0.02 {
+		t.Errorf("EstimateInner = %g, exact %g (rel %.3f)", got, exact, rel)
+	}
+	// Empty shard estimates zero.
+	empty, _ := NewSampler(nil, dims, Config{Rank: rank})
+	if got := empty.EstimateInner(0, 0, lambda, fs); got != 0 {
+		t.Errorf("empty sampler estimated %g", got)
+	}
+}
+
+func TestShardOffsetsMatchGlobal(t *testing.T) {
+	// A sharded sampler (local mode-0 coords + offset) must produce the
+	// same fiber keys and out rows as a global sampler restricted to the
+	// shard.
+	dims := []int{30, 10, 8}
+	tt := sptensor.Random(dims, 1500, 21)
+	rank := 4
+	fs := testFactors(dims, rank, 6)
+	gs := grams(fs)
+
+	lo, hi := 10, 20
+	shard := sptensor.New([]int{hi - lo, dims[1], dims[2]}, 0)
+	for x := range tt.Vals {
+		i0 := int(tt.Inds[0][x])
+		if i0 < lo || i0 >= hi {
+			continue
+		}
+		shard.Inds[0] = append(shard.Inds[0], sptensor.Index(i0-lo))
+		shard.Inds[1] = append(shard.Inds[1], tt.Inds[1][x])
+		shard.Inds[2] = append(shard.Inds[2], tt.Inds[2][x])
+		shard.Vals = append(shard.Vals, tt.Vals[x])
+	}
+
+	cfg := Config{Rank: rank, Seed: 77, Samples: 2000}
+	global, err := NewSampler(cooSource{tt}, dims, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	local := cfg
+	local.Offsets = []int{lo, 0, 0}
+	sharded, err := NewSampler(cooSource{shard}, dims, local)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refreshAll(global, fs, gs)
+	refreshAll(sharded, fs, gs)
+
+	// Mode-1 update: global sums over all nonzeros; the shard contributes
+	// only its rows, but for identical draws every sampled fiber entry the
+	// shard holds must appear identically.
+	outG := dense.NewMatrix(dims[1], rank)
+	nG := dense.NewMatrix(rank, rank)
+	global.SampledMTTKRP(1, 0, fs, outG, nG)
+	outS := dense.NewMatrix(dims[1], rank)
+	nS := dense.NewMatrix(rank, rank)
+	sharded.SampledMTTKRP(1, 0, fs, outS, nS)
+
+	for i := range nG.Data {
+		if nG.Data[i] != nS.Data[i] {
+			t.Fatalf("normal diverges between global and sharded sampler at %d", i)
+		}
+	}
+	// Complement keys for mode 0 (the sharded out) are global: mode-0
+	// output rows land at local positions.
+	outG0 := dense.NewMatrix(dims[0], rank)
+	global.SampledMTTKRP(0, 1, fs, outG0, nG)
+	outS0 := dense.NewMatrix(hi-lo, rank)
+	sharded.SampledMTTKRP(0, 1, fs, outS0, nS)
+	for i := 0; i < hi-lo; i++ {
+		for j := 0; j < rank; j++ {
+			if outS0.At(i, j) != outG0.At(lo+i, j) {
+				t.Fatalf("shard row %d col %d: %g vs global %g", i, j, outS0.At(i, j), outG0.At(lo+i, j))
+			}
+		}
+	}
+}

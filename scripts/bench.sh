@@ -1,7 +1,10 @@
 #!/usr/bin/env bash
 # bench.sh — run the Go micro-benchmarks into benchmarks/latest.txt and,
-# when benchmarks/baseline.txt exists, fail if any benchmark present in
-# both regressed by more than BENCH_MAX_REGRESSION_PCT percent (default 5).
+# when benchmarks/baseline.txt exists, gate via scripts/bench_compare.sh:
+# fail if any benchmark present in both regressed by more than
+# BENCH_MAX_REGRESSION_PCT percent (default 5), or if a baseline benchmark
+# vanished from the fresh run (full-pattern runs only — deleting a
+# benchmark must not silently pass the gate).
 #
 # Environment knobs:
 #   BENCH_PATTERN             benchmark regex passed to -bench   (default: .)
@@ -33,34 +36,11 @@ if [ ! -f benchmarks/baseline.txt ]; then
 fi
 
 echo "comparing against benchmarks/baseline.txt (max regression ${MAXPCT}%, floor ${MINNSOP} ns/op) ..."
-awk -v maxpct="$MAXPCT" -v minns="$MINNSOP" '
-    # Collect "BenchmarkName-N  iters  ns/op" rows, averaging repeated runs.
-    FNR == NR && $1 ~ /^Benchmark/ && $4 == "ns/op" { base[$1] += $3; basen[$1]++; next }
-    FNR != NR && $1 ~ /^Benchmark/ && $4 == "ns/op" { cur[$1]  += $3; curn[$1]++ }
-    END {
-        n = 0
-        for (name in cur) n++
-        if (n == 0) {
-            print "WARNING: no benchmark rows in benchmarks/latest.txt (bad BENCH_PATTERN?); nothing compared."
-            exit 0
-        }
-        bad = 0
-        for (name in cur) {
-            if (!(name in base)) continue
-            b = base[name] / basen[name]
-            c = cur[name] / curn[name]
-            if (b <= 0) continue
-            if (b < minns) continue # sub-floor benchmarks: pure jitter at 1x
-            pct = (c - b) / b * 100
-            if (pct > maxpct) {
-                printf "REGRESSION %-60s %12.0f -> %12.0f ns/op (%+.1f%%)\n", name, b, c, pct
-                bad++
-            }
-        }
-        if (bad) {
-            printf "%d benchmark(s) regressed beyond %s%%\n", bad, maxpct
-            exit 1
-        }
-        print "benchmark gate passed."
-    }
-' benchmarks/baseline.txt benchmarks/latest.txt
+# A partial-pattern run legitimately omits baseline benchmarks; only a
+# full-pattern run enforces the missing-benchmark check.
+ALLOW_MISSING=0
+if [ "$PATTERN" != "." ]; then
+    ALLOW_MISSING=1
+fi
+BENCH_MAX_REGRESSION_PCT="$MAXPCT" BENCH_MIN_NSOP="$MINNSOP" BENCH_ALLOW_MISSING="$ALLOW_MISSING" \
+    ./scripts/bench_compare.sh benchmarks/baseline.txt benchmarks/latest.txt

@@ -1,0 +1,80 @@
+#!/usr/bin/env bash
+# bench_compare.sh — compare a fresh `go test -bench` output against a
+# pinned baseline. Usage:
+#
+#   scripts/bench_compare.sh <baseline.txt> <latest.txt>
+#
+# Fails when
+#   * any benchmark present in both files regressed by more than
+#     BENCH_MAX_REGRESSION_PCT percent (averaged over repeated runs), or
+#   * any benchmark present in the baseline is MISSING from the fresh run
+#     (a silently deleted/renamed benchmark must not pass the gate) —
+#     unless BENCH_ALLOW_MISSING=1 (set by bench.sh for partial
+#     BENCH_PATTERN runs, where absence is expected).
+#
+# Environment knobs:
+#   BENCH_MAX_REGRESSION_PCT  allowed ns/op regression percent   (default 5)
+#   BENCH_MIN_NSOP            benchmarks whose baseline ns/op is below this
+#                             are too noisy at 1x iteration to compare and
+#                             are skipped for the regression check (they
+#                             still count for the missing check) (default 100000)
+#   BENCH_ALLOW_MISSING       1 = downgrade missing benchmarks to a warning
+set -euo pipefail
+
+if [ $# -ne 2 ]; then
+    echo "usage: $0 <baseline.txt> <latest.txt>" >&2
+    exit 2
+fi
+BASE="$1"
+CUR="$2"
+MAXPCT="${BENCH_MAX_REGRESSION_PCT:-5}"
+MINNSOP="${BENCH_MIN_NSOP:-100000}"
+ALLOW_MISSING="${BENCH_ALLOW_MISSING:-0}"
+
+awk -v maxpct="$MAXPCT" -v minns="$MINNSOP" -v allowmissing="$ALLOW_MISSING" '
+    # Collect "BenchmarkName-N  iters  ns/op" rows, averaging repeated runs.
+    FNR == NR && $1 ~ /^Benchmark/ && $4 == "ns/op" { base[$1] += $3; basen[$1]++; next }
+    FNR != NR && $1 ~ /^Benchmark/ && $4 == "ns/op" { cur[$1]  += $3; curn[$1]++ }
+    END {
+        n = 0
+        for (name in cur) n++
+        if (n == 0) {
+            print "WARNING: no benchmark rows in the fresh run (bad BENCH_PATTERN?)."
+        }
+        missing = 0
+        for (name in base) {
+            if (!(name in cur)) {
+                printf "MISSING    %-60s in baseline but absent from fresh run\n", name
+                missing++
+            }
+        }
+        bad = 0
+        for (name in cur) {
+            if (!(name in base)) continue
+            b = base[name] / basen[name]
+            c = cur[name] / curn[name]
+            if (b <= 0) continue
+            if (b < minns) continue # sub-floor benchmarks: pure jitter at 1x
+            pct = (c - b) / b * 100
+            if (pct > maxpct) {
+                printf "REGRESSION %-60s %12.0f -> %12.0f ns/op (%+.1f%%)\n", name, b, c, pct
+                bad++
+            }
+        }
+        fail = 0
+        if (bad) {
+            printf "%d benchmark(s) regressed beyond %s%%\n", bad, maxpct
+            fail = 1
+        }
+        if (missing) {
+            if (allowmissing == "1") {
+                printf "%d baseline benchmark(s) missing (allowed: partial pattern run)\n", missing
+            } else {
+                printf "%d baseline benchmark(s) missing from the fresh run; deleted or renamed benchmarks must re-pin the baseline\n", missing
+                fail = 1
+            }
+        }
+        if (fail) exit 1
+        print "benchmark gate passed."
+    }
+' "$BASE" "$CUR"

@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# coverage.sh — run `go test -coverprofile` across every package and fail
+# when total statement coverage drops below the pinned floor.
+#
+# Environment knobs:
+#   COVER_FLOOR    minimum total coverage percent (default: 78.5, pinned at
+#                  current total − 2% when the gate was introduced; raise it
+#                  as coverage grows, never lower it to paper over a drop)
+#   COVER_PROFILE  profile output path (default: coverage.out)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+FLOOR="${COVER_FLOOR:-78.5}"
+PROFILE="${COVER_PROFILE:-coverage.out}"
+
+go test -coverprofile "$PROFILE" -covermode atomic ./...
+
+TOTAL=$(go tool cover -func "$PROFILE" | awk '/^total:/ { sub(/%/, "", $3); print $3 }')
+echo "total statement coverage: ${TOTAL}% (floor ${FLOOR}%)"
+awk -v total="$TOTAL" -v floor="$FLOOR" 'BEGIN {
+    if (total + 0 < floor + 0) {
+        printf "coverage %.1f%% fell below the %.1f%% floor\n", total, floor
+        exit 1
+    }
+    print "coverage gate passed."
+}'

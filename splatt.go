@@ -43,6 +43,7 @@ import (
 	"repro/internal/locks"
 	"repro/internal/mttkrp"
 	"repro/internal/perf"
+	"repro/internal/sketch"
 	"repro/internal/sptensor"
 	"repro/internal/tsort"
 )
@@ -130,6 +131,32 @@ func ParseStorageFormat(s string) (StorageFormat, error) { return format.Parse(s
 // ChooseFormat reports the storage backend FormatAuto would pick for a
 // tensor, with a human-readable reason.
 func ChooseFormat(t *Tensor) (StorageFormat, string) { return format.Choose(t) }
+
+// Solver selects the factor-update algorithm via Options.Solver.
+type Solver = sketch.Solver
+
+// Factor-update solvers. SolverALS is the paper's exact alternating least
+// squares (the default); SolverARLS is leverage-score sampled ALS
+// (CP-ARLS-LEV after Larsen & Kolda / Bharadwaj et al.): each update
+// solves a least-squares system over a small seeded sample of Khatri-Rao
+// rows, with trailing exact refinement iterations restoring exact-fit
+// semantics; SolverAuto picks per tensor by nonzero count against the
+// sample budget (see ChooseSolver).
+const (
+	SolverALS  = sketch.ALS
+	SolverARLS = sketch.ARLS
+	SolverAuto = sketch.Auto
+)
+
+// ParseSolver converts a CLI/API string ("als"|"arls"|"auto") into a
+// Solver.
+func ParseSolver(s string) (Solver, error) { return sketch.Parse(s) }
+
+// ChooseSolver reports the solver SolverAuto would pick for a tensor at a
+// given rank, with a human-readable reason.
+func ChooseSolver(t *Tensor, rank int) (Solver, string) {
+	return sketch.Choose(t.NNZ(), t.Dims, rank)
+}
 
 // MTTKRP conflict strategies.
 const (

@@ -1,0 +1,108 @@
+// Integration tests for the pluggable-solver public surface: the sampled
+// (ARLS) solver must be deterministic under a seed, agree between the
+// shared-memory and distributed engines, and land within fit parity of
+// exact ALS.
+package splatt_test
+
+import (
+	"math"
+	"testing"
+
+	splatt "repro"
+)
+
+// TestSolverCoreVsDistributed runs -solver arls through both public
+// engines on the same tensor and seed. locales=1 must match the
+// shared-memory engine bitwise (it short-circuits to it); multi-locale
+// runs draw the identical sample sets via the seed-split RNG and agree up
+// to floating-point reassociation.
+func TestSolverCoreVsDistributed(t *testing.T) {
+	tensor := splatt.NewRandomTensor([]int{40, 30, 25}, 6000, 19)
+	opts := splatt.DefaultOptions()
+	opts.Rank = 8
+	opts.MaxIters = 10
+	opts.Seed = 5
+	opts.Solver = splatt.SolverARLS
+	base, baseRep, err := splatt.CPD(tensor, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if baseRep.Solver != "arls" || baseRep.SampledIters == 0 {
+		t.Fatalf("reference run not sampled: %+v", baseRep)
+	}
+
+	for _, locales := range []int{1, 2, 4} {
+		dopts := splatt.DefaultDistOptions()
+		dopts.Locales = locales
+		dopts.Rank = 8
+		dopts.MaxIters = 10
+		dopts.Seed = 5
+		dopts.Solver = splatt.SolverARLS
+		k, rep, err := splatt.CPDDistributed(tensor, dopts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Solver != "arls" {
+			t.Fatalf("locales=%d resolved solver %q", locales, rep.Solver)
+		}
+		if rep.SampledIters != baseRep.SampledIters {
+			t.Errorf("locales=%d sampled %d iterations, core sampled %d",
+				locales, rep.SampledIters, baseRep.SampledIters)
+		}
+		tol := 0.0 // locales=1 short-circuits to the shared-memory engine
+		if locales > 1 {
+			tol = 1e-8
+		}
+		if d := math.Abs(rep.Fit - baseRep.Fit); d > tol {
+			t.Errorf("locales=%d fit %.12f vs core %.12f (|Δ|=%g)", locales, rep.Fit, baseRep.Fit, d)
+		}
+		for m := range k.Factors {
+			if maxd := k.Factors[m].MaxAbsDiff(base.Factors[m]); maxd > tol {
+				t.Errorf("locales=%d factor %d max |Δ| = %g beyond %g", locales, m, maxd, tol)
+				break
+			}
+		}
+	}
+}
+
+// TestSolverSeedDeterminismPublic: the documented guarantee that one seed
+// fixes the whole ARLS trajectory through the public API.
+func TestSolverSeedDeterminismPublic(t *testing.T) {
+	tensor := splatt.NewRandomTensor([]int{35, 30, 20}, 4000, 3)
+	opts := splatt.DefaultOptions()
+	opts.Rank = 6
+	opts.MaxIters = 6
+	opts.Solver = splatt.SolverARLS
+	k1, r1, err := splatt.CPD(tensor, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k2, r2, err := splatt.CPD(tensor, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Fit != r2.Fit {
+		t.Fatalf("fit differs across identical runs: %v vs %v", r1.Fit, r2.Fit)
+	}
+	for m := range k1.Factors {
+		if d := k1.Factors[m].MaxAbsDiff(k2.Factors[m]); d != 0 {
+			t.Fatalf("factor %d differs across identical runs (max |Δ| = %g)", m, d)
+		}
+	}
+}
+
+// TestSolverExports exercises the public parse/choose surface.
+func TestSolverExports(t *testing.T) {
+	for _, s := range []string{"als", "arls", "auto"} {
+		if _, err := splatt.ParseSolver(s); err != nil {
+			t.Errorf("ParseSolver(%q): %v", s, err)
+		}
+	}
+	if _, err := splatt.ParseSolver("simplex"); err == nil {
+		t.Error("ParseSolver accepted nonsense")
+	}
+	small := splatt.NewRandomTensor([]int{10, 10, 10}, 200, 1)
+	if s, reason := splatt.ChooseSolver(small, 8); s != splatt.SolverALS || reason == "" {
+		t.Errorf("ChooseSolver(small) = %v (%q)", s, reason)
+	}
+}
