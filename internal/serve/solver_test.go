@@ -1,0 +1,105 @@
+package serve
+
+import (
+	"math"
+	"net/http"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/sketch"
+	"repro/internal/sptensor"
+)
+
+// TestSolverRoundTrip is the acceptance scenario of the pluggable-solver
+// axis at the service layer: "arls"-solver jobs run end to end through the
+// HTTP API, report the resolved solver and sampled-iteration count in
+// their result, match the direct engine bitwise (same seed, deterministic
+// sampling), and show up in the /metrics solver counters.
+func TestSolverRoundTrip(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 2, QueueCapacity: 16})
+	tensor := sptensor.Random([]int{30, 24, 18}, 3000, 29)
+	res := uploadTensor(t, ts.URL, tnsBytes(t, tensor))
+
+	// Reference from the direct engine with the same knobs.
+	opts := core.DefaultOptions()
+	opts.Rank = 6
+	opts.MaxIters = 8
+	opts.Seed = 5
+	opts.Solver = sketch.ARLS
+	_, want, err := core.CPD(tensor, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want.Solver != "arls" || want.SampledIters == 0 {
+		t.Fatalf("direct reference not sampled: %+v", want)
+	}
+
+	cases := []struct {
+		spec        JobSpec
+		wantSolver  string
+		wantSampled int
+	}{
+		{JobSpec{TensorID: res.ID, Kind: KindCPD, Rank: 6, MaxIters: 8, Seed: 5, Solver: "arls"}, "arls", want.SampledIters},
+		{JobSpec{TensorID: res.ID, Kind: KindCPD, Rank: 6, MaxIters: 8, Seed: 5}, "als", 0},
+		// A tensor this small resolves auto to the exact solver.
+		{JobSpec{TensorID: res.ID, Kind: KindCPD, Rank: 6, MaxIters: 8, Seed: 5, Solver: "auto"}, "als", 0},
+		{JobSpec{TensorID: res.ID, Kind: KindDistributed, Rank: 6, MaxIters: 8, Seed: 5, Locales: 2, Solver: "arls"}, "arls", want.SampledIters},
+	}
+	for _, c := range cases {
+		st, code := submitJob(t, ts.URL, c.spec)
+		if code != http.StatusAccepted {
+			t.Fatalf("solver %q: submit status %d", c.spec.Solver, code)
+		}
+		final := waitState(t, ts.URL, st.ID, 30*time.Second, terminal)
+		if final.State != StateDone {
+			t.Fatalf("solver %q: job ended %s (err=%q)", c.spec.Solver, final.State, final.Error)
+		}
+		if final.Result == nil || final.Result.Solver != c.wantSolver {
+			t.Fatalf("solver %q: result %+v, want resolved solver %q", c.spec.Solver, final.Result, c.wantSolver)
+		}
+		if final.Result.SampledIters != c.wantSampled {
+			t.Errorf("solver %q: sampled iterations %d, want %d",
+				c.spec.Solver, final.Result.SampledIters, c.wantSampled)
+		}
+		// The shared-memory ARLS job must reproduce the direct engine's
+		// fit exactly; the distributed one only up to reassociation.
+		tol := 0.0
+		if c.spec.Kind == KindDistributed {
+			tol = 1e-8
+		}
+		if c.wantSolver == "arls" {
+			if d := math.Abs(final.Result.Fit - want.Fit); d > tol {
+				t.Errorf("solver %q kind %q: fit %.12f vs direct %.12f",
+					c.spec.Solver, c.spec.Kind, final.Result.Fit, want.Fit)
+			}
+		}
+	}
+
+	m := getMetrics(t, ts.URL)
+	if m.Jobs.BySolver["arls"] != 2 || m.Jobs.BySolver["als"] != 2 {
+		t.Errorf("metrics by_solver = %v, want arls:2 als:2", m.Jobs.BySolver)
+	}
+}
+
+// TestSolverSpecValidation rejects unknown solvers and negative sampling
+// parameters at submission time.
+func TestSolverSpecValidation(t *testing.T) {
+	if err := (&JobSpec{TensorID: "x", Solver: "newton"}).normalize(); err == nil {
+		t.Error("unknown solver accepted")
+	}
+	if err := (&JobSpec{TensorID: "x", Samples: -1}).normalize(); err == nil {
+		t.Error("negative samples accepted")
+	}
+	if err := (&JobSpec{TensorID: "x", RefineIters: -1}).normalize(); err == nil {
+		t.Error("negative refine iterations accepted")
+	}
+	for _, s := range []string{"", "als", "arls", "auto"} {
+		if err := (&JobSpec{TensorID: "x", Solver: s}).normalize(); err != nil {
+			t.Errorf("solver %q rejected: %v", s, err)
+		}
+	}
+	if (&JobSpec{Solver: "arls"}).solverSpec() != sketch.ARLS {
+		t.Error("solverSpec resolution wrong")
+	}
+}
