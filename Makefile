@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race bench bench-gate serve fmt vet lint cover ci
+.PHONY: all build test race bench bench-gate profile serve fmt vet lint cover ci
 
 all: build
 
@@ -17,9 +17,18 @@ bench:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
 
 # Writes benchmarks/latest.txt; fails on >BENCH_MAX_REGRESSION_PCT (5)
-# regressions when benchmarks/baseline.txt is committed.
+# ns/op regressions or allocs/op growth beyond BENCH_MAX_ALLOC_GROWTH (8)
+# when benchmarks/baseline.txt is committed.
 bench-gate:
 	./scripts/bench.sh
+
+# Captures a CPU profile of the steady-state CP-ALS iteration benches
+# (PROFILE_BENCH overrides the pattern). Inspect with:
+#   go tool pprof bench.test cpu.prof
+profile:
+	$(GO) test -run '^$$' -bench '$(or $(PROFILE_BENCH),BenchmarkSteadyState)' \
+		-benchtime 20x -count 1 -cpuprofile cpu.prof -o bench.test .
+	@echo "wrote cpu.prof (binary: bench.test); open with: go tool pprof bench.test cpu.prof"
 
 serve:
 	$(GO) run ./cmd/splatt-serve

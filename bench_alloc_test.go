@@ -1,0 +1,69 @@
+// Steady-state allocation benchmarks: CP-ALS iterations measured through
+// core.Session, with the backend build, team spawn, and first (warm-up)
+// iteration excluded. After the hot-path overhaul (arena-backed workspaces,
+// cached parallel-region bodies, reusable kernel scratch) warm iterations
+// allocate ~nothing; the bench gate records allocs/op in the baseline and
+// fails the build when they regress beyond BENCH_MAX_ALLOC_GROWTH.
+package splatt_test
+
+import (
+	"fmt"
+	"testing"
+
+	splatt "repro"
+	"repro/internal/core"
+)
+
+// benchSteadyState measures one full ALS iteration per op on a warm
+// session.
+func benchSteadyState(b *testing.B, ds string, format splatt.StorageFormat,
+	solver splatt.Solver, tasks int) {
+
+	t := benchTensor(b, ds)
+	opts := core.DefaultOptions()
+	opts.Rank = benchRank
+	opts.Tasks = tasks
+	opts.Format = format
+	opts.Solver = solver
+	// Enough budget that the measured iterations never hit MaxIters, and
+	// (for ARLS) stay inside the sampled phase: the point is steady-state
+	// behaviour, not convergence.
+	opts.MaxIters = b.N + 16
+	opts.RefineIters = 2
+	s, err := core.NewSession(t, opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+	s.Iterate(1) // warm-up: grows every arena pool to its steady size
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Iterate(1)
+	}
+}
+
+// BenchmarkSteadyStateALS covers the exact solver's iteration loop across
+// both storage backends, serial and parallel.
+func BenchmarkSteadyStateALS(b *testing.B) {
+	for _, ds := range []string{"yelp", "nell-2"} {
+		for _, f := range []splatt.StorageFormat{splatt.FormatCSF, splatt.FormatALTO} {
+			for _, tasks := range []int{1, 4} {
+				b.Run(fmt.Sprintf("%s/%v/tasks=%d", ds, f, tasks), func(b *testing.B) {
+					benchSteadyState(b, ds, f, splatt.SolverALS, tasks)
+				})
+			}
+		}
+	}
+}
+
+// BenchmarkSteadyStateARLS covers the sampled (CP-ARLS-LEV) solver's
+// iteration loop — draws, sampled accumulation, leverage refresh — on both
+// backends.
+func BenchmarkSteadyStateARLS(b *testing.B) {
+	for _, f := range []splatt.StorageFormat{splatt.FormatCSF, splatt.FormatALTO} {
+		b.Run(fmt.Sprintf("yelp/%v/tasks=4", f), func(b *testing.B) {
+			benchSteadyState(b, "yelp", f, splatt.SolverARLS, 4)
+		})
+	}
+}

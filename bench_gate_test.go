@@ -41,6 +41,19 @@ func row(name string, nsop int) string {
 	return name + "-8   \t       1\t" + itoa(nsop) + " ns/op\n"
 }
 
+// memRow is a -benchmem row: ns/op plus B/op and allocs/op columns.
+func memRow(name string, nsop, bop, allocs int) string {
+	return name + "-8   \t       1\t" + itoa(nsop) + " ns/op\t" +
+		itoa(bop) + " B/op\t" + itoa(allocs) + " allocs/op\n"
+}
+
+// mbsRow adds the MB/s column b.SetBytes produces, which shifts the B/op
+// and allocs/op fields — the comparator must locate columns by unit label.
+func mbsRow(name string, nsop, bop, allocs int) string {
+	return name + "-8   \t       1\t" + itoa(nsop) + " ns/op\t 285.27 MB/s\t" +
+		itoa(bop) + " B/op\t" + itoa(allocs) + " allocs/op\n"
+}
+
 func itoa(v int) string {
 	var b []byte
 	if v == 0 {
@@ -112,6 +125,73 @@ func TestBenchCompareSkipsSubFloorNoise(t *testing.T) {
 	out, err := runCompare(t, base, cur, "BENCH_MIN_NSOP=100000")
 	if err != nil {
 		t.Fatalf("sub-floor jitter tripped the gate: %v\n%s", err, out)
+	}
+}
+
+func TestBenchCompareFlagsAllocRegression(t *testing.T) {
+	// 0 → 50 allocs/op at matching ns/op: the hot-path-allocation class of
+	// regression the steady-state benches exist to catch.
+	base := benchHeader + memRow("BenchmarkSteady", 1_000_000, 0, 0)
+	cur := benchHeader + memRow("BenchmarkSteady", 1_000_000, 4096, 50)
+	out, err := runCompare(t, base, cur, "BENCH_MAX_ALLOC_GROWTH=8")
+	if err == nil {
+		t.Fatalf("alloc regression passed the gate:\n%s", out)
+	}
+	if !strings.Contains(out, "ALLOC-REGRESSION") || !strings.Contains(out, "BenchmarkSteady") {
+		t.Errorf("alloc regression not reported:\n%s", out)
+	}
+}
+
+func TestBenchCompareAllowsAllocGrowthWithinSlack(t *testing.T) {
+	base := benchHeader + memRow("BenchmarkSteady", 1_000_000, 0, 0) +
+		memRow("BenchmarkBig", 2_000_000, 1_000_000, 1000)
+	// +6 absolute on a zero baseline and +2% on a large one both sit
+	// inside the default (+5% relative, +8 absolute) envelope.
+	cur := benchHeader + memRow("BenchmarkSteady", 1_000_000, 480, 6) +
+		memRow("BenchmarkBig", 2_000_000, 1_020_000, 1020)
+	out, err := runCompare(t, base, cur)
+	if err != nil {
+		t.Fatalf("in-envelope alloc growth tripped the gate: %v\n%s", err, out)
+	}
+}
+
+func TestBenchCompareAllocGrowthKnob(t *testing.T) {
+	base := benchHeader + memRow("BenchmarkSteady", 1_000_000, 0, 0)
+	cur := benchHeader + memRow("BenchmarkSteady", 1_000_000, 1600, 20)
+	if out, err := runCompare(t, base, cur, "BENCH_MAX_ALLOC_GROWTH=8"); err == nil {
+		t.Fatalf("20 allocs passed a +8 gate:\n%s", out)
+	}
+	if out, err := runCompare(t, base, cur, "BENCH_MAX_ALLOC_GROWTH=32"); err != nil {
+		t.Fatalf("20 allocs failed a +32 gate: %v\n%s", err, out)
+	}
+}
+
+func TestBenchCompareSkipsAllocCheckWithoutBaselineColumns(t *testing.T) {
+	// A pre-benchmem baseline has no allocs/op column: the fresh run's
+	// allocation data cannot be compared and must not fail the gate.
+	base := benchHeader + row("BenchmarkA", 1_000_000)
+	cur := benchHeader + memRow("BenchmarkA", 1_000_000, 9999, 9999)
+	out, err := runCompare(t, base, cur)
+	if err != nil {
+		t.Fatalf("missing baseline alloc columns tripped the gate: %v\n%s", err, out)
+	}
+}
+
+func TestBenchCompareParsesMBsColumn(t *testing.T) {
+	// b.SetBytes benches interpose a MB/s column; ns/op and allocs/op must
+	// still be located by label, and a real alloc regression still flagged.
+	base := benchHeader + mbsRow("BenchmarkMTTKRP", 1_000_000, 0, 0)
+	cur := benchHeader + mbsRow("BenchmarkMTTKRP", 1_010_000, 8192, 100)
+	out, err := runCompare(t, base, cur)
+	if err == nil {
+		t.Fatalf("alloc regression behind MB/s column passed:\n%s", out)
+	}
+	if !strings.Contains(out, "ALLOC-REGRESSION") {
+		t.Errorf("alloc regression not reported:\n%s", out)
+	}
+	// And matching rows pass with the MB/s column present.
+	if out, err := runCompare(t, base, base); err != nil {
+		t.Fatalf("identical MB/s rows failed: %v\n%s", err, out)
 	}
 }
 

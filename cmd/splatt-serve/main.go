@@ -18,6 +18,7 @@ import (
 	"flag"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -38,6 +39,7 @@ func main() {
 		cacheMB   = flag.Int64("cache-mb", 0, "max resident tensor MiB (0 = unbounded)")
 		uploadMB  = flag.Int64("max-upload-mb", 1024, "max upload body MiB")
 		gracePeri = flag.Duration("grace", 10*time.Second, "shutdown grace period")
+		pprofOn   = flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/ (CPU/heap profiling of a live service; keep off on untrusted networks)")
 	)
 	flag.Parse()
 
@@ -49,9 +51,22 @@ func main() {
 		MaxUploadBytes:   *uploadMB << 20,
 	})
 
+	handler := srv.Handler()
+	if *pprofOn {
+		mux := http.NewServeMux()
+		mux.Handle("/", handler)
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		handler = mux
+		log.Printf("pprof enabled at /debug/pprof/ (e.g. go tool pprof http://localhost%s/debug/pprof/profile)", *addr)
+	}
+
 	httpSrv := &http.Server{
 		Addr:              *addr,
-		Handler:           srv.Handler(),
+		Handler:           handler,
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 

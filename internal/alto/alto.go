@@ -80,28 +80,56 @@ func (s *linSorter) Swap(i, j int) {
 	s.Vals[i], s.Vals[j] = s.Vals[j], s.Vals[i]
 }
 
+// delinTile is the batch size build-time and kernel walks delinearize at
+// once: big enough to amortize the per-tile setup, small enough that the
+// per-mode index columns of one tile stay L1/L2-resident.
+const delinTile = 1024
+
 // computeRuns counts, per mode, the maximal runs of equal index in the
-// linearized order.
+// linearized order, walking the nonzeros through the batched byte-table
+// delinearization.
 func (at *Tensor) computeRuns() {
 	order := at.Order()
 	at.runs = make([]int64, order)
-	if at.NNZ() == 0 {
+	nnz := at.NNZ()
+	if nnz == 0 {
 		return
 	}
 	for m := 0; m < order; m++ {
 		at.runs[m] = 1
 	}
+	cols := make([][]sptensor.Index, order)
+	for m := range cols {
+		cols[m] = make([]sptensor.Index, delinTile)
+	}
 	prev := make([]sptensor.Index, order)
-	cur := make([]sptensor.Index, order)
-	at.at(0, prev)
-	for x := 1; x < at.NNZ(); x++ {
-		at.at(x, cur)
-		for m := 0; m < order; m++ {
-			if cur[m] != prev[m] {
-				at.runs[m]++
-			}
+	for tile := 0; tile < nnz; tile += delinTile {
+		end := tile + delinTile
+		if end > nnz {
+			end = nnz
 		}
-		prev, cur = cur, prev
+		at.Enc.DelinearizeRange(at.Lo, at.Hi, tile, end, cols, nil)
+		n := end - tile
+		start := 0
+		if tile == 0 {
+			for m := 0; m < order; m++ {
+				prev[m] = cols[m][0]
+			}
+			start = 1
+		}
+		for m := 0; m < order; m++ {
+			col := cols[m][:n]
+			p := prev[m]
+			runs := int64(0)
+			for i := start; i < n; i++ {
+				if col[i] != p {
+					runs++
+					p = col[i]
+				}
+			}
+			at.runs[m] += runs
+			prev[m] = p
+		}
 	}
 }
 
@@ -150,10 +178,25 @@ func (at *Tensor) MemoryBytes() int64 {
 // nonzero access path the sampled (ARLS) solver builds its fiber index
 // from.
 func (at *Tensor) ForEachNonzero(fn func(coord []sptensor.Index, val float64)) {
-	coord := make([]sptensor.Index, at.Order())
-	for x := 0; x < at.NNZ(); x++ {
-		at.at(x, coord)
-		fn(coord, at.Vals[x])
+	order := at.Order()
+	nnz := at.NNZ()
+	coord := make([]sptensor.Index, order)
+	cols := make([][]sptensor.Index, order)
+	for m := range cols {
+		cols[m] = make([]sptensor.Index, delinTile)
+	}
+	for tile := 0; tile < nnz; tile += delinTile {
+		end := tile + delinTile
+		if end > nnz {
+			end = nnz
+		}
+		at.Enc.DelinearizeRange(at.Lo, at.Hi, tile, end, cols, nil)
+		for i := 0; i < end-tile; i++ {
+			for m := 0; m < order; m++ {
+				coord[m] = cols[m][i]
+			}
+			fn(coord, at.Vals[tile+i])
+		}
 	}
 }
 

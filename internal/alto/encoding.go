@@ -50,6 +50,18 @@ type Encoding struct {
 	TotalBits int
 
 	segs [][]segment // per mode
+
+	// Byte-granular extraction tables — the software `pext` emulation. For
+	// every 8-bit chunk b of the linearized index, chunkDeltas[b] is a
+	// 256-row table (row stride = order) mapping the chunk's value to the
+	// bits it contributes to EVERY mode's index, pre-shifted into each
+	// mode's index domain. Full extraction ORs one row per chunk; and —
+	// because chunk contributions are disjoint bit sets — an incremental
+	// re-extraction between two keys XORs out the old byte's row and XORs
+	// in the new one, touching only the bytes their XOR flags as changed.
+	// This is what DelinearizeRange and the MTTKRP walker exploit between
+	// consecutive sorted keys, which share their high bytes almost always.
+	chunkDeltas [][]uint64 // [chunk][256*order] contribution rows
 }
 
 // NewEncoding builds the bit-interleaved encoding for the given mode
@@ -95,7 +107,35 @@ func NewEncoding(dims []int) (*Encoding, error) {
 	for m := range dims {
 		e.segs[m] = compress(pos[m])
 	}
+	e.buildByteTables(pos)
 	return e, nil
+}
+
+// buildByteTables precomputes the per-byte extraction tables from the
+// global-position lists (pos[m][b] = linearized position of mode m's bit b).
+func (e *Encoding) buildByteTables(pos [][]int) {
+	order := len(e.Dims)
+	chunks := (e.TotalBits + 7) / 8
+	if chunks == 0 {
+		chunks = 1
+	}
+	e.chunkDeltas = make([][]uint64, chunks)
+	for b := range e.chunkDeltas {
+		e.chunkDeltas[b] = make([]uint64, 256*order)
+	}
+	for m := range pos {
+		for bit, p := range pos[m] {
+			chunk := p / 8
+			bitInChunk := uint(p % 8)
+			contrib := uint64(1) << uint(bit)
+			deltas := e.chunkDeltas[chunk]
+			for v := 0; v < 256; v++ {
+				if v&(1<<bitInChunk) != 0 {
+					deltas[v*order+m] |= contrib
+				}
+			}
+		}
+	}
 }
 
 // compress turns a sorted global-position list into maximal contiguous
@@ -158,5 +198,134 @@ func (e *Encoding) Extract(lo, hi uint64, m int) sptensor.Index {
 func (e *Encoding) Delinearize(lo, hi uint64, dst []sptensor.Index) {
 	for m := range e.segs {
 		dst[m] = e.Extract(lo, hi, m)
+	}
+}
+
+// ChangedAll is the DelinearizeRange change mask meaning "treat every mode
+// as changed" — emitted for the first nonzero of a batch, where there is
+// no predecessor to diff against.
+const ChangedAll = ^uint32(0)
+
+// ExtractAll recovers the full coordinate tuple into cur (len = order) as
+// raw uint64 indices — the walker-state initializer of the incremental
+// paths. One chunk-row OR per byte of the key covers every mode at once.
+func (e *Encoding) ExtractAll(lo, hi uint64, cur []uint64) {
+	order := len(e.Dims)
+	for m := range cur {
+		cur[m] = 0
+	}
+	for b := range e.chunkDeltas {
+		var w uint64
+		if b < 8 {
+			w = lo >> (8 * uint(b))
+		} else {
+			w = hi >> (8 * uint(b-8))
+		}
+		row := e.chunkDeltas[b][int(byte(w))*order:]
+		for m := 0; m < order; m++ {
+			cur[m] |= row[m]
+		}
+	}
+}
+
+// Step advances the walker state cur (as produced by ExtractAll) from the
+// key (prevLo, prevHi) to (lo, hi), patching only the modes with bits in a
+// changed byte: each changed byte's old contribution row is XOR-ed out and
+// the new one XOR-ed in (chunk contributions are disjoint bit sets, so
+// replacement is exact). Returns the change mask (mode i ↦ bit min(i,31)):
+// exact for modes 0..30, with every mode ≥ 31 folded onto bit 31.
+// Consecutive sorted keys share their high bytes almost always, so the
+// byte loop typically runs once or twice.
+func (e *Encoding) Step(prevLo, prevHi, lo, hi uint64, cur []uint64) uint32 {
+	var mask uint32
+	if diff := lo ^ prevLo; diff != 0 {
+		mask = e.patchWord(diff, prevLo, lo, 0, cur)
+	}
+	if diff := hi ^ prevHi; diff != 0 {
+		mask |= e.patchWord(diff, prevHi, hi, 8, cur)
+	}
+	return mask
+}
+
+// patchWord applies the incremental byte-table updates for one word's
+// changed bytes. The returned mask is exact for modes 0..30 (bit set iff
+// the mode's index actually changed); modes ≥ 31 share bit 31.
+func (e *Encoding) patchWord(diff, oldW, newW uint64, chunkBase int, cur []uint64) uint32 {
+	order := len(cur)
+	var mask uint32
+	for diff != 0 {
+		b := bits.TrailingZeros64(diff) >> 3
+		shift := 8 * uint(b)
+		chunk := chunkBase + b
+		deltas := e.chunkDeltas[chunk]
+		oldRow := deltas[int(byte(oldW>>shift))*order : int(byte(oldW>>shift))*order+order]
+		newRow := deltas[int(byte(newW>>shift))*order : int(byte(newW>>shift))*order+order]
+		for m := 0; m < order; m++ {
+			if d := oldRow[m] ^ newRow[m]; d != 0 {
+				cur[m] ^= d
+				bit := m
+				if bit > 31 {
+					bit = 31
+				}
+				mask |= 1 << uint(bit)
+			}
+		}
+		diff &^= 0xFF << shift
+	}
+	return mask
+}
+
+// DelinearizeRange batch-delinearizes nonzeros [begin, end): out[m][i-begin]
+// receives mode m's index of nonzero i for every mode (out must hold order
+// slices of at least end-begin elements). hi may be nil for narrow
+// encodings.
+//
+// When changed is non-nil (len >= end-begin), changed[i-begin] is set to
+// the Step change mask relative to nonzero i-1 (ChangedAll for the first
+// entry): exact per mode up to 31 modes, modes beyond that folded onto bit
+// 31. Kernels use it to reuse Hadamard partial products across nonzeros
+// whose non-target coordinates are unchanged — the linearized analogue of
+// CSF's fiber-product reuse.
+func (e *Encoding) DelinearizeRange(lo, hi []uint64, begin, end int, out [][]sptensor.Index, changed []uint32) {
+	if begin >= end {
+		return
+	}
+	order := len(e.Dims)
+	var curArr [32]uint64
+	var cur []uint64
+	if order <= len(curArr) {
+		cur = curArr[:order]
+	} else {
+		cur = make([]uint64, order)
+	}
+
+	prevLo := lo[begin]
+	var prevHi uint64
+	if hi != nil {
+		prevHi = hi[begin]
+	}
+	e.ExtractAll(prevLo, prevHi, cur)
+	for m := 0; m < order; m++ {
+		out[m][0] = sptensor.Index(cur[m])
+	}
+	if changed != nil {
+		changed[0] = ChangedAll
+	}
+
+	for x := begin + 1; x < end; x++ {
+		i := x - begin
+		curLo := lo[x]
+		var curHi uint64
+		if hi != nil {
+			curHi = hi[x]
+		}
+		mask := e.Step(prevLo, prevHi, curLo, curHi, cur)
+		for m := 0; m < order; m++ {
+			out[m][i] = sptensor.Index(cur[m])
+		}
+		if changed != nil {
+			changed[i] = mask
+		}
+		prevLo, prevHi = curLo, curHi
 	}
 }

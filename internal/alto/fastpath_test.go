@@ -1,0 +1,273 @@
+package alto
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/internal/dense"
+	"repro/internal/mttkrp"
+	"repro/internal/sptensor"
+)
+
+// Table-driven parity of the byte-table fast paths (ExtractAll, Step,
+// DelinearizeRange) against the segment-based reference accessors
+// (Extract, Delinearize) across random encodings, including wide two-word
+// layouts and degenerate single-mode tensors.
+
+var parityLayouts = []struct {
+	name string
+	dims []int
+}{
+	{"order3-small", []int{7, 5, 3}},
+	{"order3-skewed", []int{41086, 11, 204}},
+	{"order3-pow2", []int{64, 64, 64}},
+	{"order4", []int{100, 200, 50, 9}},
+	{"order5", []int{31, 17, 1000, 2, 90}},
+	{"single-mode", []int{1000}},
+	{"unit-modes", []int{1, 5, 1, 9}},
+	{"wide-two-word", []int{1 << 20, 1 << 20, 1 << 20, 1 << 16}},              // 76 bits
+	{"wide-max", []int{1 << 21, 1 << 21, 1 << 21, 1 << 21, 1 << 21, 1 << 21}}, // 126 bits
+}
+
+// randomKeys generates n sorted (lo, hi) keys of random valid coordinates.
+func randomKeys(t *testing.T, e *Encoding, rng *rand.Rand, n int) (lo, hi []uint64, coords [][]sptensor.Index) {
+	t.Helper()
+	order := len(e.Dims)
+	at := &Tensor{Enc: e, Lo: make([]uint64, n), Vals: make([]float64, n)}
+	if e.Wide() {
+		at.Hi = make([]uint64, n)
+	}
+	coord := make([]sptensor.Index, order)
+	for x := 0; x < n; x++ {
+		for m, d := range e.Dims {
+			coord[m] = sptensor.Index(rng.Intn(d))
+		}
+		l, h := e.Linearize(coord)
+		at.Lo[x] = l
+		if at.Hi != nil {
+			at.Hi[x] = h
+		}
+	}
+	sort.Sort((*linSorter)(at))
+	coords = make([][]sptensor.Index, order)
+	for m := range coords {
+		coords[m] = make([]sptensor.Index, n)
+	}
+	for x := 0; x < n; x++ {
+		var h uint64
+		if at.Hi != nil {
+			h = at.Hi[x]
+		}
+		for m := 0; m < order; m++ {
+			coords[m][x] = e.Extract(at.Lo[x], h, m)
+		}
+	}
+	return at.Lo, at.Hi, coords
+}
+
+func TestExtractAllMatchesExtract(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, layout := range parityLayouts {
+		t.Run(layout.name, func(t *testing.T) {
+			e, err := NewEncoding(layout.dims)
+			if err != nil {
+				t.Fatal(err)
+			}
+			order := len(layout.dims)
+			coord := make([]sptensor.Index, order)
+			all := make([]uint64, order)
+			for trial := 0; trial < 200; trial++ {
+				for m, d := range layout.dims {
+					coord[m] = sptensor.Index(rng.Intn(d))
+				}
+				lo, hi := e.Linearize(coord)
+				e.ExtractAll(lo, hi, all)
+				for m := 0; m < order; m++ {
+					ref := e.Extract(lo, hi, m)
+					if sptensor.Index(all[m]) != ref {
+						t.Fatalf("mode %d: ExtractAll %d != Extract %d (coord %v)",
+							m, all[m], ref, coord)
+					}
+					if ref != coord[m] {
+						t.Fatalf("mode %d: Extract %d != original %d", m, ref, coord[m])
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestStepMatchesExtractAll(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, layout := range parityLayouts {
+		t.Run(layout.name, func(t *testing.T) {
+			e, err := NewEncoding(layout.dims)
+			if err != nil {
+				t.Fatal(err)
+			}
+			order := len(layout.dims)
+			lo, hi, coords := randomKeys(t, e, rng, 300)
+			cur := make([]uint64, order)
+			var h0 uint64
+			if hi != nil {
+				h0 = hi[0]
+			}
+			e.ExtractAll(lo[0], h0, cur)
+			for x := 1; x < len(lo); x++ {
+				var ph, ch uint64
+				if hi != nil {
+					ph, ch = hi[x-1], hi[x]
+				}
+				mask := e.Step(lo[x-1], ph, lo[x], ch, cur)
+				for m := 0; m < order; m++ {
+					if sptensor.Index(cur[m]) != coords[m][x] {
+						t.Fatalf("nonzero %d mode %d: Step state %d != reference %d",
+							x, m, cur[m], coords[m][x])
+					}
+					// Exact mask semantics (all layouts here have < 32 modes).
+					changed := coords[m][x] != coords[m][x-1]
+					if flagged := mask&(1<<uint(m)) != 0; flagged != changed {
+						t.Fatalf("nonzero %d mode %d: mask bit %v, actually changed %v",
+							x, m, flagged, changed)
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestDelinearizeRangeMatchesDelinearize(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for _, layout := range parityLayouts {
+		t.Run(layout.name, func(t *testing.T) {
+			e, err := NewEncoding(layout.dims)
+			if err != nil {
+				t.Fatal(err)
+			}
+			order := len(layout.dims)
+			lo, hi, coords := randomKeys(t, e, rng, 500)
+			// Sweep a few (begin, end) windows, including empty and
+			// single-element ranges.
+			windows := [][2]int{{0, len(lo)}, {0, 1}, {3, 3}, {7, 130}, {len(lo) - 1, len(lo)}}
+			for _, w := range windows {
+				begin, end := w[0], w[1]
+				n := end - begin
+				if n < 0 {
+					continue
+				}
+				out := make([][]sptensor.Index, order)
+				for m := range out {
+					out[m] = make([]sptensor.Index, n)
+				}
+				changed := make([]uint32, n)
+				e.DelinearizeRange(lo, hi, begin, end, out, changed)
+				for i := 0; i < n; i++ {
+					for m := 0; m < order; m++ {
+						if out[m][i] != coords[m][begin+i] {
+							t.Fatalf("window %v nonzero %d mode %d: %d != %d",
+								w, i, m, out[m][i], coords[m][begin+i])
+						}
+					}
+				}
+				if n > 0 && changed[0] != ChangedAll {
+					t.Fatalf("window %v: first change mask %x, want ChangedAll", w, changed[0])
+				}
+				for i := 1; i < n; i++ {
+					for m := 0; m < order; m++ {
+						want := out[m][i] != out[m][i-1]
+						if got := changed[i]&(1<<uint(m)) != 0; got != want {
+							t.Fatalf("window %v nonzero %d mode %d: mask %v, changed %v",
+								w, i, m, got, want)
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestApplyHighModeMaskFolding pins the mask-folding edge: every mode
+// >= 31 shares change-mask bit 31, so a target mode of 31 must not treat
+// the bit as its own (that would mask mode 32's changes and reuse a stale
+// Hadamard product). Regression test for the order>=33 MTTKRP bug.
+func TestApplyHighModeMaskFolding(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	dims := make([]int, 33)
+	for m := range dims {
+		dims[m] = 1
+	}
+	dims[31], dims[32] = 4, 4 // the only information-carrying modes
+	tensor := sptensor.New(dims, 0)
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			for m := range dims {
+				v := sptensor.Index(0)
+				if m == 31 {
+					v = sptensor.Index(i)
+				} else if m == 32 {
+					v = sptensor.Index(j)
+				}
+				tensor.Inds[m] = append(tensor.Inds[m], v)
+			}
+			tensor.Vals = append(tensor.Vals, rng.NormFloat64())
+		}
+	}
+	at, err := FromCOO(tensor)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const rank = 5
+	factors := make([]*dense.Matrix, len(dims))
+	for m, d := range dims {
+		factors[m] = dense.NewMatrix(d, rank)
+		for i := range factors[m].Data {
+			factors[m].Data[i] = rng.Float64() + 0.5
+		}
+	}
+	op := NewOperator(at, nil, rank, mttkrp.DefaultOptions())
+	for _, mode := range []int{0, 31, 32} {
+		got := dense.NewMatrix(dims[mode], rank)
+		op.Apply(mode, factors, got)
+		want := dense.NewMatrix(dims[mode], rank)
+		mttkrp.COO(tensor, factors, mode, want)
+		if d := got.MaxAbsDiff(want); d > 1e-10 {
+			t.Fatalf("mode %d: ALTO MTTKRP diverges from COO by %g", mode, d)
+		}
+	}
+}
+
+// TestOperatorStepKernelAgainstGenericWalk pins the fused order-3 kernel's
+// walker against full per-nonzero delinearization on a real tensor walk.
+func TestOperatorStepKernelAgainstGenericWalk(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	tensor := sptensor.New([]int{37, 19, 53}, 0)
+	seen := map[[3]int]bool{}
+	for len(tensor.Vals) < 800 {
+		c := [3]int{rng.Intn(37), rng.Intn(19), rng.Intn(53)}
+		if seen[c] {
+			continue
+		}
+		seen[c] = true
+		for m := 0; m < 3; m++ {
+			tensor.Inds[m] = append(tensor.Inds[m], sptensor.Index(c[m]))
+		}
+		tensor.Vals = append(tensor.Vals, rng.NormFloat64())
+	}
+	at, err := FromCOO(tensor)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cur := make([]uint64, 3)
+	ref := make([]sptensor.Index, 3)
+	at.Enc.ExtractAll(at.Lo[0], 0, cur)
+	for x := 1; x < at.NNZ(); x++ {
+		at.Enc.Step(at.Lo[x-1], 0, at.Lo[x], 0, cur)
+		at.Enc.Delinearize(at.Lo[x], 0, ref)
+		for m := 0; m < 3; m++ {
+			if sptensor.Index(cur[m]) != ref[m] {
+				t.Fatalf("nonzero %d mode %d: walker %d != delinearize %d", x, m, cur[m], ref[m])
+			}
+		}
+	}
+}

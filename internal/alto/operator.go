@@ -2,6 +2,7 @@ package alto
 
 import (
 	"fmt"
+	"math/bits"
 
 	"repro/internal/dense"
 	"repro/internal/locks"
@@ -12,15 +13,22 @@ import (
 
 // Operator performs MTTKRPs for every mode of an ALTO tensor. One Operator
 // is built per CP-ALS run and reused across all iterations, owning the
-// mutex pool and privatization buffers exactly as the CSF operator does.
+// mutex pool, privatization buffers, and per-task tile workspaces exactly
+// as the CSF operator does.
 //
 // Parallelization splits the linearized nonzero array into contiguous
 // per-task ranges (perfect nnz balance by construction — no slice-weight
 // partitioning needed, since there is no root mode). Every task walks its
-// range once, delinearizing coordinates on the fly, and accumulates into a
-// register-resident row buffer that is flushed only when the output-mode
-// index changes — so lock traffic scales with the mode's fiber-run count,
-// not with nnz.
+// range with the incremental byte-table delinearizer (Encoding.Step; the
+// order-3 narrow path inlines it over register-resident state): only the
+// modes whose key bytes changed between consecutive sorted keys are
+// re-extracted, and the returned change mask drives the reuse of the
+// Hadamard product of the non-target factor rows across nonzeros whose
+// non-target coordinates are unchanged — the linearized analogue of CSF's
+// fiber-product reuse. Run accumulation is lazy (a single-nonzero run
+// flushes with one fused multiply-add), and the accumulator flushes only
+// when the output-mode index changes, so lock traffic scales with the
+// mode's fiber-run count, not with nnz.
 type Operator struct {
 	t    *Tensor
 	team *parallel.Team
@@ -31,11 +39,29 @@ type Operator struct {
 	priv   *parallel.Scratch
 	bounds []int // contiguous nonzero ranges, len tasks+1
 
+	kernels []taskKernel // per-task tile workspaces
+
+	// Staged operands of the in-flight Apply; runBody is built once so no
+	// closure is materialized per call.
+	curMode     int
+	curFactors  []*dense.Matrix
+	curOut      *dense.Matrix
+	curStrategy mttkrp.ConflictStrategy
+	runBody     func(tid int)
+
 	lastStrategy mttkrp.ConflictStrategy
 }
 
+// taskKernel is one task's persistent kernel workspace.
+type taskKernel struct {
+	cur   []uint64  // incremental walker state: current coordinate per mode
+	acc   []float64 // output-row accumulator (rank)
+	hprod []float64 // cached non-target Hadamard product (rank)
+}
+
 // NewOperator builds an operator for the given ALTO tensor. rank is the
-// decomposition rank R; team may be nil for serial execution.
+// decomposition rank R; team may be nil for serial execution. Workspace
+// buffers are drawn from opts.Arena when the engine provides one.
 func NewOperator(t *Tensor, team *parallel.Team, rank int, opts mttkrp.Options) *Operator {
 	o := &Operator{t: t, team: team, opts: opts, rank: rank}
 	o.pool = locks.NewPool(opts.LockKind, opts.PoolSize)
@@ -45,13 +71,39 @@ func NewOperator(t *Tensor, team *parallel.Team, rank int, opts mttkrp.Options) 
 			maxDim = d
 		}
 	}
-	o.priv = parallel.NewScratch(o.tasks(), maxDim*rank)
-	o.bounds = make([]int, o.tasks()+1)
-	for tid := 0; tid < o.tasks(); tid++ {
-		begin, _ := parallel.Partition(t.NNZ(), o.tasks(), tid)
+	tasks := o.tasks()
+	o.priv = parallel.NewScratch(tasks, maxDim*rank)
+	o.bounds = make([]int, tasks+1)
+	for tid := 0; tid < tasks; tid++ {
+		begin, _ := parallel.Partition(t.NNZ(), tasks, tid)
 		o.bounds[tid] = begin
 	}
-	o.bounds[o.tasks()] = t.NNZ()
+	o.bounds[tasks] = t.NNZ()
+
+	arena := opts.Arena
+	if arena == nil || arena.Tasks() < tasks {
+		arena = parallel.NewArena(tasks)
+	}
+	order := t.Order()
+	o.kernels = make([]taskKernel, tasks)
+	for tid := range o.kernels {
+		ta := arena.Task(tid)
+		k := &o.kernels[tid]
+		k.cur = make([]uint64, order)
+		k.acc = ta.F64(rank)
+		k.hprod = ta.F64(rank)
+	}
+	o.runBody = func(tid int) {
+		begin, end := o.bounds[tid], o.bounds[tid+1]
+		if begin >= end {
+			return
+		}
+		if order == 3 && o.t.Hi == nil {
+			o.runRange3(tid, begin, end)
+		} else {
+			o.runRange(tid, begin, end)
+		}
+	}
 	return o
 }
 
@@ -103,101 +155,301 @@ func (o *Operator) Apply(mode int, factors []*dense.Matrix, out *dense.Matrix) {
 	if strategy == mttkrp.StrategyPrivatize {
 		o.priv.Zero(dims[mode] * o.rank)
 	}
-	run := func(tid int) {
-		begin, end := o.bounds[tid], o.bounds[tid+1]
-		if begin >= end {
-			return
-		}
-		o.runRange(mode, factors, out, strategy, tid, begin, end)
-	}
+	o.curMode, o.curFactors, o.curOut, o.curStrategy = mode, factors, out, strategy
 	if o.team == nil || o.team.N() == 1 {
-		run(0)
+		o.runBody(0)
 	} else {
-		o.team.Run(run)
+		o.team.Run(o.runBody)
 	}
+	o.curFactors, o.curOut = nil, nil
 	if strategy == mttkrp.StrategyPrivatize {
 		o.priv.ReduceInto(o.team, out.Data, dims[mode]*o.rank)
 	}
 }
 
-// runRange is the kernel body for one task's contiguous nonzero range:
-// delinearize, form the value-scaled Hadamard product of the other modes'
-// factor rows, and accumulate into a run buffer flushed on output-row
-// change.
-func (o *Operator) runRange(mode int, factors []*dense.Matrix, out *dense.Matrix,
-	strategy mttkrp.ConflictStrategy, tid, begin, end int) {
+// flush commits the accumulated output row under the conflict strategy and
+// clears the accumulator.
+func (o *Operator) flush(strategy mttkrp.ConflictStrategy, out *dense.Matrix,
+	privBuf []float64, row sptensor.Index, acc []float64) {
 
+	id := int(row)
+	switch strategy {
+	case mttkrp.StrategyLock:
+		o.pool.Lock(id)
+		dense.VecAdd(out.Row(id), acc)
+		o.pool.Unlock(id)
+	case mttkrp.StrategyPrivatize:
+		dense.VecAdd(privBuf[id*o.rank:id*o.rank+o.rank], acc)
+	default: // StrategyNone: single task, direct writes
+		dense.VecAdd(out.Row(id), acc)
+	}
+	dense.VecZero(acc)
+}
+
+// runRange is the kernel body for one task's contiguous nonzero range: walk
+// the sorted keys with the incremental byte-table delinearizer (Step),
+// reuse the non-target Hadamard product across nonzeros whose non-target
+// coordinates are unchanged, and flush the accumulator on output-row
+// change.
+func (o *Operator) runRange(tid, begin, end int) {
 	enc := o.t.Enc
-	order := o.t.Order()
-	rank := o.rank
-	lo, hi, vals := o.t.Lo, o.t.Hi, o.t.Vals
-	coord := make([]sptensor.Index, order)
-	acc := make([]float64, rank)
-	tmp := make([]float64, rank)
+	mode := o.curMode
+	factors, out, strategy := o.curFactors, o.curOut, o.curStrategy
+	lo, hiArr, vals := o.t.Lo, o.t.Hi, o.t.Vals
+	k := &o.kernels[tid]
+	cur, acc, hprod := k.cur, k.acc, k.hprod
+
+	// Modes other than the target: a change there invalidates hprod.
+	// Mask bits are exact for modes 0..30; every mode >= 31 folds onto
+	// bit 31, so bit 31 may only be cleared when the target is a low mode
+	// that owns its bit exclusively — for a target mode >= 31 the bit also
+	// carries other modes' changes and must stay in otherMask (the check
+	// degrades to an always-recompute, never to a stale reuse).
+	otherMask := ^uint32(0)
+	if mode < 31 {
+		otherMask &^= 1 << uint(mode)
+	}
 
 	var privBuf []float64
 	if strategy == mttkrp.StrategyPrivatize {
 		privBuf = o.priv.Buf(tid)
 	}
-	flush := func(row sptensor.Index) {
-		switch strategy {
-		case mttkrp.StrategyLock:
-			id := int(row)
-			o.pool.Lock(id)
-			dst := out.Row(id)
-			for j := range dst {
-				dst[j] += acc[j]
-			}
-			o.pool.Unlock(id)
-		case mttkrp.StrategyPrivatize:
-			dst := privBuf[int(row)*rank : int(row)*rank+rank]
-			for j := range dst {
-				dst[j] += acc[j]
-			}
-		default: // StrategyNone: single task, direct writes
-			dst := out.Row(int(row))
-			for j := range dst {
-				dst[j] += acc[j]
-			}
-		}
-		for j := range acc {
-			acc[j] = 0
-		}
-	}
 
-	curRow := sptensor.Index(-1)
-	for x := begin; x < end; x++ {
-		var h uint64
-		if hi != nil {
-			h = hi[x]
+	prevLo := lo[begin]
+	var prevHi uint64
+	if hiArr != nil {
+		prevHi = hiArr[begin]
+	}
+	enc.ExtractAll(prevLo, prevHi, cur)
+	curRow := sptensor.Index(cur[mode])
+	o.hadamard(mode, factors, cur, hprod)
+	dense.VecAxpy(acc, hprod, vals[begin])
+
+	for x := begin + 1; x < end; x++ {
+		curLo := lo[x]
+		var curHi uint64
+		if hiArr != nil {
+			curHi = hiArr[x]
 		}
-		enc.Delinearize(lo[x], h, coord)
-		row := coord[mode]
-		if row != curRow {
-			if curRow >= 0 {
-				flush(curRow)
-			}
+		mask := enc.Step(prevLo, prevHi, curLo, curHi, cur)
+		prevLo, prevHi = curLo, curHi
+		if row := sptensor.Index(cur[mode]); row != curRow {
+			o.flush(strategy, out, privBuf, curRow, acc)
 			curRow = row
 		}
-		// acc += v · ∘_{m≠mode} factors[m][coord[m], :]
+		if mask&otherMask != 0 {
+			o.hadamard(mode, factors, cur, hprod)
+		}
+		dense.VecAxpy(acc, hprod, vals[x])
+	}
+	o.flush(strategy, out, privBuf, curRow, acc)
+}
+
+// runRange3 is the 3rd-order narrow-encoding specialization of runRange:
+// the walker state lives in three registers, the byte-patch loop is
+// inlined (no per-step call, no slice-state indirection), and the
+// non-target Hadamard product is a single two-row VecMulSet — matching the
+// specialization the CSF side gets from its 3rd-order kernels. Wide
+// (two-word) order-3 encodings take the generic path.
+func (o *Operator) runRange3(tid, begin, end int) {
+	enc := o.t.Enc
+	mode := o.curMode
+	factors, out, strategy := o.curFactors, o.curOut, o.curStrategy
+	lo, vals := o.t.Lo, o.t.Vals
+	k := &o.kernels[tid]
+	acc, hprod := k.acc, k.hprod
+	deltas := enc.chunkDeltas
+
+	var ma, mb int // the two non-target modes
+	switch mode {
+	case 0:
+		ma, mb = 1, 2
+	case 1:
+		ma, mb = 0, 2
+	default:
+		ma, mb = 0, 1
+	}
+	fa, fb := factors[ma], factors[mb]
+
+	var privBuf []float64
+	if strategy == mttkrp.StrategyPrivatize {
+		privBuf = o.priv.Buf(tid)
+	}
+
+	prevLo := lo[begin]
+	cur := k.cur
+	enc.ExtractAll(prevLo, 0, cur)
+	// Register-resident walker state, target-ordered: curT is the output
+	// coordinate, curA/curB the non-target ones. Delta rows are indexed by
+	// the (loop-invariant) mode positions, so no per-nonzero remapping.
+	curT, curA, curB := cur[mode], cur[ma], cur[mb]
+	curRow := sptensor.Index(curT)
+	dense.VecMulSet(hprod, fa.Row(int(curA)), fb.Row(int(curB)))
+
+	// Lazy run accumulation: a value sharing the current (row, hprod) pair
+	// only bumps the scalar vpend; acc materializes only when hprod changes
+	// mid-run. Runs that never materialize (the common short-run case)
+	// flush with a single direct VecAxpy instead of the
+	// accumulate/add/zero triple.
+	vpend := vals[begin]
+	pendValid, accUsed := true, false
+
+	for x := begin + 1; x < end; x++ {
+		curLo := lo[x]
+		// Inlined Step for order 3: patch the registers from the changed
+		// bytes' delta rows. A nonzero XOR delta implies a real coordinate
+		// change (chunk contributions are disjoint bit sets), so the flags
+		// are exact.
+		diff := curLo ^ prevLo
+		rowChanged, otherChanged := false, false
+		for diff != 0 {
+			b := bits.TrailingZeros64(diff) >> 3
+			shift := 8 * uint(b)
+			d := deltas[b]
+			oldOff := int(byte(prevLo>>shift)) * 3
+			newOff := int(byte(curLo>>shift)) * 3
+			oldRow := d[oldOff : oldOff+3]
+			newRow := d[newOff : newOff+3]
+			if dd := oldRow[mode] ^ newRow[mode]; dd != 0 {
+				curT ^= dd
+				rowChanged = true
+			}
+			if dd := oldRow[ma] ^ newRow[ma]; dd != 0 {
+				curA ^= dd
+				otherChanged = true
+			}
+			if dd := oldRow[mb] ^ newRow[mb]; dd != 0 {
+				curB ^= dd
+				otherChanged = true
+			}
+			diff &^= 0xFF << shift
+		}
+		prevLo = curLo
+		if rowChanged {
+			o.flushRun(strategy, out, privBuf, curRow, acc, hprod, vpend, pendValid, accUsed)
+			curRow = sptensor.Index(curT)
+			pendValid, accUsed = false, false
+		}
+		if otherChanged {
+			ra, rb := fa.Row(int(curA)), fb.Row(int(curB))
+			if pendValid { // materialize the pending value under the old hprod
+				if accUsed {
+					vecMaterializeMul(acc, hprod, ra, rb, vpend)
+				} else {
+					vecMaterializeMulSet(acc, hprod, ra, rb, vpend)
+					accUsed = true
+				}
+				pendValid = false
+			} else {
+				dense.VecMulSet(hprod, ra, rb)
+			}
+		}
 		v := vals[x]
-		for j := 0; j < rank; j++ {
-			tmp[j] = v
-		}
-		for m := 0; m < order; m++ {
-			if m == mode {
-				continue
-			}
-			fr := factors[m].Row(int(coord[m]))
-			for j := 0; j < rank; j++ {
-				tmp[j] *= fr[j]
-			}
-		}
-		for j := 0; j < rank; j++ {
-			acc[j] += tmp[j]
+		if pendValid {
+			vpend += v // merged keys share row and hprod
+		} else {
+			vpend = v
+			pendValid = true
 		}
 	}
-	if curRow >= 0 {
-		flush(curRow)
+	o.flushRun(strategy, out, privBuf, curRow, acc, hprod, vpend, pendValid, accUsed)
+}
+
+// flushRun commits one output row's run: the materialized accumulator (if
+// any) plus the pending value under the current Hadamard product.
+func (o *Operator) flushRun(strategy mttkrp.ConflictStrategy, out *dense.Matrix,
+	privBuf []float64, row sptensor.Index, acc, hprod []float64, vpend float64,
+	pendValid, accUsed bool) {
+
+	id := int(row)
+	var target []float64
+	locked := false
+	switch strategy {
+	case mttkrp.StrategyLock:
+		o.pool.Lock(id)
+		locked = true
+		target = out.Row(id)
+	case mttkrp.StrategyPrivatize:
+		target = privBuf[id*o.rank : id*o.rank+o.rank]
+	default:
+		target = out.Row(id)
+	}
+	if accUsed {
+		dense.VecAdd(target, acc)
+	}
+	if pendValid {
+		dense.VecAxpy(target, hprod, vpend)
+	}
+	if locked {
+		o.pool.Unlock(id)
+	}
+	if accUsed {
+		dense.VecZero(acc)
+	}
+}
+
+// vecMaterializeMulSet fuses a pending-run materialization with the
+// Hadamard recompute in one pass: acc[i] = v·hprod[i], then hprod[i] =
+// a[i]·b[i]. Unrolled by 4 like the dense vector kernels.
+func vecMaterializeMulSet(acc, hprod, a, b []float64, v float64) {
+	n := len(acc)
+	i := 0
+	for ; i+4 <= n; i += 4 {
+		acc[i] = v * hprod[i]
+		acc[i+1] = v * hprod[i+1]
+		acc[i+2] = v * hprod[i+2]
+		acc[i+3] = v * hprod[i+3]
+		hprod[i] = a[i] * b[i]
+		hprod[i+1] = a[i+1] * b[i+1]
+		hprod[i+2] = a[i+2] * b[i+2]
+		hprod[i+3] = a[i+3] * b[i+3]
+	}
+	for ; i < n; i++ {
+		acc[i] = v * hprod[i]
+		hprod[i] = a[i] * b[i]
+	}
+}
+
+// vecMaterializeMul is vecMaterializeMulSet with accumulation:
+// acc[i] += v·hprod[i], then hprod[i] = a[i]·b[i].
+func vecMaterializeMul(acc, hprod, a, b []float64, v float64) {
+	n := len(acc)
+	i := 0
+	for ; i+4 <= n; i += 4 {
+		acc[i] += v * hprod[i]
+		acc[i+1] += v * hprod[i+1]
+		acc[i+2] += v * hprod[i+2]
+		acc[i+3] += v * hprod[i+3]
+		hprod[i] = a[i] * b[i]
+		hprod[i+1] = a[i+1] * b[i+1]
+		hprod[i+2] = a[i+2] * b[i+2]
+		hprod[i+3] = a[i+3] * b[i+3]
+	}
+	for ; i < n; i++ {
+		acc[i] += v * hprod[i]
+		hprod[i] = a[i] * b[i]
+	}
+}
+
+// hadamard recomputes the cached Hadamard product of the non-target factor
+// rows at the walker's current coordinates.
+func (o *Operator) hadamard(mode int, factors []*dense.Matrix, cur []uint64, hprod []float64) {
+	first := true
+	for m := range cur {
+		if m == mode {
+			continue
+		}
+		fr := factors[m].Row(int(cur[m]))
+		if first {
+			copy(hprod, fr)
+			first = false
+		} else {
+			dense.VecMul(hprod, fr)
+		}
+	}
+	if first { // order-1 degenerate: empty product
+		for j := range hprod {
+			hprod[j] = 1
+		}
 	}
 }

@@ -37,13 +37,10 @@ func CPD(t *sptensor.Tensor, opts Options) (*KruskalTensor, *Report, error) {
 	team := parallel.NewTeam(tasks)
 	defer team.Close()
 
-	cfg := opts.backendConfig(timers)
-	cfg.Team = team
-	backend, err := format.Build(t, opts.Format, cfg)
+	d, err := buildDecomposer(t, team, tasks, opts, timers)
 	if err != nil {
 		return nil, nil, err
 	}
-	d := newDecomposer(t, backend, team, opts, timers)
 	k, report := d.run()
 	if report.Cancelled {
 		return k, report, opts.Ctx.Err()
@@ -51,20 +48,59 @@ func CPD(t *sptensor.Tensor, opts Options) (*KruskalTensor, *Report, error) {
 	return k, report, nil
 }
 
+// buildDecomposer assembles the per-run arena, storage backend, and
+// decomposer state shared by CPD and Session.
+func buildDecomposer(t *sptensor.Tensor, team *parallel.Team, tasks int,
+	opts Options, timers *perf.Registry) (*decomposer, error) {
+
+	// One arena serves the whole run: the backend's kernel workspaces, the
+	// dense Workspace, and the decomposer's own scratch all draw from it,
+	// so steady-state iterations allocate nothing.
+	arena := parallel.NewArena(tasks)
+	cfg := opts.backendConfig(timers)
+	cfg.Team = team
+	cfg.Kernel.Arena = arena
+	backend, err := format.Build(t, opts.Format, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return newDecomposer(t, backend, team, arena, opts, timers), nil
+}
+
 // decomposer holds the state of one CP-ALS run.
 type decomposer struct {
 	t       *sptensor.Tensor
 	backend format.Backend
 	team    *parallel.Team
+	arena   *parallel.Arena
+	ws      *dense.Workspace
 	opts    Options
 	timers  *perf.Registry
 
 	k     *KruskalTensor
 	grams []*dense.Matrix // A(m)ᵀA(m), maintained per mode
 	v     *dense.Matrix   // Hadamard product of the other modes' grams
-	mbuf  *dense.Matrix   // MTTKRP output buffer (maxDim rows used per mode)
+	gbuf  *dense.Matrix   // model-norm scratch for the fit evaluation
+	mbuf  *dense.Matrix   // MTTKRP output backing (maxDim rows used per mode)
+	mrows []*dense.Matrix // per-mode views into mbuf, built once
 	blas  *dense.BLASPool
 	normX float64
+
+	// Cached timer handles: Start/Stop directly instead of Registry.Time,
+	// whose closure argument would allocate once per call site per
+	// iteration.
+	tCPD, tATA, tMTTKRP, tInverse, tNorm, tFit *perf.Timer
+	tSketch, tSketchBuild, tLeverage           *perf.Timer
+
+	// Fit-reduction scratch: staged operands plus a body built once.
+	fitPartials []float64
+	fitFactor   *dense.Matrix
+	fitBody     func(tid int)
+
+	// Iteration-loop state (shared by run and Session stepping).
+	sampledLeft int
+	oldFit      float64
+	prevSampled bool
 
 	// Sampled-solver state (nil / zero for the exact solver).
 	solver       sketch.Solver   // resolved: ALS or ARLS, never Auto
@@ -74,16 +110,21 @@ type decomposer struct {
 }
 
 func newDecomposer(t *sptensor.Tensor, backend format.Backend, team *parallel.Team,
-	opts Options, timers *perf.Registry) *decomposer {
+	arena *parallel.Arena, opts Options, timers *perf.Registry) *decomposer {
 
 	r := opts.Rank
+	if arena == nil {
+		arena = parallel.NewArena(team.N())
+	}
 	d := &decomposer{
-		t: t, backend: backend, team: team, opts: opts, timers: timers,
+		t: t, backend: backend, team: team, arena: arena, opts: opts, timers: timers,
 		k:     NewRandomKruskal(t.Dims, r, opts.Seed),
 		grams: make([]*dense.Matrix, t.NModes()),
 		v:     dense.NewMatrix(r, r),
+		gbuf:  dense.NewMatrix(r, r),
 		normX: t.NormSquared(),
 	}
+	d.ws = dense.NewWorkspace(team, arena, r)
 	maxDim := 0
 	for _, dim := range t.Dims {
 		if dim > maxDim {
@@ -91,12 +132,43 @@ func newDecomposer(t *sptensor.Tensor, backend format.Backend, team *parallel.Te
 		}
 	}
 	d.mbuf = dense.NewMatrix(maxDim, r)
+	d.mrows = make([]*dense.Matrix, t.NModes())
+	for m, dim := range t.Dims {
+		d.mrows[m] = dense.NewMatrixFrom(dim, r, d.mbuf.Data[:dim*r])
+	}
 	for m := range d.grams {
 		d.grams[m] = dense.NewMatrix(r, r)
 	}
 	if opts.BLASThreads > 1 || opts.BLASSpin > 0 {
 		d.blas = &dense.BLASPool{Threads: opts.BLASThreads, SpinCount: opts.BLASSpin}
 	}
+
+	d.tCPD = timers.Get(perf.RoutineCPD)
+	d.tATA = timers.Get(perf.RoutineATA)
+	d.tMTTKRP = timers.Get(perf.RoutineMTTKRP)
+	d.tInverse = timers.Get(perf.RoutineInverse)
+	d.tNorm = timers.Get(perf.RoutineNorm)
+	d.tFit = timers.Get(perf.RoutineFit)
+	d.tSketch = timers.Get(perf.RoutineSketch)
+	d.tSketchBuild = timers.Get(perf.RoutineSketchBuild)
+	d.tLeverage = timers.Get(perf.RoutineLeverage)
+
+	d.fitPartials = arena.Task(0).F64(team.N())
+	d.fitBody = func(tid int) {
+		factor := d.fitFactor
+		r := d.opts.Rank
+		begin, end := parallel.Partition(factor.Rows, d.team.N(), tid)
+		acc := 0.0
+		for i := begin; i < end; i++ {
+			frow := factor.Row(i)
+			mrow := d.mbuf.Data[i*r : i*r+r]
+			for j := 0; j < r; j++ {
+				acc += mrow[j] * frow[j] * d.k.Lambda[j]
+			}
+		}
+		d.fitPartials[tid] = acc
+	}
+
 	d.resolveSolver()
 	return d
 }
@@ -121,15 +193,14 @@ func (d *decomposer) resolveSolver() {
 		d.solver = sketch.ALS
 		return
 	}
-	buildT := d.timers.Get(perf.RoutineSketchBuild)
-	buildT.Start()
+	d.tSketchBuild.Start()
 	sampler, err := sketch.NewSampler(d.backend, d.t.Dims, sketch.Config{
 		Rank:    d.opts.Rank,
 		Samples: d.opts.Samples,
 		Seed:    d.opts.Seed,
 		Team:    d.team,
 	})
-	buildT.Stop()
+	d.tSketchBuild.Stop()
 	if err != nil {
 		d.solver = sketch.ALS
 		return
@@ -139,93 +210,113 @@ func (d *decomposer) resolveSolver() {
 	d.vs = dense.NewMatrix(d.opts.Rank, d.opts.Rank)
 }
 
-// run executes the ALS loop and assembles the report.
-func (d *decomposer) run() (*KruskalTensor, *Report) {
-	t := d.t
-	order := t.NModes()
-	report := &Report{
-		Strategies: make([]mttkrp.ConflictStrategy, order),
+// newReport assembles the report skeleton for this run.
+func (d *decomposer) newReport() *Report {
+	return &Report{
+		Strategies: make([]mttkrp.ConflictStrategy, d.t.NModes()),
+		FitHistory: make([]float64, 0, d.opts.MaxIters),
 		Format:     d.backend.Format().String(),
 		Solver:     d.solver.String(),
 		CSFBytes:   d.backend.MemoryBytes(),
 	}
-	cpdT := d.timers.Get(perf.RoutineCPD)
-	cpdT.Start()
+}
 
-	// Initial Grams for every mode (line 2 setup of Algorithm 1).
-	d.timers.Time(perf.RoutineATA, func() {
-		for m := 0; m < order; m++ {
-			dense.Syrk(d.team, d.k.Factors[m], d.grams[m])
-		}
-	})
+// prepare computes the initial Grams (line 2 setup of Algorithm 1) and the
+// sampled-phase budget.
+func (d *decomposer) prepare() {
+	order := d.t.NModes()
+	d.tATA.Start()
+	for m := 0; m < order; m++ {
+		d.ws.Syrk(d.k.Factors[m], d.grams[m])
+	}
+	d.tATA.Stop()
 
 	// Sampled phase budget: the last RefineIters iterations always run
 	// exact, restoring exact-MTTKRP fit semantics before reporting.
-	sampledLeft := 0
+	d.sampledLeft = 0
 	if d.solver == sketch.ARLS {
-		sampledLeft = sketch.SampledIters(d.opts.MaxIters, d.opts.RefineIters)
+		d.sampledLeft = sketch.SampledIters(d.opts.MaxIters, d.opts.RefineIters)
 		for m := 0; m < order; m++ {
 			d.refreshLeverage(m)
 		}
 	}
+	d.oldFit = 0
+	d.prevSampled = false
+}
 
-	oldFit := 0.0
-	prevSampled := false
-loop:
-	for it := 0; it < d.opts.MaxIters; it++ {
-		sampled := sampledLeft > 0
-		for m := 0; m < order; m++ {
-			if d.cancelled() {
-				report.Cancelled = true
-				break loop
-			}
-			d.updateMode(m, it, sampled, report)
+// iterate runs ALS iteration `it` (all modes plus the fit evaluation),
+// returning stop=true when the run should end (convergence or
+// cancellation). Cancellation is polled at mode boundaries, so it takes
+// effect within one iteration.
+func (d *decomposer) iterate(it int, report *Report) (stop bool) {
+	order := d.t.NModes()
+	sampled := d.sampledLeft > 0
+	for m := 0; m < order; m++ {
+		if d.cancelled() {
+			report.Cancelled = true
+			return true
 		}
-		var fit float64
-		if sampled {
-			fit = d.estimateFit(it)
-			d.sampledIters++
-			sampledLeft--
-		} else {
-			fit = d.computeFit()
-		}
-		report.FitHistory = append(report.FitHistory, fit)
-		report.Iterations = it + 1
-		// Convergence: a converged sampled phase hands over to the exact
-		// refinement pass instead of stopping; the first exact iteration
-		// after the switch skips the test (its predecessor fit was an
-		// estimate).
-		if d.opts.Tolerance > 0 && it > 0 && prevSampled == sampled &&
-			math.Abs(fit-oldFit) < d.opts.Tolerance {
-			if sampled {
-				sampledLeft = 0
-			} else {
-				oldFit = fit
-				break
-			}
-		}
-		oldFit = fit
-		prevSampled = sampled
+		d.updateMode(m, it, sampled, report)
 	}
-	cpdT.Stop()
-	report.Fit = oldFit
+	var fit float64
+	if sampled {
+		fit = d.estimateFit(it)
+		d.sampledIters++
+		d.sampledLeft--
+	} else {
+		fit = d.computeFit()
+	}
+	report.FitHistory = append(report.FitHistory, fit)
+	report.Iterations = it + 1
+	// Convergence: a converged sampled phase hands over to the exact
+	// refinement pass instead of stopping; the first exact iteration
+	// after the switch skips the test (its predecessor fit was an
+	// estimate).
+	if d.opts.Tolerance > 0 && it > 0 && d.prevSampled == sampled &&
+		math.Abs(fit-d.oldFit) < d.opts.Tolerance {
+		if sampled {
+			d.sampledLeft = 0
+		} else {
+			stop = true
+		}
+	}
+	d.oldFit = fit
+	d.prevSampled = sampled
+	return stop
+}
+
+// run executes the ALS loop and assembles the report.
+func (d *decomposer) run() (*KruskalTensor, *Report) {
+	report := d.newReport()
+	d.tCPD.Start()
+	d.prepare()
+	for it := 0; it < d.opts.MaxIters; it++ {
+		if d.iterate(it, report) {
+			break
+		}
+	}
+	d.tCPD.Stop()
+	d.finish(report)
+	return d.k, report
+}
+
+// finish seals the report after the last iteration.
+func (d *decomposer) finish(report *Report) {
+	report.Fit = d.oldFit
 	report.SampledIters = d.sampledIters
 	report.Times = d.timers.Snapshot()
-	return d.k, report
 }
 
 // refreshLeverage recomputes mode m's sampling distribution from the
 // current factor and Gram (CP-ARLS-LEV maintains scores per factor,
 // refreshed whenever that factor changes).
 func (d *decomposer) refreshLeverage(m int) {
-	d.timers.Time(perf.RoutineLeverage, func() {
-		d.sampler.RefreshLeverage(m, d.k.Factors[m], d.grams[m])
-	})
+	d.tLeverage.Start()
+	d.sampler.RefreshLeverage(m, d.k.Factors[m], d.grams[m])
+	d.tLeverage.Stop()
 }
 
-// cancelled reports whether the run's context has been cancelled. It is
-// polled at mode boundaries, so a cancellation takes effect within one
-// ALS iteration.
+// cancelled reports whether the run's context has been cancelled.
 func (d *decomposer) cancelled() bool {
 	return d.opts.Ctx != nil && d.opts.Ctx.Err() != nil
 }
@@ -238,14 +329,14 @@ func (d *decomposer) cancelled() bool {
 func (d *decomposer) updateMode(m, iter int, sampled bool, report *Report) {
 	r := d.opts.Rank
 	factor := d.k.Factors[m]
-	mrows := dense.NewMatrixFrom(factor.Rows, r, d.mbuf.Data[:factor.Rows*r])
+	mrows := d.mrows[m]
 
 	v := d.v
 	if sampled {
 		// M ← X(m)·W·H and V ← HᵀWH over the sampled Khatri-Rao rows.
-		d.timers.Time(perf.RoutineSketch, func() {
-			d.sampler.SampledMTTKRP(m, iter, d.k.Factors, mrows, d.vs)
-		})
+		d.tSketch.Start()
+		d.sampler.SampledMTTKRP(m, iter, d.k.Factors, mrows, d.vs)
+		d.tSketch.Stop()
 		v = d.vs
 		if d.opts.Ridge > 0 {
 			for i := 0; i < r; i++ {
@@ -253,37 +344,32 @@ func (d *decomposer) updateMode(m, iter int, sampled bool, report *Report) {
 			}
 		}
 	} else {
-		// V ← ∘_{n≠m} A(n)ᵀA(n) (+ optional ridge).
-		d.timers.Time(perf.RoutineATA, func() {
-			d.v.Fill(1)
-			for n := range d.grams {
-				if n != m {
-					dense.HadamardProduct(d.v, d.grams[n])
-				}
+		// V ← ∘_{n≠m} A(n)ᵀA(n) (+ optional ridge), fused into one pass.
+		d.tATA.Start()
+		dense.HadamardOfGrams(d.v, d.grams, m)
+		if d.opts.Ridge > 0 {
+			for i := 0; i < r; i++ {
+				d.v.Set(i, i, d.v.At(i, i)+d.opts.Ridge)
 			}
-			if d.opts.Ridge > 0 {
-				for i := 0; i < r; i++ {
-					d.v.Set(i, i, d.v.At(i, i)+d.opts.Ridge)
-				}
-			}
-		})
+		}
+		d.tATA.Stop()
 
 		// M ← X(m) · (⊙_{n≠m} A(n)), the MTTKRP.
-		d.timers.Time(perf.RoutineMTTKRP, func() {
-			d.backend.MTTKRP(m, d.k.Factors, mrows)
-		})
+		d.tMTTKRP.Start()
+		d.backend.MTTKRP(m, d.k.Factors, mrows)
+		d.tMTTKRP.Stop()
 		report.Strategies[m] = d.backend.LastStrategy()
 	}
 
 	// A(m) ← M · V†.
-	d.timers.Time(perf.RoutineInverse, func() {
-		factor.CopyFrom(mrows)
-		if d.blas != nil {
-			dense.SolveNormalsBLAS(d.blas, v, factor)
-		} else {
-			dense.SolveNormals(d.team, v, factor)
-		}
-	})
+	d.tInverse.Start()
+	factor.CopyFrom(mrows)
+	if d.blas != nil {
+		dense.SolveNormalsBLAS(d.blas, v, factor)
+	} else {
+		d.ws.SolveNormals(v, factor)
+	}
+	d.tInverse.Stop()
 
 	if d.opts.NonNegative {
 		dense.ClampNonNegative(d.team, factor)
@@ -291,18 +377,18 @@ func (d *decomposer) updateMode(m, iter int, sampled bool, report *Report) {
 
 	// Normalize columns, storing norms as λ: 2-norm on the first
 	// iteration, max-norm afterwards (SPLATT's schedule).
-	d.timers.Time(perf.RoutineNorm, func() {
-		kind := dense.NormMax
-		if iter == 0 {
-			kind = dense.Norm2
-		}
-		dense.NormalizeColumns(d.team, factor, d.k.Lambda, kind)
-	})
+	d.tNorm.Start()
+	kind := dense.NormMax
+	if iter == 0 {
+		kind = dense.Norm2
+	}
+	d.ws.NormalizeColumns(factor, d.k.Lambda, kind)
+	d.tNorm.Stop()
 
 	// Refresh this mode's Gram for subsequent V products.
-	d.timers.Time(perf.RoutineATA, func() {
-		dense.Syrk(d.team, factor, d.grams[m])
-	})
+	d.tATA.Start()
+	d.ws.Syrk(factor, d.grams[m])
+	d.tATA.Stop()
 
 	// The sampled solver keeps mode m's leverage scores in sync with the
 	// factor it just rewrote.
@@ -316,18 +402,18 @@ func (d *decomposer) updateMode(m, iter int, sampled bool, report *Report) {
 // uniform subset of the nonzeros — the exact inner-product identity needs
 // the exact last-mode MTTKRP, which sampled iterations never compute.
 func (d *decomposer) estimateFit(iter int) float64 {
+	d.tFit.Start()
+	inner := d.sampler.EstimateInner(iter, 0, d.k.Lambda, d.k.Factors)
+	modelNorm2 := d.modelNormSquared()
+	residual2 := d.normX + modelNorm2 - 2*inner
+	if residual2 < 0 {
+		residual2 = 0
+	}
 	fit := 0.0
-	d.timers.Time(perf.RoutineFit, func() {
-		inner := d.sampler.EstimateInner(iter, 0, d.k.Lambda, d.k.Factors)
-		modelNorm2 := d.modelNormSquared()
-		residual2 := d.normX + modelNorm2 - 2*inner
-		if residual2 < 0 {
-			residual2 = 0
-		}
-		if d.normX > 0 {
-			fit = 1 - math.Sqrt(residual2)/math.Sqrt(d.normX)
-		}
-	})
+	if d.normX > 0 {
+		fit = 1 - math.Sqrt(residual2)/math.Sqrt(d.normX)
+	}
+	d.tFit.Stop()
 	return fit
 }
 
@@ -336,46 +422,32 @@ func (d *decomposer) estimateFit(iter int) float64 {
 // the final mode's MTTKRP output (still resident in mbuf) and A_last its
 // updated, normalized factor. No pass over the nonzeros is needed.
 func (d *decomposer) computeFit() float64 {
+	d.tFit.Start()
+	last := d.t.NModes() - 1
+	d.fitFactor = d.k.Factors[last]
+	if d.team == nil || d.team.N() == 1 {
+		d.fitBody(0)
+	} else {
+		d.team.Run(d.fitBody)
+	}
+	inner := parallel.ReduceSum(d.fitPartials)
+
+	modelNorm2 := d.modelNormSquared()
+	residual2 := d.normX + modelNorm2 - 2*inner
+	if residual2 < 0 {
+		residual2 = 0
+	}
 	fit := 0.0
-	d.timers.Time(perf.RoutineFit, func() {
-		last := d.t.NModes() - 1
-		factor := d.k.Factors[last]
-		r := d.opts.Rank
-		mdata := d.mbuf.Data
-
-		tasks := 1
-		if d.team != nil {
-			tasks = d.team.N()
-		}
-		partials := make([]float64, tasks)
-		parallel.ForBlocks(d.team, factor.Rows, func(tid, begin, end int) {
-			acc := 0.0
-			for i := begin; i < end; i++ {
-				frow := factor.Row(i)
-				mrow := mdata[i*r : i*r+r]
-				for j := 0; j < r; j++ {
-					acc += mrow[j] * frow[j] * d.k.Lambda[j]
-				}
-			}
-			partials[tid] = acc
-		})
-		inner := parallel.ReduceSum(partials)
-
-		modelNorm2 := d.modelNormSquared()
-		residual2 := d.normX + modelNorm2 - 2*inner
-		if residual2 < 0 {
-			residual2 = 0
-		}
-		if d.normX > 0 {
-			fit = 1 - math.Sqrt(residual2)/math.Sqrt(d.normX)
-		}
-	})
+	if d.normX > 0 {
+		fit = 1 - math.Sqrt(residual2)/math.Sqrt(d.normX)
+	}
+	d.tFit.Stop()
 	return fit
 }
 
 // modelNormSquared computes λᵀ (∘_m Gram_m) λ from the maintained Grams.
 func (d *decomposer) modelNormSquared() float64 {
-	return d.k.NormSquaredFromGrams(d.grams)
+	return d.k.NormSquaredFromGramsInto(d.grams, d.gbuf)
 }
 
 // SortOnly runs just the pre-processing sort the way the CSF backend

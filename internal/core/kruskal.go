@@ -80,11 +80,15 @@ func (k *KruskalTensor) NormSquared() float64 {
 // iteration. grams must hold one R×R matrix per mode.
 func (k *KruskalTensor) NormSquaredFromGrams(grams []*dense.Matrix) float64 {
 	r := k.Rank()
-	g := dense.NewMatrix(r, r)
-	g.Fill(1)
-	for _, gram := range grams {
-		dense.HadamardProduct(g, gram)
-	}
+	return k.NormSquaredFromGramsInto(grams, dense.NewMatrix(r, r))
+}
+
+// NormSquaredFromGramsInto is NormSquaredFromGrams with caller-provided
+// R×R scratch (overwritten), so the per-iteration fit evaluation stays
+// allocation-free.
+func (k *KruskalTensor) NormSquaredFromGramsInto(grams []*dense.Matrix, g *dense.Matrix) float64 {
+	r := k.Rank()
+	dense.HadamardOfGrams(g, grams, -1)
 	n := 0.0
 	for i := 0; i < r; i++ {
 		li := k.Lambda[i]

@@ -2,7 +2,6 @@ package dense
 
 import (
 	"fmt"
-	"math"
 
 	"repro/internal/parallel"
 )
@@ -14,6 +13,11 @@ import (
 // The parallelization matches SPLATT: each task accumulates a partial Gram
 // over its contiguous row block, then partials are reduced. Only the upper
 // triangle is computed during accumulation; the result is symmetrized.
+//
+// This package-level entry point allocates its per-task partials per call
+// and exists for cold paths and tests; the CP-ALS iteration loop goes
+// through Workspace.Syrk, which stages the same block kernel over
+// arena-backed buffers and allocates nothing.
 func Syrk(team *parallel.Team, a *Matrix, c *Matrix) {
 	r := a.Cols
 	if c.Rows != r || c.Cols != r {
@@ -26,19 +30,7 @@ func Syrk(team *parallel.Team, a *Matrix, c *Matrix) {
 	partials := make([][]float64, tasks)
 	parallel.ForBlocks(team, a.Rows, func(tid, begin, end int) {
 		part := make([]float64, r*r)
-		for i := begin; i < end; i++ {
-			row := a.Row(i)
-			for j := 0; j < r; j++ {
-				vj := row[j]
-				if vj == 0 {
-					continue
-				}
-				out := part[j*r:]
-				for k := j; k < r; k++ {
-					out[k] += vj * row[k]
-				}
-			}
-		}
+		syrkBlock(a, part, begin, end)
 		partials[tid] = part
 	})
 	c.Zero()
@@ -46,9 +38,7 @@ func Syrk(team *parallel.Team, a *Matrix, c *Matrix) {
 		if part == nil {
 			continue
 		}
-		for i, v := range part {
-			c.Data[i] += v
-		}
+		VecAdd(c.Data, part)
 	}
 	// Mirror the upper triangle into the lower.
 	for j := 0; j < r; j++ {
@@ -172,6 +162,10 @@ const (
 // (λ) in lambda (len R). Partial norms are computed per task over row
 // blocks, reduced, then rows are rescaled in parallel — the "Mat norm"
 // routine timed in the paper's tables.
+//
+// Like Syrk, this entry point allocates per call; the iteration loop uses
+// Workspace.NormalizeColumns (same block kernels, arena buffers, zero
+// allocations).
 func NormalizeColumns(team *parallel.Team, a *Matrix, lambda []float64, kind NormKind) {
 	r := a.Cols
 	if len(lambda) != r {
@@ -184,47 +178,15 @@ func NormalizeColumns(team *parallel.Team, a *Matrix, lambda []float64, kind Nor
 	partials := make([][]float64, tasks)
 	parallel.ForBlocks(team, a.Rows, func(tid, begin, end int) {
 		part := make([]float64, r)
-		switch kind {
-		case Norm2:
-			for i := begin; i < end; i++ {
-				row := a.Row(i)
-				for j, v := range row {
-					part[j] += v * v
-				}
-			}
-		case NormMax:
-			for i := begin; i < end; i++ {
-				row := a.Row(i)
-				for j, v := range row {
-					if av := math.Abs(v); av > part[j] {
-						part[j] = av
-					}
-				}
-			}
-		}
+		normBlock(a, part, kind, begin, end)
 		partials[tid] = part
 	})
-	for j := 0; j < r; j++ {
-		switch kind {
-		case Norm2:
-			ss := 0.0
-			for _, part := range partials {
-				ss += part[j]
-			}
-			lambda[j] = math.Sqrt(ss)
-		case NormMax:
-			m := 0.0
-			for _, part := range partials {
-				if part[j] > m {
-					m = part[j]
-				}
-			}
-			if m < 1 {
-				m = 1 // SPLATT's max-norm clamp
-			}
-			lambda[j] = m
+	for tid := range partials {
+		if partials[tid] == nil {
+			partials[tid] = make([]float64, r) // block with no rows
 		}
 	}
+	reduceNorms(partials, lambda, kind)
 	inv := make([]float64, r)
 	for j, l := range lambda {
 		if l > 0 {
@@ -233,10 +195,7 @@ func NormalizeColumns(team *parallel.Team, a *Matrix, lambda []float64, kind Nor
 	}
 	parallel.ForBlocks(team, a.Rows, func(_, begin, end int) {
 		for i := begin; i < end; i++ {
-			row := a.Row(i)
-			for j := range row {
-				row[j] *= inv[j]
-			}
+			VecMul(a.Row(i), inv)
 		}
 	})
 }

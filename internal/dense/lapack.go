@@ -86,11 +86,26 @@ func CholeskySolve(l *Matrix, b []float64) {
 // (R≈35) systems CP-ALS produces, which is all this substrate needs.
 func JacobiEigen(a *Matrix) (vals []float64, vecs *Matrix) {
 	n := a.Rows
+	q := NewMatrix(n, n)
+	vals = make([]float64, n)
+	JacobiEigenInto(a, NewMatrix(n, n), q, vals)
+	return vals, q
+}
+
+// JacobiEigenInto is the allocation-free JacobiEigen: w is n×n scratch
+// (overwritten with a working copy of a), q receives the eigenvectors, and
+// vals (len n) the eigenvalues. The iteration hot path calls it through
+// Workspace buffers so leverage-score refreshes stay allocation-free.
+func JacobiEigenInto(a, w, q *Matrix, vals []float64) {
+	n := a.Rows
 	if a.Cols != n {
 		panic(fmt.Sprintf("dense: JacobiEigen on non-square %dx%d", a.Rows, a.Cols))
 	}
-	w := a.Clone()
-	q := Identity(n)
+	if w.Rows != n || w.Cols != n || q.Rows != n || q.Cols != n || len(vals) != n {
+		panic("dense: JacobiEigenInto scratch shape mismatch")
+	}
+	w.CopyFrom(a)
+	q.SetIdentity()
 	const maxSweeps = 64
 	for sweep := 0; sweep < maxSweeps; sweep++ {
 		off := 0.0
@@ -136,11 +151,9 @@ func JacobiEigen(a *Matrix) (vals []float64, vecs *Matrix) {
 			}
 		}
 	}
-	vals = make([]float64, n)
 	for i := 0; i < n; i++ {
 		vals[i] = w.Data[i*n+i]
 	}
-	return vals, q
 }
 
 // PseudoInverse computes the Moore-Penrose pseudo-inverse V† of the
@@ -149,7 +162,19 @@ func JacobiEigen(a *Matrix) (vals []float64, vecs *Matrix) {
 // a machine-precision default.
 func PseudoInverse(v *Matrix, tol float64) *Matrix {
 	n := v.Rows
-	vals, q := JacobiEigen(v)
+	out := NewMatrix(n, n)
+	PseudoInverseInto(v, tol, out, NewMatrix(n, n), NewMatrix(n, n),
+		make([]float64, n), make([]float64, n))
+	return out
+}
+
+// PseudoInverseInto is the allocation-free PseudoInverse: out receives V†,
+// w and q are n×n scratch, vals and inv are n-length scratch. The sampled
+// solver's leverage refresh runs it through Workspace buffers once per
+// factor update.
+func PseudoInverseInto(v *Matrix, tol float64, out, w, q *Matrix, vals, inv []float64) {
+	n := v.Rows
+	JacobiEigenInto(v, w, q, vals)
 	maxAbs := 0.0
 	for _, l := range vals {
 		if a := math.Abs(l); a > maxAbs {
@@ -160,14 +185,13 @@ func PseudoInverse(v *Matrix, tol float64) *Matrix {
 		tol = 1e-12
 	}
 	cut := tol * maxAbs
-	inv := make([]float64, n)
 	for i, l := range vals {
+		inv[i] = 0
 		if math.Abs(l) > cut {
 			inv[i] = 1 / l
 		}
 	}
 	// V† = Q · diag(inv) · Qᵀ.
-	out := NewMatrix(n, n)
 	for i := 0; i < n; i++ {
 		for j := 0; j < n; j++ {
 			s := 0.0
@@ -177,7 +201,6 @@ func PseudoInverse(v *Matrix, tol float64) *Matrix {
 			out.Data[i*n+j] = s
 		}
 	}
-	return out
 }
 
 // SolveNormals overwrites m (I×R) with m·V†, the A(n) ← M·V† update on

@@ -60,6 +60,17 @@ func Identity(n int) *Matrix {
 	return m
 }
 
+// SetIdentity overwrites the square matrix m with the identity.
+func (m *Matrix) SetIdentity() {
+	if m.Rows != m.Cols {
+		panic(fmt.Sprintf("dense: SetIdentity on non-square %dx%d", m.Rows, m.Cols))
+	}
+	m.Zero()
+	for i := 0; i < m.Rows; i++ {
+		m.Data[i*m.Cols+i] = 1
+	}
+}
+
 // At returns element (i, j) with bounds checks from the slice runtime.
 func (m *Matrix) At(i, j int) float64 { return m.Data[i*m.Cols+j] }
 

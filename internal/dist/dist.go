@@ -307,16 +307,21 @@ type locale struct {
 
 	local *sptensor.Tensor // slab tensor, mode 0 in local coordinates
 	team  *parallel.Team
-	op    format.Backend // nil when the shard holds no nonzeros
-	err   error          // backend build failure (surfaced after setup)
+	arena *parallel.Arena  // per-locale workspace arena
+	ws    *dense.Workspace // allocation-free dense routines for the loop
+	op    format.Backend   // nil when the shard holds no nonzeros
+	err   error            // backend build failure (surfaced after setup)
 
 	k       *core.KruskalTensor // full factor replica (all modes)
 	a0      *dense.Matrix       // view of the owned mode-0 rows
 	factors []*dense.Matrix     // {a0, replica A1, A2, ...} for the operator
 	grams   []*dense.Matrix
 	v       *dense.Matrix
+	gbuf    *dense.Matrix // model-norm scratch for the fit evaluation
 	mbuf    *dense.Matrix
+	mrows   []*dense.Matrix // per-mode views into mbuf, built once
 	colbuf  []float64
+	invbuf  []float64
 	normX   float64
 
 	fit           float64
@@ -349,10 +354,13 @@ func newLocale(lid int, slab Slab, t *sptensor.Tensor, seed *core.KruskalTensor,
 		slab:  slab,
 		local: ExtractSlab(t, slab),
 		team:  parallel.NewTeam(tasks),
+		arena: parallel.NewArena(tasks),
 		k:     seed.Clone(),
 		grams: make([]*dense.Matrix, order),
 		v:     dense.NewMatrix(r, r),
+		gbuf:  dense.NewMatrix(r, r),
 	}
+	lc.ws = dense.NewWorkspace(lc.team, lc.arena, r)
 	lc.a0 = dense.NewMatrixFrom(slab.Rows(), r, lc.k.Factors[0].Data[slab.Lo*r:slab.Hi*r])
 	lc.factors = make([]*dense.Matrix, order)
 	lc.factors[0] = lc.a0
@@ -366,7 +374,16 @@ func newLocale(lid int, slab Slab, t *sptensor.Tensor, seed *core.KruskalTensor,
 		}
 	}
 	lc.mbuf = dense.NewMatrix(maxDim, r)
+	lc.mrows = make([]*dense.Matrix, order)
+	for m, dim := range t.Dims {
+		rows := dim
+		if m == 0 {
+			rows = slab.Rows()
+		}
+		lc.mrows[m] = dense.NewMatrixFrom(rows, r, lc.mbuf.Data[:rows*r])
+	}
 	lc.colbuf = make([]float64, r)
+	lc.invbuf = make([]float64, r)
 	for m := range lc.grams {
 		lc.grams[m] = dense.NewMatrix(r, r)
 	}
@@ -378,6 +395,7 @@ func newLocale(lid int, slab Slab, t *sptensor.Tensor, seed *core.KruskalTensor,
 				Access:   opts.Access,
 				Strategy: opts.Strategy,
 				LockKind: opts.LockKind,
+				Arena:    lc.arena,
 			},
 			Alloc:       opts.Alloc,
 			SortVariant: opts.SortVariant,
@@ -420,10 +438,10 @@ func (lc *locale) run(c *comm, opts Options) {
 
 	// Initial Grams: the mode-0 Gram is reduced from per-slab partials; the
 	// replicated modes compute identical full Grams locally.
-	dense.Syrk(lc.team, lc.a0, lc.grams[0])
+	lc.ws.Syrk(lc.a0, lc.grams[0])
 	c.AllreduceSum(lc.lid, lc.grams[0].Data)
 	for m := 1; m < order; m++ {
-		dense.Syrk(lc.team, lc.k.Factors[m], lc.grams[m])
+		lc.ws.Syrk(lc.k.Factors[m], lc.grams[m])
 	}
 
 	// Sampled phase budget — a deterministic function of the uniform
@@ -497,7 +515,7 @@ func (lc *locale) estimateFit(c *comm, it int) float64 {
 		part = lc.sampler.EstimateInner(it, uint64(lc.lid), lc.k.Lambda, lc.k.Factors)
 	}
 	inner := c.AllreduceScalar(lc.lid, part)
-	modelNorm2 := lc.k.NormSquaredFromGrams(lc.grams)
+	modelNorm2 := lc.k.NormSquaredFromGramsInto(lc.grams, lc.gbuf)
 	residual2 := lc.normX + modelNorm2 - 2*inner
 	if residual2 < 0 {
 		residual2 = 0
@@ -532,12 +550,7 @@ func (lc *locale) updateMode(c *comm, m, iter int, sampled bool, opts Options) {
 	if sampled {
 		v = lc.vs
 	} else {
-		lc.v.Fill(1)
-		for n := range lc.grams {
-			if n != m {
-				dense.HadamardProduct(lc.v, lc.grams[n])
-			}
-		}
+		dense.HadamardOfGrams(lc.v, lc.grams, m)
 	}
 
 	kind := dense.NormMax
@@ -548,7 +561,7 @@ func (lc *locale) updateMode(c *comm, m, iter int, sampled bool, opts Options) {
 	if m == 0 {
 		// Mode 0 writes only the slab-owned rows: sampled or exact, no
 		// reduction of M is needed.
-		mrows := dense.NewMatrixFrom(lc.slab.Rows(), r, lc.mbuf.Data[:lc.slab.Rows()*r])
+		mrows := lc.mrows[0]
 		if sampled {
 			lc.applySampledMTTKRP(0, iter, mrows)
 		} else {
@@ -556,17 +569,17 @@ func (lc *locale) updateMode(c *comm, m, iter int, sampled bool, opts Options) {
 		}
 		lc.addRidge(v, opts)
 		lc.a0.CopyFrom(mrows)
-		dense.SolveNormals(lc.team, v, lc.a0)
+		lc.ws.SolveNormals(v, lc.a0)
 		lc.clampNonNegative(lc.a0, opts)
 		lc.normalizeOwnedRows(c, kind)
-		dense.Syrk(lc.team, lc.a0, lc.grams[0])
+		lc.ws.Syrk(lc.a0, lc.grams[0])
 		c.AllreduceSum(lc.lid, lc.grams[0].Data)
 		c.AllgatherRows(lc.lid, lc.slab.Lo, lc.slab.Hi, r, factor.Data)
 		lc.refreshLeverage(m, sampled)
 		return
 	}
 
-	mrows := dense.NewMatrixFrom(factor.Rows, r, lc.mbuf.Data[:factor.Rows*r])
+	mrows := lc.mrows[m]
 	if sampled {
 		lc.applySampledMTTKRP(m, iter, mrows)
 	} else {
@@ -577,10 +590,10 @@ func (lc *locale) updateMode(c *comm, m, iter int, sampled bool, opts Options) {
 	c.AllreduceSum(lc.lid, mrows.Data)
 	lc.addRidge(v, opts)
 	factor.CopyFrom(mrows)
-	dense.SolveNormals(lc.team, v, factor)
+	lc.ws.SolveNormals(v, factor)
 	lc.clampNonNegative(factor, opts)
-	dense.NormalizeColumns(lc.team, factor, lc.k.Lambda, kind)
-	dense.Syrk(lc.team, factor, lc.grams[m])
+	lc.ws.NormalizeColumns(factor, lc.k.Lambda, kind)
+	lc.ws.Syrk(factor, lc.grams[m])
 	lc.refreshLeverage(m, sampled)
 }
 
@@ -673,17 +686,15 @@ func (lc *locale) normalizeOwnedRows(c *comm, kind dense.NormKind) {
 			lc.k.Lambda[j] = m
 		}
 	}
-	inv := make([]float64, r)
+	inv := lc.invbuf
 	for j, l := range lc.k.Lambda {
+		inv[j] = 0
 		if l > 0 {
 			inv[j] = 1 / l
 		}
 	}
 	for i := 0; i < lc.a0.Rows; i++ {
-		row := lc.a0.Row(i)
-		for j := range row {
-			row[j] *= inv[j]
-		}
+		dense.VecMul(lc.a0.Row(i), inv)
 	}
 }
 
@@ -703,7 +714,7 @@ func (lc *locale) computeFit() float64 {
 			inner += mrow[j] * frow[j] * lc.k.Lambda[j]
 		}
 	}
-	modelNorm2 := lc.k.NormSquaredFromGrams(lc.grams)
+	modelNorm2 := lc.k.NormSquaredFromGramsInto(lc.grams, lc.gbuf)
 	residual2 := lc.normX + modelNorm2 - 2*inner
 	if residual2 < 0 {
 		residual2 = 0

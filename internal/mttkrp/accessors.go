@@ -81,10 +81,8 @@ func newDirectSink(m *dense.Matrix) directSink {
 }
 
 func (s directSink) accum(row sptensor.Index, vec []float64) {
-	out := s.data[int(row)*s.cols:]
-	for r, v := range vec {
-		out[r] += v
-	}
+	off := int(row) * s.cols
+	dense.VecAdd(s.data[off:off+s.cols], vec)
 }
 
 // lockSink guards each row update with the striped mutex pool.
@@ -101,10 +99,8 @@ func newLockSink(m *dense.Matrix, pool locks.Pool) lockSink {
 func (s lockSink) accum(row sptensor.Index, vec []float64) {
 	id := int(row)
 	s.pool.Lock(id)
-	out := s.data[id*s.cols:]
-	for r, v := range vec {
-		out[r] += v
-	}
+	off := id * s.cols
+	dense.VecAdd(s.data[off:off+s.cols], vec)
 	s.pool.Unlock(id)
 }
 
@@ -120,8 +116,6 @@ func newPrivSink(buf []float64, cols int) privSink {
 }
 
 func (s privSink) accum(row sptensor.Index, vec []float64) {
-	out := s.buf[int(row)*s.cols:]
-	for r, v := range vec {
-		out[r] += v
-	}
+	off := int(row) * s.cols
+	dense.VecAdd(s.buf[off:off+s.cols], vec)
 }

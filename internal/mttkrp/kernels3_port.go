@@ -30,20 +30,11 @@ func root3Port[A accessor](c *csf.CSF, mid, leaf A, out *dense.Matrix, acc []flo
 	for s := begin; s < end; s++ {
 		orow := out.Data[int(fidsS[s])*r : int(fidsS[s])*r+r]
 		for f := fptrS[s]; f < fptrS[s+1]; f++ {
-			for i := range acc {
-				acc[i] = 0
-			}
+			dense.VecZero(acc)
 			for x := fptrF[f]; x < fptrF[f+1]; x++ {
-				v := vals[x]
-				lrow := leaf.row(fidsN[x])
-				for i := range acc {
-					acc[i] += v * lrow[i]
-				}
+				dense.VecAxpy(acc, leaf.row(fidsN[x]), vals[x])
 			}
-			mrow := mid.row(fidsF[f])
-			for i := range orow {
-				orow[i] += acc[i] * mrow[i]
-			}
+			dense.VecMulAdd(orow, acc, mid.row(fidsF[f]))
 		}
 	}
 }
@@ -57,19 +48,11 @@ func internal3Port[A accessor, S rowSink](c *csf.CSF, root, leaf A, sink S, acc 
 	for s := begin; s < end; s++ {
 		rrow := root.row(fidsS[s])
 		for f := fptrS[s]; f < fptrS[s+1]; f++ {
-			for i := range acc {
-				acc[i] = 0
-			}
+			dense.VecZero(acc)
 			for x := fptrF[f]; x < fptrF[f+1]; x++ {
-				v := vals[x]
-				lrow := leaf.row(fidsN[x])
-				for i := range acc {
-					acc[i] += v * lrow[i]
-				}
+				dense.VecAxpy(acc, leaf.row(fidsN[x]), vals[x])
 			}
-			for i := range acc {
-				acc[i] *= rrow[i]
-			}
+			dense.VecMul(acc, rrow)
 			sink.accum(fidsF[f], acc)
 		}
 	}
@@ -85,15 +68,9 @@ func leaf3Port[A accessor, S rowSink](c *csf.CSF, root, mid A, sink S, fprod, tm
 	for s := begin; s < end; s++ {
 		rrow := root.row(fidsS[s])
 		for f := fptrS[s]; f < fptrS[s+1]; f++ {
-			mrow := mid.row(fidsF[f])
-			for i := range fprod {
-				fprod[i] = rrow[i] * mrow[i]
-			}
+			dense.VecMulSet(fprod, rrow, mid.row(fidsF[f]))
 			for x := fptrF[f]; x < fptrF[f+1]; x++ {
-				v := vals[x]
-				for i := range tmp {
-					tmp[i] = v * fprod[i]
-				}
+				dense.VecScaleSet(tmp, fprod, vals[x])
 				sink.accum(fidsN[x], tmp)
 			}
 		}

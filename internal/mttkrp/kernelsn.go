@@ -20,7 +20,10 @@ import (
 // The 3-mode specializations in kernels3_*.go are this algorithm unrolled;
 // the operator uses them for order-3 tensors and this walker otherwise.
 
-// nWalker carries the per-task state of one generic MTTKRP invocation.
+// nWalker carries the per-task state of one generic MTTKRP invocation. A
+// walker is allocated once per task (sized by order and rank) and rebound
+// to the call's CSF, level, factors, and sink via reset, so steady-state
+// Apply calls reuse its buffers.
 type nWalker struct {
 	c      *csf.CSF
 	level  int             // target level L
@@ -32,18 +35,11 @@ type nWalker struct {
 	tmp    []float64
 }
 
-func newNWalker(c *csf.CSF, level int, factors []*dense.Matrix, sink rowSink, rank int) *nWalker {
-	order := c.Order()
+func newNWalker(order, rank int) *nWalker {
 	w := &nWalker{
-		c:     c,
-		level: level,
-		mats:  make([]*dense.Matrix, order),
-		rank:  rank,
-		sink:  sink,
-		tmp:   make([]float64, rank),
-	}
-	for l := 0; l < order; l++ {
-		w.mats[l] = factors[c.ModeOrder[l]]
+		mats: make([]*dense.Matrix, order),
+		rank: rank,
+		tmp:  make([]float64, rank),
 	}
 	w.topBuf = make([][]float64, order)
 	w.upBuf = make([][]float64, order)
@@ -52,6 +48,16 @@ func newNWalker(c *csf.CSF, level int, factors []*dense.Matrix, sink rowSink, ra
 		w.upBuf[l] = make([]float64, rank)
 	}
 	return w
+}
+
+// reset rebinds the walker to one MTTKRP invocation's operands.
+func (w *nWalker) reset(c *csf.CSF, level int, factors []*dense.Matrix, sink rowSink) {
+	w.c = c
+	w.level = level
+	w.sink = sink
+	for l := 0; l < c.Order(); l++ {
+		w.mats[l] = factors[c.ModeOrder[l]]
+	}
 }
 
 // run processes root slices [begin, end).
@@ -72,9 +78,7 @@ func (w *nWalker) down(l int, f int64, top []float64) {
 			w.sink.accum(id, sub)
 			return
 		}
-		for i := range w.tmp {
-			w.tmp[i] = top[i] * sub[i]
-		}
+		dense.VecMulSet(w.tmp, top, sub)
 		w.sink.accum(id, w.tmp)
 		return
 	}
@@ -84,19 +88,14 @@ func (w *nWalker) down(l int, f int64, top []float64) {
 	if top == nil {
 		copy(next, arow)
 	} else {
-		for i := range next {
-			next[i] = top[i] * arow[i]
-		}
+		dense.VecMulSet(next, top, arow)
 	}
 	if l == c.Order()-2 {
 		// Children are nonzeros; only reachable when the target is the
 		// leaf level.
 		leaf := c.Fids[c.Order()-1]
 		for x := c.Fptr[l][f]; x < c.Fptr[l][f+1]; x++ {
-			v := c.Vals[x]
-			for i := range w.tmp {
-				w.tmp[i] = v * next[i]
-			}
+			dense.VecScaleSet(w.tmp, next, c.Vals[x])
 			w.sink.accum(leaf[x], w.tmp)
 		}
 		return
@@ -119,11 +118,7 @@ func (w *nWalker) up(l int, f int64) []float64 {
 		leaf := c.Fids[c.Order()-1]
 		lmat := w.mats[c.Order()-1]
 		for x := c.Fptr[l][f]; x < c.Fptr[l][f+1]; x++ {
-			v := c.Vals[x]
-			lrow := lmat.Row(int(leaf[x]))
-			for i := range buf {
-				buf[i] += v * lrow[i]
-			}
+			dense.VecAxpy(buf, lmat.Row(int(leaf[x])), c.Vals[x])
 		}
 		return buf
 	}
@@ -131,10 +126,7 @@ func (w *nWalker) up(l int, f int64) []float64 {
 	cids := c.Fids[l+1]
 	for child := c.Fptr[l][f]; child < c.Fptr[l][f+1]; child++ {
 		sub := w.up(l+1, child)
-		crow := cmat.Row(int(cids[child]))
-		for i := range buf {
-			buf[i] += crow[i] * sub[i]
-		}
+		dense.VecMulAdd(buf, cmat.Row(int(cids[child])), sub)
 	}
 	return buf
 }

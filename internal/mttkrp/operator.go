@@ -14,6 +14,11 @@ import (
 // owning the mutex pool, privatization buffers, and per-CSF load-balanced
 // slice partitions. One Operator is built per CP-ALS run and reused across
 // all iterations, as SPLATT reuses its thread and lock structures.
+//
+// All per-task kernel scratch (accumulators, walker buffers, sinks) and
+// the parallel-region bodies are allocated once here, so steady-state
+// Apply calls allocate nothing: the per-call operands are staged in fields
+// before the long-lived body is dispatched across the team.
 type Operator struct {
 	set  *csf.Set
 	team *parallel.Team
@@ -27,6 +32,27 @@ type Operator struct {
 	// tilings caches tile schedules per (CSF, level), built on first use
 	// when the tile strategy is selected.
 	tilings map[[2]int]*tiledLayout
+
+	// Per-task kernel scratch, allocated once (from Options.Arena when the
+	// engine shares one).
+	acc     [][]float64 // rank-length accumulators
+	tmp     [][]float64 // rank-length secondary scratch
+	walkers []*nWalker  // reusable arbitrary-order walkers
+	dSinks  []directSink
+	lSinks  []lockSink
+	pSinks  []privSink
+
+	// Staged operands of the in-flight Apply; the bodies are built once in
+	// NewOperator so no closure is materialized per call.
+	curCSF      *csf.CSF
+	curLevel    int
+	curFactors  []*dense.Matrix
+	curOut      *dense.Matrix
+	curStrategy ConflictStrategy
+	curBounds   []int
+	curLayout   *tiledLayout
+	runBody     func(tid int)
+	tileBody    func(tid int)
 
 	// lastStrategy records the conflict strategy of the most recent Apply,
 	// exposed so tests and the harness can assert the YELP/NELL-2
@@ -47,12 +73,49 @@ func NewOperator(set *csf.Set, team *parallel.Team, rank int, opts Options) *Ope
 			}
 		}
 	}
-	o.priv = parallel.NewScratch(o.tasks(), maxDim*rank)
+	tasks := o.tasks()
+	o.priv = parallel.NewScratch(tasks, maxDim*rank)
 	o.bounds = make([][]int, len(set.CSFs))
 	for i, c := range set.CSFs {
-		o.bounds[i] = parallel.PartitionByWeight(c.SliceWeights(), o.tasks())
+		o.bounds[i] = parallel.PartitionByWeight(c.SliceWeights(), tasks)
 	}
 	o.tilings = make(map[[2]int]*tiledLayout)
+
+	arena := opts.Arena
+	if arena == nil || arena.Tasks() < tasks {
+		arena = parallel.NewArena(tasks)
+	}
+	o.acc = make([][]float64, tasks)
+	o.tmp = make([][]float64, tasks)
+	for tid := 0; tid < tasks; tid++ {
+		ta := arena.Task(tid)
+		o.acc[tid] = ta.F64(rank)
+		o.tmp[tid] = ta.F64(rank)
+	}
+	o.walkers = make([]*nWalker, tasks)
+	o.dSinks = make([]directSink, tasks)
+	o.lSinks = make([]lockSink, tasks)
+	o.pSinks = make([]privSink, tasks)
+
+	o.runBody = func(tid int) {
+		bounds := o.curBounds
+		begin, end := bounds[tid], bounds[tid+1]
+		if begin >= end {
+			return
+		}
+		o.runKernel(o.curCSF, o.curLevel, o.curFactors, o.curOut, o.curStrategy, tid, begin, end)
+	}
+	o.tileBody = func(tid int) {
+		c, layout := o.curCSF, o.curLayout
+		aRoot := o.curFactors[c.ModeOrder[0]]
+		aMid := o.curFactors[c.ModeOrder[1]]
+		aLeaf := o.curFactors[c.ModeOrder[2]]
+		if o.curLevel == 1 {
+			runInternalTiled(c, layout, aRoot, aLeaf, o.curOut, o.acc[tid], tid, o.team.Barrier)
+		} else {
+			runLeafTiled(c, layout, aRoot, aMid, o.curOut, o.acc[tid], tid, o.team.Barrier)
+		}
+	}
 	return o
 }
 
@@ -100,10 +163,15 @@ func (o *Operator) Apply(mode int, factors []*dense.Matrix, out *dense.Matrix) {
 	strategy := o.StrategyFor(mode)
 	o.lastStrategy = strategy
 	csfIdx := o.set.Assign[mode].CSF
-	bounds := o.bounds[csfIdx]
+
+	o.curCSF, o.curLevel = c, level
+	o.curFactors, o.curOut = factors, out
+	o.curStrategy = strategy
+	o.curBounds = o.bounds[csfIdx]
 
 	if strategy == StrategyTile {
-		o.applyTiled(c, level, csfIdx, factors, out)
+		o.applyTiled(c, level, csfIdx)
+		o.curFactors, o.curOut = nil, nil
 		return
 	}
 
@@ -111,18 +179,12 @@ func (o *Operator) Apply(mode int, factors []*dense.Matrix, out *dense.Matrix) {
 		o.priv.Zero(c.Dims[mode] * o.rank)
 	}
 
-	run := func(tid int) {
-		begin, end := bounds[tid], bounds[tid+1]
-		if begin >= end {
-			return
-		}
-		o.runKernel(c, level, mode, factors, out, strategy, tid, begin, end)
-	}
 	if o.team == nil || o.team.N() == 1 {
-		run(0)
+		o.runBody(0)
 	} else {
-		o.team.Run(run)
+		o.team.Run(o.runBody)
 	}
+	o.curFactors, o.curOut = nil, nil
 
 	if strategy == StrategyPrivatize {
 		o.priv.ReduceInto(o.team, out.Data, c.Dims[mode]*o.rank)
@@ -131,7 +193,7 @@ func (o *Operator) Apply(mode int, factors []*dense.Matrix, out *dense.Matrix) {
 
 // applyTiled runs the tile-phased lock-free schedule. Every task joins
 // every phase barrier, including tasks with no work in a phase.
-func (o *Operator) applyTiled(c *csf.CSF, level, csfIdx int, factors []*dense.Matrix, out *dense.Matrix) {
+func (o *Operator) applyTiled(c *csf.CSF, level, csfIdx int) {
 	key := [2]int{csfIdx, level}
 	layout, ok := o.tilings[key]
 	if !ok {
@@ -145,21 +207,29 @@ func (o *Operator) applyTiled(c *csf.CSF, level, csfIdx int, factors []*dense.Ma
 		}
 		o.tilings[key] = layout
 	}
-	aRoot := factors[c.ModeOrder[0]]
-	aMid := factors[c.ModeOrder[1]]
-	aLeaf := factors[c.ModeOrder[2]]
-	o.team.Run(func(tid int) {
-		scratch := make([]float64, o.rank)
-		if level == 1 {
-			runInternalTiled(c, layout, aRoot, aLeaf, out, scratch, tid, o.team.Barrier)
-		} else {
-			runLeafTiled(c, layout, aRoot, aMid, out, scratch, tid, o.team.Barrier)
-		}
-	})
+	o.curLayout = layout
+	o.team.Run(o.tileBody)
+	o.curLayout = nil
+}
+
+// sinkFor stages and returns task tid's persistent sink for the strategy
+// (pointer-backed, so the interface conversion never allocates).
+func (o *Operator) sinkFor(level int, strategy ConflictStrategy, out *dense.Matrix, tid int) rowSink {
+	switch {
+	case level == 0 || strategy == StrategyNone:
+		o.dSinks[tid] = newDirectSink(out)
+		return &o.dSinks[tid]
+	case strategy == StrategyLock:
+		o.lSinks[tid] = newLockSink(out, o.pool)
+		return &o.lSinks[tid]
+	default:
+		o.pSinks[tid] = newPrivSink(o.priv.Buf(tid), o.rank)
+		return &o.pSinks[tid]
+	}
 }
 
 // runKernel dispatches one task's slice range to the right kernel body.
-func (o *Operator) runKernel(c *csf.CSF, level, mode int, factors []*dense.Matrix,
+func (o *Operator) runKernel(c *csf.CSF, level int, factors []*dense.Matrix,
 	out *dense.Matrix, strategy ConflictStrategy, tid, begin, end int) {
 
 	if c.Order() == 3 {
@@ -168,16 +238,13 @@ func (o *Operator) runKernel(c *csf.CSF, level, mode int, factors []*dense.Matri
 	}
 	// Arbitrary-order generic walker (pointer access only; the paper's
 	// access study is 3rd-order).
-	var sink rowSink
-	switch {
-	case level == 0 || strategy == StrategyNone:
-		sink = newDirectSink(out)
-	case strategy == StrategyLock:
-		sink = newLockSink(out, o.pool)
-	default:
-		sink = newPrivSink(o.priv.Buf(tid), o.rank)
+	sink := o.sinkFor(level, strategy, out, tid)
+	w := o.walkers[tid]
+	if w == nil {
+		w = newNWalker(c.Order(), o.rank)
+		o.walkers[tid] = w
 	}
-	w := newNWalker(c, level, factors, sink, o.rank)
+	w.reset(c, level, factors, sink)
 	w.run(begin, end)
 }
 
@@ -189,8 +256,8 @@ func (o *Operator) run3(c *csf.CSF, level int, factors []*dense.Matrix,
 	aRoot := factors[c.ModeOrder[0]]
 	aMid := factors[c.ModeOrder[1]]
 	aLeaf := factors[c.ModeOrder[2]]
-	acc := make([]float64, o.rank)
-	tmp := make([]float64, o.rank)
+	acc := o.acc[tid]
+	tmp := o.tmp[tid]
 
 	if o.opts.Access == AccessReference {
 		switch level {
@@ -280,17 +347,11 @@ func COOParallel(t *sptensor.Tensor, factors []*dense.Matrix, mode int,
 				if m == mode {
 					continue
 				}
-				row := factors[m].Row(int(t.Inds[m][x]))
-				for i := range acc {
-					acc[i] *= row[i]
-				}
+				dense.VecMul(acc, factors[m].Row(int(t.Inds[m][x])))
 			}
 			row := int(t.Inds[mode][x])
 			pool.Lock(row)
-			orow := out.Row(row)
-			for i := range orow {
-				orow[i] += acc[i]
-			}
+			dense.VecAdd(out.Row(row), acc)
 			pool.Unlock(row)
 		}
 	})

@@ -18,6 +18,7 @@ import (
 	"fmt"
 
 	"repro/internal/locks"
+	"repro/internal/parallel"
 )
 
 // AccessMode selects the kernel implementation family and, within the port
@@ -163,6 +164,10 @@ type Options struct {
 	PoolSize int
 	// PrivRatio overrides DefaultPrivRatio (0 = default).
 	PrivRatio int
+	// Arena, when non-nil, supplies the operators' per-task kernel
+	// workspaces (tile index columns, accumulators, walker scratch) from
+	// the engine's shared per-run arena instead of private allocations.
+	Arena *parallel.Arena
 }
 
 // DefaultOptions returns the shipping configuration: reference kernels,

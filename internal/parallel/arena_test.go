@@ -1,0 +1,100 @@
+package parallel
+
+import "testing"
+
+func TestArenaAllocatesDistinctBuffers(t *testing.T) {
+	a := NewArena(2)
+	if a.Tasks() != 2 {
+		t.Fatalf("tasks = %d, want 2", a.Tasks())
+	}
+	ta := a.Task(0)
+	x := ta.F64(8)
+	y := ta.F64(8)
+	if len(x) != 8 || len(y) != 8 {
+		t.Fatalf("lengths %d, %d, want 8", len(x), len(y))
+	}
+	x[7] = 1
+	y[0] = 2
+	if x[7] != 1 || y[0] != 2 {
+		t.Fatal("buffers overlap")
+	}
+	// Full-capacity slices: appends must not clobber the neighbour.
+	x = append(x, 99)
+	if y[0] != 2 {
+		t.Fatal("append to one arena buffer grew into the next")
+	}
+}
+
+func TestArenaSteadyStateAllocFree(t *testing.T) {
+	a := NewArena(1)
+	ta := a.Task(0)
+	warm := func() {
+		m := ta.Mark()
+		_ = ta.F64(100)
+		_ = ta.I32(50)
+		_ = ta.I64(25)
+		_ = ta.U32(75)
+		ta.Release(m)
+	}
+	warm() // grows every pool once
+	if n := testing.AllocsPerRun(20, warm); n != 0 {
+		t.Errorf("steady-state Mark/alloc/Release allocates %.1f per frame, want 0", n)
+	}
+}
+
+func TestArenaMarkReleaseReusesMemory(t *testing.T) {
+	a := NewArena(1)
+	ta := a.Task(0)
+	m := ta.Mark()
+	first := ta.F64(16)
+	first[3] = 42
+	ta.Release(m)
+	second := ta.F64(16)
+	// Same backing memory (arena semantics: contents are NOT zeroed).
+	if &first[0] != &second[0] {
+		t.Fatal("Release did not rewind to the marked frontier")
+	}
+	if second[3] != 42 {
+		t.Fatal("expected recycled (dirty) backing memory")
+	}
+}
+
+func TestArenaGrowthKeepsOldBuffersValid(t *testing.T) {
+	a := NewArena(1)
+	ta := a.Task(0)
+	old := ta.F64(64)
+	old[0] = 7
+	_ = ta.F64(1 << 16) // forces new backing
+	if old[0] != 7 {
+		t.Fatal("pre-growth buffer lost its contents")
+	}
+}
+
+func TestScratchReduceIntoMatchesSerialSum(t *testing.T) {
+	team := NewTeam(3)
+	defer team.Close()
+	s := NewScratch(3, 10)
+	for tid := 0; tid < 3; tid++ {
+		for i := 0; i < 10; i++ {
+			s.Buf(tid)[i] = float64(tid + i)
+		}
+	}
+	dst := make([]float64, 10)
+	for i := range dst {
+		dst[i] = 1
+	}
+	s.ReduceInto(team, dst, 10)
+	for i := range dst {
+		want := 1.0
+		for tid := 0; tid < 3; tid++ {
+			want += float64(tid + i)
+		}
+		if dst[i] != want {
+			t.Fatalf("dst[%d] = %g, want %g", i, dst[i], want)
+		}
+	}
+	// The reduction body is cached: repeated reductions allocate nothing.
+	if n := testing.AllocsPerRun(10, func() { s.ReduceInto(team, dst, 10) }); n != 0 {
+		t.Errorf("ReduceInto allocates %.1f per call, want 0", n)
+	}
+}

@@ -7,6 +7,14 @@ package parallel
 // sorting study diagnoses (§V-C).
 type Scratch struct {
 	bufs [][]float64
+
+	// Staged reduction operands + a body built on first use, so the
+	// per-iteration privatized-MTTKRP reduction dispatches without
+	// materializing a closure.
+	redDst   []float64
+	redN     int
+	redTasks int
+	redBody  func(tid int)
 }
 
 // NewScratch creates per-task buffers: tasks buffers of `size` float64s.
@@ -52,14 +60,29 @@ func (s *Scratch) Zero(n int) {
 // team. This is the parallel reduction SPLATT performs after privatized
 // MTTKRP accumulation (thd_reduce).
 func (s *Scratch) ReduceInto(t *Team, dst []float64, n int) {
-	tasks := len(s.bufs)
-	For(t, n, func(i int) {
-		acc := dst[i]
-		for tid := 0; tid < tasks; tid++ {
-			acc += s.bufs[tid][i]
+	if s.redBody == nil {
+		s.redBody = func(tid int) {
+			begin, end := Partition(s.redN, s.redTasks, tid)
+			tasks := len(s.bufs)
+			dst := s.redDst
+			for i := begin; i < end; i++ {
+				acc := dst[i]
+				for tid := 0; tid < tasks; tid++ {
+					acc += s.bufs[tid][i]
+				}
+				dst[i] = acc
+			}
 		}
-		dst[i] = acc
-	})
+	}
+	s.redDst, s.redN = dst, n
+	if t == nil || t.N() == 1 {
+		s.redTasks = 1
+		s.redBody(0)
+	} else {
+		s.redTasks = t.N()
+		t.Run(s.redBody)
+	}
+	s.redDst = nil
 }
 
 // ReduceSum tree-reduces scalar partials: returns Σ parts[i]. Convenience
@@ -83,4 +106,114 @@ func ReduceMax(parts []float64) float64 {
 		}
 	}
 	return m
+}
+
+// Arena is the per-team workspace allocator of the steady-state hot path:
+// one TaskArena per task, each a set of typed grow-only buffer pools. The
+// CP-ALS engines build one Arena per run and thread it through every
+// compute layer (dense Gram/norm/solve, the MTTKRP operators, the sampled
+// kernel), so per-iteration scratch is carved out of long-lived backing
+// arrays instead of being re-made per call — after the first iteration
+// warms every pool, steady-state iterations allocate nothing.
+//
+// Allocation discipline: Alloc calls with the same (task, pool, sequence)
+// pattern return the same backing memory across frames. A caller that
+// wants per-call transient scratch brackets its Allocs with Mark/Release
+// (stack discipline); a caller that wants buffers persisting for the
+// arena's lifetime allocates them once at construction and never releases.
+type Arena struct {
+	tasks []TaskArena
+}
+
+// NewArena creates an arena with one TaskArena per task (tasks >= 1).
+func NewArena(tasks int) *Arena {
+	if tasks < 1 {
+		tasks = 1
+	}
+	return &Arena{tasks: make([]TaskArena, tasks)}
+}
+
+// Tasks reports the number of per-task arenas.
+func (a *Arena) Tasks() int { return len(a.tasks) }
+
+// Task returns task tid's arena. Distinct tasks may allocate concurrently;
+// a single TaskArena is not safe for concurrent use.
+func (a *Arena) Task(tid int) *TaskArena { return &a.tasks[tid] }
+
+// TaskArena is one task's typed bump allocator. Buffers are carved from
+// grow-only backing arrays; growth (the only allocation) happens when a
+// frame's demand first exceeds the backing capacity, so a steady-state
+// caller repeating the same allocation pattern allocates only on its first
+// frame.
+type TaskArena struct {
+	f64 pool[float64]
+	i32 pool[int32]
+	i64 pool[int64]
+	u32 pool[uint32]
+}
+
+// pool is a single-type bump allocator.
+type pool[T any] struct {
+	buf []T
+	off int
+}
+
+func (p *pool[T]) alloc(n int) []T {
+	if p.off+n > len(p.buf) {
+		// Grow to at least double so repeated growth within one frame stays
+		// amortized. Previously returned slices keep referencing the old
+		// backing array and stay valid.
+		size := 2 * len(p.buf)
+		if size < p.off+n {
+			size = p.off + n
+		}
+		if size < 64 {
+			size = 64
+		}
+		fresh := make([]T, size)
+		p.buf = fresh
+		p.off = 0
+	}
+	s := p.buf[p.off : p.off+n : p.off+n]
+	p.off += n
+	return s
+}
+
+// F64 returns an n-element float64 buffer. Contents are NOT zeroed: frames
+// reuse backing memory, so callers must initialize what they read.
+func (t *TaskArena) F64(n int) []float64 { return t.f64.alloc(n) }
+
+// I32 returns an n-element int32 buffer (also serves sptensor.Index, an
+// int32 alias). Contents are not zeroed.
+func (t *TaskArena) I32(n int) []int32 { return t.i32.alloc(n) }
+
+// I64 returns an n-element int64 buffer. Contents are not zeroed.
+func (t *TaskArena) I64(n int) []int64 { return t.i64.alloc(n) }
+
+// U32 returns an n-element uint32 buffer. Contents are not zeroed.
+func (t *TaskArena) U32(n int) []uint32 { return t.u32.alloc(n) }
+
+// Mark captures the arena's current allocation frontier for Release.
+type Mark struct{ f64, i32, i64, u32 int }
+
+// Mark snapshots the allocation offsets of every pool.
+func (t *TaskArena) Mark() Mark {
+	return Mark{f64: t.f64.off, i32: t.i32.off, i64: t.i64.off, u32: t.u32.off}
+}
+
+// Release rewinds the arena to a prior Mark, recycling everything allocated
+// since. Buffers obtained after the mark must not be used after Release.
+func (t *TaskArena) Release(m Mark) {
+	if m.f64 <= t.f64.off {
+		t.f64.off = m.f64
+	}
+	if m.i32 <= t.i32.off {
+		t.i32.off = m.i32
+	}
+	if m.i64 <= t.i64.off {
+		t.i64.off = m.i64
+	}
+	if m.u32 <= t.u32.off {
+		t.u32.off = m.u32
+	}
 }

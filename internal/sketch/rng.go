@@ -26,9 +26,11 @@ func splitSeed(seed int64, parts ...uint64) uint64 {
 
 // rng is a small splitmix64-sequence generator (state increments by the
 // golden-ratio constant per draw, each output finalized independently).
+// Returned by value so hot paths keep it in a register instead of
+// allocating.
 type rng struct{ state uint64 }
 
-func newRNG(seed uint64) *rng { return &rng{state: seed} }
+func newRNG(seed uint64) rng { return rng{state: seed} }
 
 // next returns the next 64 random bits.
 func (r *rng) next() uint64 {

@@ -95,6 +95,41 @@ type Sampler struct {
 
 	privOut  [][]float64 // per-task privatized output rows
 	privNorm [][]float64 // per-task privatized normal accumulators
+	privH    [][]float64 // per-task Khatri-Rao row scratch (rank)
+	privIdx  [][]int     // per-task decoded-coordinate scratch (order)
+
+	// Reusable draw state: the distinct-key map and the key/count arrays
+	// are cleared, not reallocated, between draws.
+	seen     map[uint64]int
+	keyBuf   []uint64
+	countBuf []int
+
+	// Leverage-refresh scratch: the pseudo-inverse runs through cached
+	// Jacobi buffers, and the row sweep is a staged body built once.
+	ginv         *dense.Matrix
+	eigW, eigQ   *dense.Matrix
+	eigVals      []float64
+	eigInv       []float64
+	levBody      func(tid int)
+	curLevFactor *dense.Matrix
+	curLevTable  *levTable
+
+	// Staged operands + cached bodies of the parallel sampled accumulate.
+	accBody    func(tid int)
+	reduceBody func(tid int)
+	curMode    int
+	curFactors []*dense.Matrix
+	curOut     *dense.Matrix
+	curOutLen  int
+}
+
+// runTeam dispatches a cached body across the team (inline when serial).
+func (s *Sampler) runTeam(body func(tid int)) {
+	if s.team == nil || s.team.N() == 1 {
+		body(0)
+		return
+	}
+	s.team.Run(body)
 }
 
 // NewSampler collects the source's nonzeros (src may be nil for an empty
@@ -175,6 +210,69 @@ func NewSampler(src NonzeroSource, dims []int, cfg Config) (*Sampler, error) {
 			}
 		})
 	}
+
+	tasks := 1
+	if s.team != nil {
+		tasks = s.team.N()
+	}
+	s.privH = make([][]float64, tasks)
+	s.privIdx = make([][]int, tasks)
+	for t := 0; t < tasks; t++ {
+		s.privH[t] = make([]float64, cfg.Rank)
+		s.privIdx[t] = make([]int, order)
+	}
+	s.seen = make(map[uint64]int, samples)
+	r := cfg.Rank
+	s.ginv = dense.NewMatrix(r, r)
+	s.eigW = dense.NewMatrix(r, r)
+	s.eigQ = dense.NewMatrix(r, r)
+	s.eigVals = make([]float64, r)
+	s.eigInv = make([]float64, r)
+
+	s.levBody = func(tid int) {
+		factor, t := s.curLevFactor, s.curLevTable
+		ginv := s.ginv
+		begin, end := parallel.Partition(factor.Rows, tasks, tid)
+		for i := begin; i < end; i++ {
+			a := factor.Row(i)
+			l := 0.0
+			for j := 0; j < r; j++ {
+				gj := ginv.Row(j)
+				aj := a[j]
+				for k := 0; k < r; k++ {
+					l += aj * gj[k] * a[k]
+				}
+			}
+			if l < 0 {
+				l = 0
+			}
+			t.p[i] = l
+		}
+	}
+	s.accBody = func(tid int) {
+		outLen := s.curOutLen
+		po, pn := s.privOut[tid][:outLen], s.privNorm[tid]
+		for i := range po {
+			po[i] = 0
+		}
+		for i := range pn {
+			pn[i] = 0
+		}
+		h, idx := s.privH[tid], s.privIdx[tid]
+		begin, end := parallel.Partition(len(s.keyBuf), tasks, tid)
+		for i := begin; i < end; i++ {
+			s.accumulateSample(s.curMode, s.keyBuf[i], s.countBuf[i], s.curFactors, po, pn, h, idx)
+		}
+	}
+	s.reduceBody = func(tid int) {
+		// Reduce in increasing task order (fixed summation order per cell).
+		out := s.curOut
+		begin, end := parallel.Partition(out.Rows, tasks, tid)
+		for t := 0; t < tasks; t++ {
+			po := s.privOut[t]
+			dense.VecAdd(out.Data[begin*r:end*r], po[begin*r:end*r])
+		}
+	}
 	return s, nil
 }
 
@@ -191,30 +289,16 @@ func (s *Sampler) NNZ() int { return s.nnz }
 // the tables are deterministic functions of (factor, gram), so replicated
 // engines stay bitwise aligned.
 func (s *Sampler) RefreshLeverage(m int, factor, gram *dense.Matrix) {
-	rows, r := factor.Rows, s.rank
+	rows := factor.Rows
 	t := s.lev[m]
 	if t == nil {
 		t = &levTable{p: make([]float64, rows), cum: make([]float64, rows)}
 		s.lev[m] = t
 	}
-	ginv := dense.PseudoInverse(gram, 0)
-	parallel.ForBlocks(s.team, rows, func(_, begin, end int) {
-		for i := begin; i < end; i++ {
-			a := factor.Row(i)
-			l := 0.0
-			for j := 0; j < r; j++ {
-				gj := ginv.Row(j)
-				aj := a[j]
-				for k := 0; k < r; k++ {
-					l += aj * gj[k] * a[k]
-				}
-			}
-			if l < 0 {
-				l = 0
-			}
-			t.p[i] = l
-		}
-	})
+	dense.PseudoInverseInto(gram, 0, s.ginv, s.eigW, s.eigQ, s.eigVals, s.eigInv)
+	s.curLevFactor, s.curLevTable = factor, t
+	s.runTeam(s.levBody)
+	s.curLevFactor, s.curLevTable = nil, nil
 	total := 0.0
 	for _, l := range t.p {
 		total += l
@@ -284,12 +368,16 @@ func (s *Sampler) buildFiberIndex(m int) {
 	s.perm[m] = perm
 }
 
-// drawSamples draws the deterministic sample set for (mode, iter):
-// distinct complement keys in first-seen order with multiplicities.
-func (s *Sampler) drawSamples(mode, iter int) (keys []uint64, counts []int) {
+// drawSamples draws the deterministic sample set for (mode, iter) into the
+// reusable keyBuf/countBuf arrays: distinct complement keys in first-seen
+// order with multiplicities. The distinct-key map and both arrays are
+// cleared, not reallocated, so steady-state draws allocate nothing.
+func (s *Sampler) drawSamples(mode, iter int) {
 	rng := newRNG(splitSeed(s.seed, purposeMTTKRP, uint64(iter), uint64(mode)))
 	order := len(s.dims)
-	seen := make(map[uint64]int, s.samples)
+	clear(s.seen)
+	s.keyBuf = s.keyBuf[:0]
+	s.countBuf = s.countBuf[:0]
 	for n := 0; n < s.samples; n++ {
 		key := uint64(0)
 		for m := 0; m < order; m++ {
@@ -298,15 +386,14 @@ func (s *Sampler) drawSamples(mode, iter int) (keys []uint64, counts []int) {
 			}
 			key += uint64(s.lev[m].draw(rng.float64())) * s.radix[mode][m]
 		}
-		if at, ok := seen[key]; ok {
-			counts[at]++
+		if at, ok := s.seen[key]; ok {
+			s.countBuf[at]++
 			continue
 		}
-		seen[key] = len(keys)
-		keys = append(keys, key)
-		counts = append(counts, 1)
+		s.seen[key] = len(s.keyBuf)
+		s.keyBuf = append(s.keyBuf, key)
+		s.countBuf = append(s.countBuf, 1)
 	}
-	return keys, counts
 }
 
 // decode splits a mode-m complement key into per-mode indices (dst[mode]
@@ -339,7 +426,7 @@ func (s *Sampler) SampledMTTKRP(mode, iter int, factors []*dense.Matrix, out, no
 		}
 	}
 	s.buildFiberIndex(mode)
-	keys, counts := s.drawSamples(mode, iter)
+	s.drawSamples(mode, iter)
 
 	out.Zero()
 	normal.Zero()
@@ -350,12 +437,11 @@ func (s *Sampler) SampledMTTKRP(mode, iter int, factors []*dense.Matrix, out, no
 	// The guard sizes by the longest mode because the privatized buffers
 	// are allocated once at maxDim rows and reused across modes.
 	if tasks > 1 && tasks*s.maxDim*r <= privBufferCap {
-		s.accumulateParallel(mode, keys, counts, factors, out, normal, tasks)
+		s.accumulateParallel(mode, factors, out, normal, tasks)
 	} else {
-		h := make([]float64, r)
-		idx := make([]int, order)
-		for i, key := range keys {
-			s.accumulateSample(mode, key, counts[i], factors, out.Data, normal.Data, h, idx)
+		h, idx := s.privH[0], s.privIdx[0]
+		for i, key := range s.keyBuf {
+			s.accumulateSample(mode, key, s.countBuf[i], factors, out.Data, normal.Data, h, idx)
 		}
 	}
 	// Mirror the symmetric accumulation (only the upper triangle is built).
@@ -366,14 +452,14 @@ func (s *Sampler) SampledMTTKRP(mode, iter int, factors []*dense.Matrix, out, no
 	}
 }
 
-// accumulateParallel splits the distinct samples over the team with
-// per-task privatized buffers, then reduces in task order — deterministic
-// for a fixed team size.
-func (s *Sampler) accumulateParallel(mode int, keys []uint64, counts []int,
-	factors []*dense.Matrix, out, normal *dense.Matrix, tasks int) {
+// accumulateParallel splits the distinct samples (already drawn into
+// keyBuf/countBuf) over the team with per-task privatized buffers, then
+// reduces in task order — deterministic for a fixed team size. The bodies
+// are cached; only the operands are staged per call.
+func (s *Sampler) accumulateParallel(mode int, factors []*dense.Matrix,
+	out, normal *dense.Matrix, tasks int) {
 
 	r := s.rank
-	order := len(s.dims)
 	outLen := out.Rows * r
 	if s.privOut == nil || len(s.privOut) < tasks || len(s.privOut[0]) < outLen {
 		s.privOut = make([][]float64, tasks)
@@ -383,34 +469,12 @@ func (s *Sampler) accumulateParallel(mode int, keys []uint64, counts []int,
 			s.privNorm[t] = make([]float64, r*r)
 		}
 	}
-	parallel.ForBlocks(s.team, len(keys), func(tid, begin, end int) {
-		po, pn := s.privOut[tid][:outLen], s.privNorm[tid]
-		for i := range po {
-			po[i] = 0
-		}
-		for i := range pn {
-			pn[i] = 0
-		}
-		h := make([]float64, r)
-		idx := make([]int, order)
-		for i := begin; i < end; i++ {
-			s.accumulateSample(mode, keys[i], counts[i], factors, po, pn, h, idx)
-		}
-	})
-	// Reduce in increasing task order (fixed summation order per cell).
-	parallel.ForBlocks(s.team, out.Rows, func(_, begin, end int) {
-		for tid := 0; tid < tasks; tid++ {
-			po := s.privOut[tid]
-			for i := begin * r; i < end*r; i++ {
-				out.Data[i] += po[i]
-			}
-		}
-	})
+	s.curMode, s.curFactors, s.curOut, s.curOutLen = mode, factors, out, outLen
+	s.runTeam(s.accBody)
+	s.runTeam(s.reduceBody)
+	s.curFactors, s.curOut = nil, nil
 	for tid := 0; tid < tasks; tid++ {
-		pn := s.privNorm[tid]
-		for i := range normal.Data {
-			normal.Data[i] += pn[i]
-		}
+		dense.VecAdd(normal.Data, s.privNorm[tid])
 	}
 }
 
@@ -432,30 +496,19 @@ func (s *Sampler) accumulateSample(mode int, key uint64, count int,
 			continue
 		}
 		p *= s.lev[n].p[idx[n]]
-		row := factors[n].Row(idx[n])
-		for j := 0; j < r; j++ {
-			h[j] *= row[j]
-		}
+		dense.VecMul(h, factors[n].Row(idx[n]))
 	}
 	w := float64(count) / (float64(s.samples) * p)
 	for i := 0; i < r; i++ {
-		whi := w * h[i]
-		ni := normal[i*r:]
-		for j := i; j < r; j++ {
-			ni[j] += whi * h[j]
-		}
+		dense.VecAxpy(normal[i*r+i:i*r+r], h[i:], w*h[i])
 	}
 	keys := s.keys[mode]
 	lo := sort.Search(len(keys), func(i int) bool { return keys[i] >= key })
 	offset := s.offsets[mode]
 	for at := lo; at < len(keys) && keys[at] == key; at++ {
 		x := s.perm[mode][at]
-		wv := w * s.vals[x]
 		row := int(s.coords[mode][x]) - offset
-		o := out[row*r : row*r+r]
-		for j := 0; j < r; j++ {
-			o[j] += wv * h[j]
-		}
+		dense.VecAxpy(out[row*r:row*r+r], h, w*s.vals[x])
 	}
 }
 

@@ -1,23 +1,35 @@
 #!/usr/bin/env bash
-# bench_compare.sh — compare a fresh `go test -bench` output against a
-# pinned baseline. Usage:
+# bench_compare.sh — compare a fresh `go test -bench -benchmem` output
+# against a pinned baseline. Usage:
 #
 #   scripts/bench_compare.sh <baseline.txt> <latest.txt>
 #
 # Fails when
 #   * any benchmark present in both files regressed by more than
-#     BENCH_MAX_REGRESSION_PCT percent (averaged over repeated runs), or
+#     BENCH_MAX_REGRESSION_PCT percent in ns/op (averaged over repeated
+#     runs), or
+#   * any benchmark's allocs/op grew beyond the allocation gate
+#     (base × (1 + BENCH_MAX_REGRESSION_PCT/100) + BENCH_MAX_ALLOC_GROWTH)
+#     — the steady-state CP-ALS benches are pinned at 0 allocs/op, so a
+#     hot-path allocation sneaking back in fails the build, or
 #   * any benchmark present in the baseline is MISSING from the fresh run
 #     (a silently deleted/renamed benchmark must not pass the gate) —
 #     unless BENCH_ALLOW_MISSING=1 (set by bench.sh for partial
 #     BENCH_PATTERN runs, where absence is expected).
 #
+# Benchmarks whose baseline rows carry no allocs/op column (pre-benchmem
+# baselines) skip the allocation check.
+#
 # Environment knobs:
-#   BENCH_MAX_REGRESSION_PCT  allowed ns/op regression percent   (default 5)
+#   BENCH_MAX_REGRESSION_PCT  allowed ns/op (and relative allocs/op)
+#                             regression percent                 (default 5)
+#   BENCH_MAX_ALLOC_GROWTH    allowed absolute allocs/op growth on top of
+#                             the relative allowance              (default 8)
 #   BENCH_MIN_NSOP            benchmarks whose baseline ns/op is below this
 #                             are too noisy at 1x iteration to compare and
-#                             are skipped for the regression check (they
-#                             still count for the missing check) (default 100000)
+#                             are skipped for the ns/op regression check
+#                             (they still count for the missing and
+#                             allocation checks)            (default 100000)
 #   BENCH_ALLOW_MISSING       1 = downgrade missing benchmarks to a warning
 set -euo pipefail
 
@@ -28,13 +40,29 @@ fi
 BASE="$1"
 CUR="$2"
 MAXPCT="${BENCH_MAX_REGRESSION_PCT:-5}"
+ALLOCGROWTH="${BENCH_MAX_ALLOC_GROWTH:-8}"
 MINNSOP="${BENCH_MIN_NSOP:-100000}"
 ALLOW_MISSING="${BENCH_ALLOW_MISSING:-0}"
 
-awk -v maxpct="$MAXPCT" -v minns="$MINNSOP" -v allowmissing="$ALLOW_MISSING" '
-    # Collect "BenchmarkName-N  iters  ns/op" rows, averaging repeated runs.
-    FNR == NR && $1 ~ /^Benchmark/ && $4 == "ns/op" { base[$1] += $3; basen[$1]++; next }
-    FNR != NR && $1 ~ /^Benchmark/ && $4 == "ns/op" { cur[$1]  += $3; curn[$1]++ }
+awk -v maxpct="$MAXPCT" -v allocgrowth="$ALLOCGROWTH" -v minns="$MINNSOP" \
+    -v allowmissing="$ALLOW_MISSING" '
+    # Collect benchmark rows, locating the ns/op and allocs/op columns by
+    # their unit labels (a MB/s column from b.SetBytes shifts positions).
+    $1 ~ /^Benchmark/ {
+        ns = ""; allocs = ""
+        for (i = 3; i <= NF; i++) {
+            if ($(i) == "ns/op") ns = $(i-1)
+            else if ($(i) == "allocs/op") allocs = $(i-1)
+        }
+        if (FNR == NR) {
+            if (ns != "")     { base[$1] += ns; basen[$1]++ }
+            if (allocs != "") { basea[$1] += allocs; basean[$1]++ }
+        } else {
+            if (ns != "")     { cur[$1] += ns; curn[$1]++ }
+            if (allocs != "") { cura[$1] += allocs; curan[$1]++ }
+        }
+        next
+    }
     END {
         n = 0
         for (name in cur) n++
@@ -61,9 +89,24 @@ awk -v maxpct="$MAXPCT" -v minns="$MINNSOP" -v allowmissing="$ALLOW_MISSING" '
                 bad++
             }
         }
+        abad = 0
+        for (name in cura) {
+            if (!(name in basea)) continue # no alloc data pinned for it
+            ba = basea[name] / basean[name]
+            ca = cura[name] / curan[name]
+            limit = ba * (1 + maxpct / 100) + allocgrowth
+            if (ca > limit) {
+                printf "ALLOC-REGRESSION %-54s %10.1f -> %10.1f allocs/op (limit %.1f)\n", name, ba, ca, limit
+                abad++
+            }
+        }
         fail = 0
         if (bad) {
             printf "%d benchmark(s) regressed beyond %s%%\n", bad, maxpct
+            fail = 1
+        }
+        if (abad) {
+            printf "%d benchmark(s) exceeded the allocation gate (+%s%% relative, +%s absolute)\n", abad, maxpct, allocgrowth
             fail = 1
         }
         if (missing) {
