@@ -1,0 +1,82 @@
+// Model-serving benchmarks: the sub-millisecond inference kernels behind
+// splatt-serve's /v1/models endpoints. The acceptance target for this layer
+// is TopK over a 10k-row mode at rank 16 under 1 ms/op with zero
+// steady-state allocations; the bench gate (scripts/bench.sh) pins the
+// alloc counts at 0 via benchmarks/baseline.txt.
+package splatt_test
+
+import (
+	"sync"
+	"testing"
+
+	splatt "repro"
+)
+
+// servingModel builds the shared benchmark model once: a 10000×40×25
+// rank-16 Kruskal model in the read-optimized serving layout.
+var servingModel = sync.OnceValue(func() *splatt.Model {
+	k := splatt.NewRandomKruskal([]int{10000, 40, 25}, 16, 7)
+	m, err := splatt.BuildModel(k)
+	if err != nil {
+		panic(err)
+	}
+	return m
+})
+
+// BenchmarkModelQueryTopK is the acceptance benchmark: rank every index of
+// the 10k-row mode against a fixed context and keep the best 10.
+func BenchmarkModelQueryTopK(b *testing.B) {
+	m := servingModel()
+	ws := splatt.NewModelWorkspace()
+	coord := []int{0, 17, 9}
+	out := make([]splatt.ModelItem, 0, 16)
+	if _, err := m.TopK(ws, 0, coord, 10, out[:0]); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		items, err := m.TopK(ws, 0, coord, 10, out[:0])
+		if err != nil {
+			b.Fatal(err)
+		}
+		out = items[:0]
+	}
+}
+
+// BenchmarkModelQueryEntry reconstructs one tensor entry.
+func BenchmarkModelQueryEntry(b *testing.B) {
+	m := servingModel()
+	ws := splatt.NewModelWorkspace()
+	coord := []int{4231, 17, 9}
+	if _, err := m.At(ws, coord); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.At(ws, coord); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkModelQuerySimilar finds the 10 nearest factor rows (cosine) to
+// one row of the 10k-row mode.
+func BenchmarkModelQuerySimilar(b *testing.B) {
+	m := servingModel()
+	ws := splatt.NewModelWorkspace()
+	out := make([]splatt.ModelItem, 0, 16)
+	if _, err := m.Similar(ws, 0, 42, 10, out[:0]); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		items, err := m.Similar(ws, 0, 42, 10, out[:0])
+		if err != nil {
+			b.Fatal(err)
+		}
+		out = items[:0]
+	}
+}

@@ -1,0 +1,173 @@
+// Command splatt-query is the client for splatt-serve's model-serving API:
+// it lists resident models and issues the three inference queries (entry
+// reconstruction, top-K scoring, cosine nearest-factors) against a running
+// service.
+//
+// Usage:
+//
+//	splatt-query [-addr host:port] <command> [flags]
+//
+// Commands:
+//
+//	list                              resident models
+//	info    -model <id>               one model's metadata
+//	entry   -model <id> -coord i,j,k  reconstruct one entry
+//	topk    -model <id> -mode M -coord i,j,k [-k 10]
+//	similar -model <id> -mode M -index I [-k 10]
+//	delete  -model <id>
+//
+// Example:
+//
+//	splatt-query -addr localhost:8080 topk -model 3fe1... -mode 1 -coord 7,0,3 -k 10
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"os"
+	"strings"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("splatt-query: ")
+
+	addr := flag.String("addr", "localhost:8080", "splatt-serve address")
+	flag.Usage = usage
+	flag.Parse()
+	if flag.NArg() == 0 {
+		usage()
+		os.Exit(2)
+	}
+	base := "http://" + strings.TrimPrefix(*addr, "http://") + "/v1"
+	cmd, args := flag.Arg(0), flag.Args()[1:]
+
+	var err error
+	switch cmd {
+	case "list":
+		err = do("GET", base+"/models", nil)
+	case "info":
+		fs := flag.NewFlagSet("info", flag.ExitOnError)
+		id := fs.String("model", "", "model ID")
+		_ = fs.Parse(args)
+		err = do("GET", base+"/models/"+need(fs, *id), nil)
+	case "entry":
+		fs := flag.NewFlagSet("entry", flag.ExitOnError)
+		id := fs.String("model", "", "model ID")
+		coord := fs.String("coord", "", "comma-separated coordinate, e.g. 3,1,4")
+		_ = fs.Parse(args)
+		err = do("GET", base+"/models/"+need(fs, *id)+"/entry?coord="+need(fs, *coord), nil)
+	case "topk":
+		fs := flag.NewFlagSet("topk", flag.ExitOnError)
+		id := fs.String("model", "", "model ID")
+		mode := fs.Int("mode", 0, "mode whose indices are ranked")
+		coord := fs.String("coord", "", "fixed coordinate (target-mode component ignored)")
+		k := fs.Int("k", 10, "results to return")
+		_ = fs.Parse(args)
+		body := map[string]any{"mode": *mode, "coord": ints(need(fs, *coord)), "k": *k}
+		err = do("POST", base+"/models/"+need(fs, *id)+"/topk", body)
+	case "similar":
+		fs := flag.NewFlagSet("similar", flag.ExitOnError)
+		id := fs.String("model", "", "model ID")
+		mode := fs.Int("mode", 0, "factor-matrix mode")
+		index := fs.Int("index", 0, "query row within the mode")
+		k := fs.Int("k", 10, "results to return")
+		_ = fs.Parse(args)
+		body := map[string]any{"mode": *mode, "index": *index, "k": *k}
+		err = do("POST", base+"/models/"+need(fs, *id)+"/similar", body)
+	case "delete":
+		fs := flag.NewFlagSet("delete", flag.ExitOnError)
+		id := fs.String("model", "", "model ID")
+		_ = fs.Parse(args)
+		err = do("DELETE", base+"/models/"+need(fs, *id), nil)
+	default:
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+}
+
+func usage() {
+	fmt.Fprintf(os.Stderr, `usage: splatt-query [-addr host:port] <command> [flags]
+
+commands:
+  list                              resident models
+  info    -model <id>               one model's metadata
+  entry   -model <id> -coord i,j,k  reconstruct one entry
+  topk    -model <id> -mode M -coord i,j,k [-k 10]
+  similar -model <id> -mode M -index I [-k 10]
+  delete  -model <id>
+`)
+	flag.PrintDefaults()
+}
+
+// need exits with the subcommand's usage when a required flag is empty.
+func need(fs *flag.FlagSet, v string) string {
+	if v == "" {
+		fs.Usage()
+		os.Exit(2)
+	}
+	return v
+}
+
+// ints parses "3,1,4" into a JSON-ready int slice.
+func ints(s string) []int {
+	parts := strings.Split(s, ",")
+	out := make([]int, len(parts))
+	for i, p := range parts {
+		if _, err := fmt.Sscanf(strings.TrimSpace(p), "%d", &out[i]); err != nil {
+			log.Fatalf("coord component %q is not an integer", p)
+		}
+	}
+	return out
+}
+
+// do issues one request and streams the (already-indented) JSON response to
+// stdout; API errors land on stderr with the envelope's message.
+func do(method, url string, body any) error {
+	var rd io.Reader
+	if body != nil {
+		raw, err := json.Marshal(body)
+		if err != nil {
+			return err
+		}
+		rd = bytes.NewReader(raw)
+	}
+	req, err := http.NewRequest(method, url, rd)
+	if err != nil {
+		return err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode >= 400 {
+		var env struct {
+			Error struct {
+				Code    string `json:"code"`
+				Message string `json:"message"`
+			} `json:"error"`
+		}
+		if json.Unmarshal(data, &env) == nil && env.Error.Code != "" {
+			return fmt.Errorf("%s (%s, HTTP %d)", env.Error.Message, env.Error.Code, resp.StatusCode)
+		}
+		return fmt.Errorf("HTTP %d: %s", resp.StatusCode, bytes.TrimSpace(data))
+	}
+	_, err = os.Stdout.Write(data)
+	return err
+}

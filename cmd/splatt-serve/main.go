@@ -3,13 +3,18 @@
 // number of CPD / distributed / completion jobs run against them through a
 // prioritized queue and a bounded worker pool.
 //
+// Jobs submitted with "publish":true land their Kruskal result in a
+// content-addressed model registry, queryable at sub-millisecond latency
+// (entry reconstruction, top-K scoring, cosine nearest-factors).
+//
 // Example session:
 //
 //	splatt-serve -addr :8080 -workers 4 &
-//	curl -s --data-binary @data.tns localhost:8080/tensors
-//	curl -s -X POST -d '{"tensor_id":"<id>","rank":16,"tasks":4}' localhost:8080/jobs
-//	curl -s localhost:8080/jobs/job-000001
-//	curl -s localhost:8080/metrics
+//	curl -s --data-binary @data.tns localhost:8080/v1/tensors
+//	curl -s -X POST -d '{"tensor_id":"<id>","rank":16,"tasks":4,"publish":true}' localhost:8080/v1/jobs
+//	curl -s localhost:8080/v1/jobs/job-000001
+//	curl -s -X POST -d '{"mode":1,"coord":[7,0,3],"k":10}' localhost:8080/v1/models/<model_id>/topk
+//	curl -s localhost:8080/v1/metrics
 package main
 
 import (
@@ -37,6 +42,8 @@ func main() {
 		queueCap  = flag.Int("queue", 256, "pending-job queue capacity (full queue => 503)")
 		cacheN    = flag.Int("cache-tensors", 64, "max resident tensors (LRU-evicted beyond)")
 		cacheMB   = flag.Int64("cache-mb", 0, "max resident tensor MiB (0 = unbounded)")
+		modelN    = flag.Int("cache-models", 32, "max resident published models (LRU-evicted beyond)")
+		modelMB   = flag.Int64("cache-model-mb", 0, "max resident model MiB (0 = unbounded)")
 		uploadMB  = flag.Int64("max-upload-mb", 1024, "max upload body MiB")
 		gracePeri = flag.Duration("grace", 10*time.Second, "shutdown grace period")
 		pprofOn   = flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/ (CPU/heap profiling of a live service; keep off on untrusted networks)")
@@ -48,6 +55,8 @@ func main() {
 		QueueCapacity:    *queueCap,
 		MaxCachedTensors: *cacheN,
 		MaxCacheBytes:    *cacheMB << 20,
+		MaxCachedModels:  *modelN,
+		MaxModelBytes:    *modelMB << 20,
 		MaxUploadBytes:   *uploadMB << 20,
 	})
 
@@ -72,8 +81,8 @@ func main() {
 
 	errCh := make(chan error, 1)
 	go func() {
-		log.Printf("listening on %s (%d workers, queue %d, cache %d tensors)",
-			*addr, *workers, *queueCap, *cacheN)
+		log.Printf("listening on %s (%d workers, queue %d, cache %d tensors / %d models)",
+			*addr, *workers, *queueCap, *cacheN, *modelN)
 		errCh <- httpSrv.ListenAndServe()
 	}()
 

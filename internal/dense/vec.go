@@ -99,6 +99,26 @@ func VecMulSet(dst, x, y []float64) {
 	}
 }
 
+// VecDot returns Σ x[i]*y[i] over the first len(x) elements (len(y) must
+// be at least len(x)). Four independent accumulation chains keep the
+// multiply-add latency off the critical path — this is the inner product of
+// the model-serving score kernels, executed once per candidate row.
+func VecDot(x, y []float64) float64 {
+	n := len(x)
+	var s0, s1, s2, s3 float64
+	i := 0
+	for ; i+4 <= n; i += 4 {
+		s0 += x[i] * y[i]
+		s1 += x[i+1] * y[i+1]
+		s2 += x[i+2] * y[i+2]
+		s3 += x[i+3] * y[i+3]
+	}
+	for ; i < n; i++ {
+		s0 += x[i] * y[i]
+	}
+	return s0 + s1 + s2 + s3
+}
+
 // VecZero clears dst.
 func VecZero(dst []float64) {
 	for i := range dst {

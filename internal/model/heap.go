@@ -1,0 +1,93 @@
+package model
+
+import "repro/internal/parallel"
+
+// boundedHeap keeps the k highest-scoring (index, score) pairs seen so far
+// in a binary min-heap: the root is the worst retained item, so a stream of
+// n candidates costs O(n + k·log k · ln(n/k)) comparisons and exactly two
+// arena slices of scratch — no container/heap interface boxing, no sorting
+// of the full candidate set. Ranking is by score, ties broken toward the
+// smaller index, making results deterministic for any candidate order.
+type boundedHeap struct {
+	scores []float64
+	idx    []int32
+	size   int
+}
+
+// newBoundedHeap carves heap storage for k items from the arena; the caller
+// releases it via its surrounding Mark/Release bracket.
+func newBoundedHeap(ta *parallel.TaskArena, k int) boundedHeap {
+	return boundedHeap{scores: ta.F64(k), idx: ta.I32(k)}
+}
+
+// ranksBelow reports whether (s1,i1) ranks strictly below (s2,i2): a lower
+// score loses, and on equal scores the larger index loses.
+func ranksBelow(s1 float64, i1 int32, s2 float64, i2 int32) bool {
+	if s1 != s2 {
+		return s1 < s2
+	}
+	return i1 > i2
+}
+
+// offer considers one candidate, replacing the heap's worst item when the
+// candidate ranks above it (or the heap is not yet full).
+func (h *boundedHeap) offer(index int32, score float64) {
+	if h.size < len(h.scores) {
+		i := h.size
+		h.scores[i], h.idx[i] = score, index
+		h.size++
+		for i > 0 { // sift up
+			parent := (i - 1) / 2
+			if !ranksBelow(h.scores[i], h.idx[i], h.scores[parent], h.idx[parent]) {
+				break
+			}
+			h.swap(i, parent)
+			i = parent
+		}
+		return
+	}
+	if !ranksBelow(h.scores[0], h.idx[0], score, index) {
+		return // candidate ranks at or below the current worst
+	}
+	h.scores[0], h.idx[0] = score, index
+	h.siftDown(0)
+}
+
+func (h *boundedHeap) swap(i, j int) {
+	h.scores[i], h.scores[j] = h.scores[j], h.scores[i]
+	h.idx[i], h.idx[j] = h.idx[j], h.idx[i]
+}
+
+func (h *boundedHeap) siftDown(i int) {
+	for {
+		worst := i
+		if l := 2*i + 1; l < h.size && ranksBelow(h.scores[l], h.idx[l], h.scores[worst], h.idx[worst]) {
+			worst = l
+		}
+		if r := 2*i + 2; r < h.size && ranksBelow(h.scores[r], h.idx[r], h.scores[worst], h.idx[worst]) {
+			worst = r
+		}
+		if worst == i {
+			return
+		}
+		h.swap(i, worst)
+		i = worst
+	}
+}
+
+// drain appends the retained items to out in descending rank order (best
+// first) by repeatedly popping the heap's minimum into the tail. The heap
+// is consumed.
+func (h *boundedHeap) drain(out []Item) []Item {
+	start := len(out)
+	for i := 0; i < h.size; i++ {
+		out = append(out, Item{})
+	}
+	for h.size > 0 {
+		h.size--
+		out[start+h.size] = Item{Index: h.idx[0], Score: h.scores[0]}
+		h.scores[0], h.idx[0] = h.scores[h.size], h.idx[h.size]
+		h.siftDown(0)
+	}
+	return out
+}

@@ -1,0 +1,312 @@
+package model
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/sptensor"
+)
+
+func testKruskal(t *testing.T, dims []int, rank int, seed int64) *core.KruskalTensor {
+	t.Helper()
+	k := core.NewRandomKruskal(dims, rank, seed)
+	// Non-unit, non-uniform weights so the folding actually matters.
+	for r := range k.Lambda {
+		k.Lambda[r] = 0.25 + float64(r)*0.75
+	}
+	return k
+}
+
+// directAt evaluates the source Kruskal model at an int coordinate.
+func directAt(k *core.KruskalTensor, coord []int) float64 {
+	ic := make([]sptensor.Index, len(coord))
+	for i, c := range coord {
+		ic[i] = sptensor.Index(c)
+	}
+	return k.At(ic)
+}
+
+func TestBuildMatchesDirectEvaluation(t *testing.T) {
+	dims := []int{17, 11, 9}
+	k := testKruskal(t, dims, 8, 42)
+	m, err := Build(k)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	ws := NewWorkspace()
+	for i := 0; i < dims[0]; i++ {
+		for j := 0; j < dims[1]; j++ {
+			for l := 0; l < dims[2]; l++ {
+				coord := []int{i, j, l}
+				got, err := m.At(ws, coord)
+				if err != nil {
+					t.Fatalf("At(%v): %v", coord, err)
+				}
+				want := directAt(k, coord)
+				if math.Abs(got-want) > 1e-12 {
+					t.Fatalf("At(%v) = %.15g, direct = %.15g (diff %.3g)",
+						coord, got, want, math.Abs(got-want))
+				}
+			}
+		}
+	}
+}
+
+func TestBuildNegativeLambda(t *testing.T) {
+	k := testKruskal(t, []int{8, 7, 6}, 4, 3)
+	k.Lambda[1] = -1.5 // sign must fold into mode 0, not vanish
+	m, err := Build(k)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	ws := NewWorkspace()
+	coord := []int{2, 3, 4}
+	got, _ := m.At(ws, coord)
+	want := directAt(k, coord)
+	if math.Abs(got-want) > 1e-12 {
+		t.Fatalf("negative-lambda At = %.15g, direct = %.15g", got, want)
+	}
+}
+
+func TestBuildDeadComponent(t *testing.T) {
+	k := testKruskal(t, []int{6, 5, 4}, 3, 9)
+	k.Lambda[0] = 0
+	for i := 0; i < 5; i++ { // and a zero column in mode 1, component 2
+		k.Factors[1].Set(i, 2, 0)
+	}
+	m, err := Build(k)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	ws := NewWorkspace()
+	coord := []int{1, 2, 3}
+	got, _ := m.At(ws, coord)
+	want := directAt(k, coord)
+	if math.Abs(got-want) > 1e-12 {
+		t.Fatalf("dead-component At = %.15g, direct = %.15g", got, want)
+	}
+}
+
+func TestContentIDDedupes(t *testing.T) {
+	a := testKruskal(t, []int{10, 8, 6}, 5, 1)
+	b := testKruskal(t, []int{10, 8, 6}, 5, 1)
+	c := testKruskal(t, []int{10, 8, 6}, 5, 2)
+	ma, _ := Build(a)
+	mb, _ := Build(b)
+	mc, _ := Build(c)
+	if ma.ID() != mb.ID() {
+		t.Fatalf("identical models hash differently: %s vs %s", ma.ID(), mb.ID())
+	}
+	if ma.ID() == mc.ID() {
+		t.Fatalf("distinct models share an ID: %s", ma.ID())
+	}
+}
+
+func TestTopKMatchesBruteForce(t *testing.T) {
+	dims := []int{40, 30, 20}
+	k := testKruskal(t, dims, 6, 77)
+	m, err := Build(k)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	ws := NewWorkspace()
+
+	for _, mode := range []int{0, 1, 2} {
+		coord := []int{5, 7, 3}
+		const K = 7
+		items, err := m.TopK(ws, mode, coord, K, nil)
+		if err != nil {
+			t.Fatalf("TopK mode %d: %v", mode, err)
+		}
+		if len(items) != K {
+			t.Fatalf("TopK mode %d returned %d items, want %d", mode, len(items), K)
+		}
+
+		// Brute force against the *source* model.
+		type scored struct {
+			idx   int
+			score float64
+		}
+		all := make([]scored, dims[mode])
+		for x := range all {
+			c := append([]int(nil), coord...)
+			c[mode] = x
+			all[x] = scored{idx: x, score: directAt(k, c)}
+		}
+		sort.Slice(all, func(i, j int) bool {
+			if all[i].score != all[j].score {
+				return all[i].score > all[j].score
+			}
+			return all[i].idx < all[j].idx
+		})
+		for i, it := range items {
+			if int(it.Index) != all[i].idx {
+				t.Fatalf("mode %d rank %d: index %d, brute force %d", mode, i, it.Index, all[i].idx)
+			}
+			if math.Abs(it.Score-all[i].score) > 1e-12 {
+				t.Fatalf("mode %d rank %d: score %.15g, brute force %.15g", mode, i, it.Score, all[i].score)
+			}
+		}
+		// Descending, deterministic ordering.
+		for i := 1; i < len(items); i++ {
+			if items[i].Score > items[i-1].Score {
+				t.Fatalf("mode %d: scores not descending at %d", mode, i)
+			}
+		}
+	}
+}
+
+func TestTopKClampsToModeLength(t *testing.T) {
+	k := testKruskal(t, []int{5, 4, 3}, 3, 5)
+	m, _ := Build(k)
+	ws := NewWorkspace()
+	items, err := m.TopK(ws, 0, []int{0, 1, 2}, 100, nil)
+	if err != nil {
+		t.Fatalf("TopK: %v", err)
+	}
+	if len(items) != 5 {
+		t.Fatalf("k beyond mode length returned %d items, want 5", len(items))
+	}
+}
+
+func TestSimilarMatchesBruteForce(t *testing.T) {
+	dims := []int{35, 20, 15}
+	k := testKruskal(t, dims, 5, 13)
+	m, err := Build(k)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	ws := NewWorkspace()
+	const mode, index, K = 0, 4, 6
+	items, err := m.Similar(ws, mode, index, K, nil)
+	if err != nil {
+		t.Fatalf("Similar: %v", err)
+	}
+	if len(items) != K {
+		t.Fatalf("Similar returned %d items, want %d", len(items), K)
+	}
+
+	dot := func(a, b []float64) float64 {
+		s := 0.0
+		for i := range a {
+			s += a[i] * b[i]
+		}
+		return s
+	}
+	q := m.Row(mode, index)
+	qn := math.Sqrt(dot(q, q))
+	type scored struct {
+		idx   int
+		score float64
+	}
+	var all []scored
+	for x := 0; x < dims[mode]; x++ {
+		if x == index {
+			continue
+		}
+		r := m.Row(mode, x)
+		rn := math.Sqrt(dot(r, r))
+		s := 0.0
+		if qn*rn > 0 {
+			s = dot(q, r) / (qn * rn)
+		}
+		all = append(all, scored{idx: x, score: s})
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].score != all[j].score {
+			return all[i].score > all[j].score
+		}
+		return all[i].idx < all[j].idx
+	})
+	for i, it := range items {
+		if int(it.Index) != all[i].idx {
+			t.Fatalf("rank %d: index %d, brute force %d", i, it.Index, all[i].idx)
+		}
+		if math.Abs(it.Score-all[i].score) > 1e-12 {
+			t.Fatalf("rank %d: score %.15g, brute force %.15g", i, it.Score, all[i].score)
+		}
+		if int(it.Index) == index {
+			t.Fatalf("rank %d: query row %d returned as its own neighbor", i, index)
+		}
+	}
+}
+
+func TestQueryValidation(t *testing.T) {
+	k := testKruskal(t, []int{6, 5, 4}, 3, 21)
+	m, _ := Build(k)
+	ws := NewWorkspace()
+	if _, err := m.At(ws, []int{1, 2}); err == nil {
+		t.Error("short coordinate accepted")
+	}
+	if _, err := m.At(ws, []int{6, 0, 0}); err == nil {
+		t.Error("out-of-range coordinate accepted")
+	}
+	if _, err := m.TopK(ws, 3, []int{0, 0, 0}, 2, nil); err == nil {
+		t.Error("bad mode accepted")
+	}
+	if _, err := m.TopK(ws, 0, []int{9, 9, 9}, 2, nil); err == nil {
+		t.Error("out-of-range fixed coordinate accepted")
+	}
+	// coord[mode] must be ignored, even out of range.
+	if _, err := m.TopK(ws, 0, []int{999, 1, 1}, 2, nil); err != nil {
+		t.Errorf("target-mode coordinate should be ignored: %v", err)
+	}
+	if _, err := m.TopK(ws, 0, []int{0, 0, 0}, 0, nil); err == nil {
+		t.Error("k=0 accepted")
+	}
+	if _, err := m.Similar(ws, 0, 6, 2, nil); err == nil {
+		t.Error("out-of-range similar index accepted")
+	}
+	if _, err := m.Similar(ws, -1, 0, 2, nil); err == nil {
+		t.Error("negative similar mode accepted")
+	}
+}
+
+// TestQueriesAllocationFree pins the steady-state query path at zero
+// allocations: after one warm-up per kernel, repeated queries through the
+// same workspace and reused output slice must not allocate.
+func TestQueriesAllocationFree(t *testing.T) {
+	k := testKruskal(t, []int{2000, 50, 30}, 16, 99)
+	m, err := Build(k)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	ws := NewWorkspace()
+	coord := []int{0, 12, 7}
+	out := make([]Item, 0, 16)
+
+	if _, err := m.At(ws, coord); err != nil {
+		t.Fatal(err)
+	}
+	if n := testing.AllocsPerRun(20, func() {
+		if _, err := m.At(ws, coord); err != nil {
+			t.Fatal(err)
+		}
+	}); n != 0 {
+		t.Errorf("At allocates %.1f per call, want 0", n)
+	}
+
+	if _, err := m.TopK(ws, 0, coord, 10, out[:0]); err != nil {
+		t.Fatal(err)
+	}
+	if n := testing.AllocsPerRun(20, func() {
+		if _, err := m.TopK(ws, 0, coord, 10, out[:0]); err != nil {
+			t.Fatal(err)
+		}
+	}); n != 0 {
+		t.Errorf("TopK allocates %.1f per call, want 0", n)
+	}
+
+	if _, err := m.Similar(ws, 0, 5, 10, out[:0]); err != nil {
+		t.Fatal(err)
+	}
+	if n := testing.AllocsPerRun(20, func() {
+		if _, err := m.Similar(ws, 0, 5, 10, out[:0]); err != nil {
+			t.Fatal(err)
+		}
+	}); n != 0 {
+		t.Errorf("Similar allocates %.1f per call, want 0", n)
+	}
+}

@@ -1,0 +1,236 @@
+package model
+
+import (
+	"container/list"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// ErrPinned is returned by Remove for a model held by an in-flight query.
+var ErrPinned = errors.New("model: pinned by in-flight queries")
+
+// ErrNotFound is returned for lookups of models that are not resident.
+var ErrNotFound = errors.New("model: not resident (evicted, deleted, or never published)")
+
+// Registry is the content-addressed model cache, the serving counterpart of
+// the tensor registry: models are keyed by the SHA-256 of their source
+// Kruskal encoding, so publishing the same factors twice dedupes; entries
+// are evicted least-recently-used beyond the entry/byte budgets, and an
+// entry pinned by an in-flight query is never evicted or removed.
+type Registry struct {
+	mu         sync.Mutex
+	maxEntries int
+	maxBytes   int64
+
+	entries map[string]*modelEntry // key = full hex digest = model ID
+	lru     *list.List             // front = most recently used
+	bytes   int64
+
+	hits      int64
+	misses    int64
+	evictions int64
+}
+
+// modelEntry is one resident model plus its provenance.
+type modelEntry struct {
+	m         *Model
+	elem      *list.Element
+	published time.Time
+	pins      int
+	tensorID  string // source tensor (empty for direct uploads)
+	jobID     string // producing job (empty for direct uploads)
+}
+
+// NewRegistry creates a registry bounded by maxEntries resident models and
+// maxBytes of estimated model memory (<= 0 disables that bound).
+func NewRegistry(maxEntries int, maxBytes int64) *Registry {
+	if maxEntries <= 0 {
+		maxEntries = 32
+	}
+	return &Registry{
+		maxEntries: maxEntries,
+		maxBytes:   maxBytes,
+		entries:    make(map[string]*modelEntry),
+		lru:        list.New(),
+	}
+}
+
+// Info is the JSON view of one resident model.
+type Info struct {
+	ID        string    `json:"id"`
+	Dims      []int     `json:"dims"`
+	Rank      int       `json:"rank"`
+	Bytes     int64     `json:"bytes"`
+	Published time.Time `json:"published"`
+	TensorID  string    `json:"tensor_id,omitempty"`
+	JobID     string    `json:"job_id,omitempty"`
+}
+
+func (e *modelEntry) info() Info {
+	return Info{
+		ID:        e.m.ID(),
+		Dims:      e.m.Dims(),
+		Rank:      e.m.Rank(),
+		Bytes:     e.m.Bytes(),
+		Published: e.published,
+		TensorID:  e.tensorID,
+		JobID:     e.jobID,
+	}
+}
+
+// Publish makes m resident (or refreshes the resident copy when the same
+// content is already published — the bool reports that dedupe). tensorID
+// and jobID record provenance for jobs that publish their result.
+func (rg *Registry) Publish(m *Model, tensorID, jobID string) (Info, bool) {
+	rg.mu.Lock()
+	defer rg.mu.Unlock()
+	if e, ok := rg.entries[m.ID()]; ok {
+		rg.hits++
+		rg.lru.MoveToFront(e.elem)
+		return e.info(), true
+	}
+	rg.misses++
+	e := &modelEntry{m: m, published: time.Now(), tensorID: tensorID, jobID: jobID}
+	e.elem = rg.lru.PushFront(e)
+	rg.entries[m.ID()] = e
+	rg.bytes += m.Bytes()
+	rg.evictLocked()
+	return e.info(), false
+}
+
+// evictLocked drops least-recently-used unpinned entries until both budgets
+// are met. The newest entry is never evicted.
+func (rg *Registry) evictLocked() {
+	over := func() bool {
+		return len(rg.entries) > rg.maxEntries || (rg.maxBytes > 0 && rg.bytes > rg.maxBytes)
+	}
+	elem := rg.lru.Back()
+	for over() && elem != nil && elem != rg.lru.Front() {
+		prev := elem.Prev()
+		e := elem.Value.(*modelEntry)
+		if e.pins == 0 {
+			rg.lru.Remove(elem)
+			delete(rg.entries, e.m.ID())
+			rg.bytes -= e.m.Bytes()
+			rg.evictions++
+		}
+		elem = prev
+	}
+}
+
+// Pin looks up a model by ID, bumps its recency, and pins it against
+// eviction and removal until the matching Unpin — the bracket every query
+// handler holds while touching the model's slabs.
+func (rg *Registry) Pin(id string) (*Model, error) {
+	rg.mu.Lock()
+	defer rg.mu.Unlock()
+	e, ok := rg.entries[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: model %s", ErrNotFound, shortID(id))
+	}
+	e.pins++
+	rg.lru.MoveToFront(e.elem)
+	return e.m, nil
+}
+
+// Unpin releases one Pin reference.
+func (rg *Registry) Unpin(id string) {
+	rg.mu.Lock()
+	defer rg.mu.Unlock()
+	if e, ok := rg.entries[id]; ok && e.pins > 0 {
+		e.pins--
+	}
+}
+
+// Remove deletes a resident model. It fails with ErrNotFound for unknown
+// IDs and ErrPinned while any query holds the model.
+func (rg *Registry) Remove(id string) error {
+	rg.mu.Lock()
+	defer rg.mu.Unlock()
+	e, ok := rg.entries[id]
+	if !ok {
+		return fmt.Errorf("%w: model %s", ErrNotFound, shortID(id))
+	}
+	if e.pins > 0 {
+		return fmt.Errorf("%w: model %s", ErrPinned, shortID(id))
+	}
+	rg.lru.Remove(e.elem)
+	delete(rg.entries, id)
+	rg.bytes -= e.m.Bytes()
+	return nil
+}
+
+// Lookup returns metadata for a resident model without pinning it.
+func (rg *Registry) Lookup(id string) (Info, bool) {
+	rg.mu.Lock()
+	defer rg.mu.Unlock()
+	e, ok := rg.entries[id]
+	if !ok {
+		return Info{}, false
+	}
+	return e.info(), true
+}
+
+// List returns metadata for every resident model in deterministic order:
+// publish time ascending, ties broken by ID — stable under LRU churn, so
+// paginated listings do not skip or repeat entries between pages.
+func (rg *Registry) List() []Info {
+	rg.mu.Lock()
+	defer rg.mu.Unlock()
+	out := make([]Info, 0, len(rg.entries))
+	for _, e := range rg.entries {
+		out = append(out, e.info())
+	}
+	sortInfos(out)
+	return out
+}
+
+// sortInfos orders by (published, id) — insertion sort, lists are small.
+func sortInfos(infos []Info) {
+	for i := 1; i < len(infos); i++ {
+		for j := i; j > 0; j-- {
+			a, b := &infos[j-1], &infos[j]
+			if a.Published.Before(b.Published) ||
+				(a.Published.Equal(b.Published) && a.ID <= b.ID) {
+				break
+			}
+			infos[j-1], infos[j] = infos[j], infos[j-1]
+		}
+	}
+}
+
+// CacheStats is the /metrics view of the model registry.
+type CacheStats struct {
+	Entries    int   `json:"entries"`
+	Bytes      int64 `json:"bytes"`
+	MaxEntries int   `json:"max_entries"`
+	MaxBytes   int64 `json:"max_bytes"`
+	Hits       int64 `json:"hits"`
+	Misses     int64 `json:"misses"`
+	Evictions  int64 `json:"evictions"`
+}
+
+// Stats snapshots the registry counters.
+func (rg *Registry) Stats() CacheStats {
+	rg.mu.Lock()
+	defer rg.mu.Unlock()
+	return CacheStats{
+		Entries:    len(rg.entries),
+		Bytes:      rg.bytes,
+		MaxEntries: rg.maxEntries,
+		MaxBytes:   rg.maxBytes,
+		Hits:       rg.hits,
+		Misses:     rg.misses,
+		Evictions:  rg.evictions,
+	}
+}
+
+// shortID abbreviates a content hash for error messages.
+func shortID(id string) string {
+	if len(id) > 12 {
+		return id[:12]
+	}
+	return id
+}

@@ -1,0 +1,155 @@
+package model
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+)
+
+func regModel(t *testing.T, seed int64) *Model {
+	t.Helper()
+	m, err := Build(core.NewRandomKruskal([]int{20, 10, 5}, 4, seed))
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	return m
+}
+
+func TestRegistryPublishDedupes(t *testing.T) {
+	rg := NewRegistry(8, 0)
+	m := regModel(t, 1)
+	info, cached := rg.Publish(m, "tensor-a", "job-1")
+	if cached {
+		t.Fatal("first publish reported cached")
+	}
+	if info.ID != m.ID() || info.TensorID != "tensor-a" || info.JobID != "job-1" {
+		t.Fatalf("bad info: %+v", info)
+	}
+	dup, cached := rg.Publish(regModel(t, 1), "tensor-a", "job-2")
+	if !cached {
+		t.Fatal("identical content not deduped")
+	}
+	if dup.JobID != "job-1" {
+		t.Fatalf("dedupe replaced provenance: %+v", dup)
+	}
+	if st := rg.Stats(); st.Entries != 1 || st.Hits != 1 || st.Misses != 1 {
+		t.Fatalf("stats after dedupe: %+v", st)
+	}
+}
+
+func TestRegistryLRUEviction(t *testing.T) {
+	rg := NewRegistry(2, 0)
+	a, b, c := regModel(t, 1), regModel(t, 2), regModel(t, 3)
+	rg.Publish(a, "", "")
+	rg.Publish(b, "", "")
+	// Touch a so b is the LRU victim.
+	if _, err := rg.Pin(a.ID()); err != nil {
+		t.Fatal(err)
+	}
+	rg.Unpin(a.ID())
+	rg.Publish(c, "", "")
+	if _, ok := rg.Lookup(b.ID()); ok {
+		t.Fatal("LRU entry b survived eviction")
+	}
+	if _, ok := rg.Lookup(a.ID()); !ok {
+		t.Fatal("recently used entry a evicted")
+	}
+	if st := rg.Stats(); st.Evictions != 1 || st.Entries != 2 {
+		t.Fatalf("stats after eviction: %+v", st)
+	}
+}
+
+func TestRegistryPinBlocksEvictionAndRemove(t *testing.T) {
+	rg := NewRegistry(2, 0)
+	a, b, c := regModel(t, 1), regModel(t, 2), regModel(t, 3)
+	rg.Publish(a, "", "")
+	if _, err := rg.Pin(a.ID()); err != nil {
+		t.Fatal(err)
+	}
+	rg.Publish(b, "", "")
+	rg.Publish(c, "", "") // a is LRU but pinned; b must go instead
+	if _, ok := rg.Lookup(a.ID()); !ok {
+		t.Fatal("pinned entry evicted")
+	}
+	if err := rg.Remove(a.ID()); !errors.Is(err, ErrPinned) {
+		t.Fatalf("Remove of pinned entry: %v, want ErrPinned", err)
+	}
+	rg.Unpin(a.ID())
+	if err := rg.Remove(a.ID()); err != nil {
+		t.Fatalf("Remove after unpin: %v", err)
+	}
+	if err := rg.Remove(a.ID()); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("double Remove: %v, want ErrNotFound", err)
+	}
+	if _, err := rg.Pin("no-such-id"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Pin of unknown id: %v, want ErrNotFound", err)
+	}
+}
+
+func TestRegistryByteBudget(t *testing.T) {
+	a := regModel(t, 1)
+	rg := NewRegistry(100, a.Bytes()+1) // room for one model only
+	rg.Publish(a, "", "")
+	rg.Publish(regModel(t, 2), "", "")
+	if st := rg.Stats(); st.Entries != 1 {
+		t.Fatalf("byte budget not enforced: %+v", st)
+	}
+}
+
+func TestRegistryListDeterministic(t *testing.T) {
+	rg := NewRegistry(8, 0)
+	var ids []string
+	for seed := int64(1); seed <= 4; seed++ {
+		info, _ := rg.Publish(regModel(t, seed), "", "")
+		ids = append(ids, info.ID)
+	}
+	// Recency churn must not reorder the listing.
+	if _, err := rg.Pin(ids[2]); err != nil {
+		t.Fatal(err)
+	}
+	rg.Unpin(ids[2])
+	list := rg.List()
+	if len(list) != 4 {
+		t.Fatalf("listed %d models, want 4", len(list))
+	}
+	for i, info := range list {
+		if info.ID != ids[i] {
+			t.Fatalf("listing order changed: position %d has %s, want %s", i, info.ID, ids[i])
+		}
+	}
+}
+
+// TestRegistryConcurrentQueryEvictChurn hammers Publish/Pin/Unpin/Remove
+// from many goroutines — the race detector backs the registry's locking
+// discipline (run under -race in CI).
+func TestRegistryConcurrentQueryEvictChurn(t *testing.T) {
+	rg := NewRegistry(2, 0)
+	models := make([]*Model, 6)
+	for i := range models {
+		models[i] = regModel(t, int64(i+1))
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			ws := NewWorkspace()
+			for i := 0; i < 200; i++ {
+				m := models[(g+i)%len(models)]
+				rg.Publish(m, "", "")
+				if pinned, err := rg.Pin(m.ID()); err == nil {
+					if _, qerr := pinned.TopK(ws, 0, []int{0, 1, 2}, 3, nil); qerr != nil {
+						t.Errorf("query under churn: %v", qerr)
+					}
+					rg.Unpin(m.ID())
+				}
+				if i%7 == 0 {
+					_ = rg.Remove(m.ID()) // ErrPinned/ErrNotFound both fine
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}

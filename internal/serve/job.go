@@ -68,6 +68,10 @@ type JobSpec struct {
 	// RefineIters overrides the trailing exact iterations of an ARLS run
 	// (0 = default).
 	RefineIters int `json:"refine_iters,omitempty"`
+	// Publish stores the resulting Kruskal model in the model registry on
+	// successful completion; the model's content-addressed ID lands in the
+	// job result and the model becomes queryable under /v1/models/{id}.
+	Publish bool `json:"publish,omitempty"`
 }
 
 // normalize fills defaults and validates the engine-independent fields.
@@ -202,8 +206,11 @@ type JobResult struct {
 	// empty for completion jobs).
 	Solver string `json:"solver,omitempty"`
 	// SampledIters is how many ALS iterations ran on the sampled system.
-	SampledIters int     `json:"sampled_iters,omitempty"`
-	Seconds      float64 `json:"seconds"`
+	SampledIters int `json:"sampled_iters,omitempty"`
+	// ModelID is the content-addressed ID of the published model (jobs
+	// submitted with publish:true only).
+	ModelID string  `json:"model_id,omitempty"`
+	Seconds float64 `json:"seconds"`
 }
 
 // JobStatus is the JSON view of a job (GET /jobs/{id}).

@@ -1,0 +1,257 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dense"
+	"repro/internal/model"
+)
+
+// wsPool recycles query workspaces across requests, so concurrent handlers
+// get the same zero-allocation steady state the query kernels promise for
+// a single caller: after warm-up, a query is pin → pooled workspace →
+// arena-bracketed kernel → unpin, with no per-request heap traffic beyond
+// the response encoder.
+var wsPool = sync.Pool{New: func() any { return model.NewWorkspace() }}
+
+// pinModel resolves {id} and pins the model for the handler's duration.
+// A false return means the 404 envelope has been written.
+func (s *Server) pinModel(w http.ResponseWriter, r *http.Request) (*model.Model, string, bool) {
+	id := r.PathValue("id")
+	m, err := s.models.Pin(id)
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return nil, "", false
+	}
+	return m, id, true
+}
+
+// KruskalUpload is the POST /v1/models body: an explicit Kruskal model to
+// publish without running a decomposition job (e.g. factors computed
+// offline). Factors are row-major, one matrix per mode, each row of length
+// rank.
+type KruskalUpload struct {
+	Lambda  []float64     `json:"lambda"`
+	Factors [][][]float64 `json:"factors"`
+}
+
+// toKruskal validates the upload and converts it to the engine form.
+func (u *KruskalUpload) toKruskal() (*core.KruskalTensor, error) {
+	rank := len(u.Lambda)
+	if rank == 0 {
+		return nil, errors.New("serve: model upload missing lambda")
+	}
+	if len(u.Factors) == 0 {
+		return nil, errors.New("serve: model upload missing factors")
+	}
+	k := &core.KruskalTensor{
+		Lambda:  append([]float64(nil), u.Lambda...),
+		Factors: make([]*dense.Matrix, len(u.Factors)),
+	}
+	for m, rows := range u.Factors {
+		if len(rows) == 0 {
+			return nil, fmt.Errorf("serve: factor %d has no rows", m)
+		}
+		f := dense.NewMatrix(len(rows), rank)
+		for i, row := range rows {
+			if len(row) != rank {
+				return nil, fmt.Errorf("serve: factor %d row %d has %d entries, want rank %d",
+					m, i, len(row), rank)
+			}
+			copy(f.Row(i), row)
+		}
+		k.Factors[m] = f
+	}
+	if err := k.Validate(); err != nil {
+		return nil, err
+	}
+	return k, nil
+}
+
+func (s *Server) handlePublishModel(w http.ResponseWriter, r *http.Request) {
+	var upload KruskalUpload
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.cfg.MaxUploadBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&upload); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("serve: decoding model upload: %w", err))
+		return
+	}
+	k, err := upload.toKruskal()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	m, err := model.Build(k)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	info, cached := s.models.Publish(m, "", "")
+	status := http.StatusCreated
+	if cached {
+		status = http.StatusOK
+	}
+	writeJSON(w, status, info)
+}
+
+func (s *Server) handleListModels(w http.ResponseWriter, r *http.Request) {
+	infos := s.models.List() // already deterministic: (published, id)
+	lo, hi, ok := listWindow(w, r, len(infos))
+	if !ok {
+		return
+	}
+	writeJSON(w, http.StatusOK, infos[lo:hi])
+}
+
+func (s *Server) handleGetModel(w http.ResponseWriter, r *http.Request) {
+	info, ok := s.models.Lookup(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound,
+			fmt.Errorf("%w: model %s", model.ErrNotFound, r.PathValue("id")))
+		return
+	}
+	writeJSON(w, http.StatusOK, info)
+}
+
+func (s *Server) handleDeleteModel(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	switch err := s.models.Remove(id); {
+	case err == nil:
+		writeJSON(w, http.StatusOK, map[string]any{"id": id, "deleted": true})
+	case errors.Is(err, model.ErrPinned):
+		writeError(w, http.StatusConflict, err)
+	default:
+		writeError(w, http.StatusNotFound, err)
+	}
+}
+
+// parseCoord parses "i,j,k" into an integer coordinate.
+func parseCoord(raw string) ([]int, error) {
+	if raw == "" {
+		return nil, errors.New("serve: missing coord parameter (want coord=i,j,k)")
+	}
+	parts := strings.Split(raw, ",")
+	coord := make([]int, len(parts))
+	for i, p := range parts {
+		n, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil {
+			return nil, fmt.Errorf("serve: coord component %q is not an integer", p)
+		}
+		coord[i] = n
+	}
+	return coord, nil
+}
+
+// entryResponse is the GET /v1/models/{id}/entry body.
+type entryResponse struct {
+	ModelID string  `json:"model_id"`
+	Coord   []int   `json:"coord"`
+	Value   float64 `json:"value"`
+}
+
+func (s *Server) handleModelEntry(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	m, id, ok := s.pinModel(w, r)
+	if !ok {
+		return
+	}
+	defer s.models.Unpin(id)
+	coord, err := parseCoord(r.URL.Query().Get("coord"))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	ws := wsPool.Get().(*model.Workspace)
+	v, err := m.At(ws, coord)
+	wsPool.Put(ws)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	s.recordQuery("entry", start)
+	writeJSON(w, http.StatusOK, entryResponse{ModelID: id, Coord: coord, Value: v})
+}
+
+// topKRequest is the POST /v1/models/{id}/topk body: rank every index of
+// Mode by the reconstructed value at Coord with that component varying
+// (coord[mode] itself is ignored), returning the K best.
+type topKRequest struct {
+	Mode  int   `json:"mode"`
+	Coord []int `json:"coord"`
+	K     int   `json:"k"`
+}
+
+// similarRequest is the POST /v1/models/{id}/similar body: the K nearest
+// rows to Index within Mode's factor matrix by cosine similarity.
+type similarRequest struct {
+	Mode  int `json:"mode"`
+	Index int `json:"index"`
+	K     int `json:"k"`
+}
+
+// queryResponse is the body of both ranking endpoints.
+type queryResponse struct {
+	ModelID string       `json:"model_id"`
+	Mode    int          `json:"mode"`
+	Items   []model.Item `json:"items"`
+}
+
+func (s *Server) handleModelTopK(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	m, id, ok := s.pinModel(w, r)
+	if !ok {
+		return
+	}
+	defer s.models.Unpin(id)
+	var req topKRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("serve: decoding topk request: %w", err))
+		return
+	}
+	ws := wsPool.Get().(*model.Workspace)
+	items, err := m.TopK(ws, req.Mode, req.Coord, req.K, nil)
+	if err != nil {
+		wsPool.Put(ws)
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	s.recordQuery("topk", start)
+	writeJSON(w, http.StatusOK, queryResponse{ModelID: id, Mode: req.Mode, Items: items})
+	wsPool.Put(ws)
+}
+
+func (s *Server) handleModelSimilar(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	m, id, ok := s.pinModel(w, r)
+	if !ok {
+		return
+	}
+	defer s.models.Unpin(id)
+	var req similarRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("serve: decoding similar request: %w", err))
+		return
+	}
+	ws := wsPool.Get().(*model.Workspace)
+	items, err := m.Similar(ws, req.Mode, req.Index, req.K, nil)
+	if err != nil {
+		wsPool.Put(ws)
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	s.recordQuery("similar", start)
+	writeJSON(w, http.StatusOK, queryResponse{ModelID: id, Mode: req.Mode, Items: items})
+	wsPool.Put(ws)
+}

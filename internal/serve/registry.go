@@ -5,6 +5,7 @@ import (
 	"container/list"
 	"crypto/sha256"
 	"encoding/hex"
+	"errors"
 	"fmt"
 	"io"
 	"sync"
@@ -12,6 +13,12 @@ import (
 
 	"repro/internal/sptensor"
 )
+
+// ErrTensorPinned is returned by Remove for a tensor held by active jobs.
+var ErrTensorPinned = errors.New("serve: tensor pinned by active jobs")
+
+// ErrTensorNotFound is returned for tensors that are not resident.
+var ErrTensorNotFound = errors.New("serve: tensor not resident (evicted or never uploaded)")
 
 // Registry is the content-addressed tensor cache: uploads are keyed by the
 // SHA-256 of their bytes, so re-submitting the same tensor (in either the
@@ -157,7 +164,7 @@ func (rg *Registry) Pin(id string) (*sptensor.Tensor, error) {
 	defer rg.mu.Unlock()
 	e, ok := rg.entries[id]
 	if !ok {
-		return nil, fmt.Errorf("serve: tensor %s not resident (evicted or never uploaded)", shortID(id))
+		return nil, fmt.Errorf("%w: %s", ErrTensorNotFound, shortID(id))
 	}
 	e.pins++
 	rg.lru.MoveToFront(e.elem)
@@ -171,6 +178,25 @@ func (rg *Registry) Unpin(id string) {
 	if e, ok := rg.entries[id]; ok && e.pins > 0 {
 		e.pins--
 	}
+}
+
+// Remove evicts a resident tensor explicitly. It fails with
+// ErrTensorNotFound for unknown IDs and ErrTensorPinned while any queued
+// or running job holds the tensor.
+func (rg *Registry) Remove(id string) error {
+	rg.mu.Lock()
+	defer rg.mu.Unlock()
+	e, ok := rg.entries[id]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrTensorNotFound, shortID(id))
+	}
+	if e.pins > 0 {
+		return fmt.Errorf("%w: %s", ErrTensorPinned, shortID(id))
+	}
+	rg.lru.Remove(e.elem)
+	delete(rg.entries, id)
+	rg.bytes -= e.bytes
+	return nil
 }
 
 // TensorInfo is the JSON view of one resident tensor.

@@ -3,8 +3,11 @@
 // eviction (repeated jobs on the same tensor bytes skip ingest entirely),
 // a bounded priority job queue feeding a worker pool that dispatches to
 // the CPD / distributed-CPD / completion engines with per-job context
-// cancellation threaded into the ALS iteration loop, and an HTTP JSON API
-// (cmd/splatt-serve) exposing uploads, job control, and metrics.
+// cancellation threaded into the ALS iteration loop, a content-addressed
+// Kruskal-model registry into which completed jobs publish their result,
+// sub-millisecond model query endpoints (entry / top-K / similar), and a
+// versioned HTTP JSON API (cmd/splatt-serve) exposing uploads, job
+// control, model serving, and metrics.
 //
 // The design follows the argument of Geronimo Anderson & Dunlavy
 // (arXiv:2310.10872) for keeping tensors memory-resident across tools, and
@@ -19,9 +22,12 @@ import (
 	"fmt"
 	"net/http"
 	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/model"
 )
 
 // Config sizes the service.
@@ -35,14 +41,18 @@ type Config struct {
 	// (defaults 64 tensors, unbounded bytes).
 	MaxCachedTensors int
 	MaxCacheBytes    int64
-	// MaxUploadBytes bounds one POST /tensors body (default 1 GiB).
+	// MaxCachedModels / MaxModelBytes bound the Kruskal-model registry
+	// (defaults 32 models, unbounded bytes).
+	MaxCachedModels int
+	MaxModelBytes   int64
+	// MaxUploadBytes bounds one POST /v1/tensors body (default 1 GiB).
 	MaxUploadBytes int64
 	// MaxModeLength rejects parsed tensors with any mode longer than this
 	// (default 1<<24): factor matrices are dense in the mode length, so an
 	// adversarial coordinate would otherwise force a giant job allocation.
 	MaxModeLength int
 	// MaxJobHistory bounds how many *finished* jobs stay queryable via
-	// GET /jobs/{id} (default 1000); older terminal jobs are pruned so a
+	// GET /v1/jobs/{id} (default 1000); older terminal jobs are pruned so a
 	// long-lived service does not grow without bound.
 	MaxJobHistory int
 }
@@ -57,6 +67,9 @@ func (c *Config) fill() {
 	if c.MaxCachedTensors <= 0 {
 		c.MaxCachedTensors = 64
 	}
+	if c.MaxCachedModels <= 0 {
+		c.MaxCachedModels = 32
+	}
 	if c.MaxUploadBytes <= 0 {
 		c.MaxUploadBytes = 1 << 30
 	}
@@ -68,10 +81,11 @@ func (c *Config) fill() {
 	}
 }
 
-// Server owns the registry, queue, worker pool, and job table.
+// Server owns the registries, queue, worker pool, and job table.
 type Server struct {
 	cfg      Config
 	registry *Registry
+	models   *model.Registry
 	queue    *Queue
 
 	baseCtx context.Context
@@ -86,16 +100,19 @@ type Server struct {
 	started time.Time
 	busy    atomic.Int64 // workers currently executing a job
 
-	// Aggregated outcome counters and per-routine engine seconds
-	// (perf.Registry snapshots merged after each job).
+	// Aggregated outcome counters, per-routine engine seconds
+	// (perf.Registry snapshots merged after each job), and per-endpoint
+	// model query counters/latency.
 	statsMu   sync.Mutex
 	completed int64
 	failed    int64
 	cancelled int64
 	rejected  int64
+	published int64
 	routines  map[string]float64
 	formats   map[string]int64 // completed jobs per resolved storage format
 	solvers   map[string]int64 // completed jobs per resolved solver
+	queries   map[string]*QueryStats
 }
 
 // NewServer builds the service and starts its worker pool.
@@ -105,6 +122,7 @@ func NewServer(cfg Config) *Server {
 	s := &Server{
 		cfg:      cfg,
 		registry: NewRegistry(cfg.MaxCachedTensors, cfg.MaxCacheBytes),
+		models:   model.NewRegistry(cfg.MaxCachedModels, cfg.MaxModelBytes),
 		queue:    NewQueue(cfg.QueueCapacity),
 		baseCtx:  ctx,
 		stop:     cancel,
@@ -113,6 +131,7 @@ func NewServer(cfg Config) *Server {
 		routines: make(map[string]float64),
 		formats:  make(map[string]int64),
 		solvers:  make(map[string]int64),
+		queries:  make(map[string]*QueryStats),
 	}
 	for i := 0; i < cfg.Workers; i++ {
 		s.wg.Add(1)
@@ -137,36 +156,90 @@ func (s *Server) Close() {
 // Registry exposes the tensor cache (used by cmd/splatt-serve logging).
 func (s *Server) Registry() *Registry { return s.registry }
 
-// Handler returns the HTTP API:
+// Models exposes the Kruskal-model cache.
+func (s *Server) Models() *model.Registry { return s.models }
+
+// Handler returns the HTTP API. Every route lives under the versioned /v1
+// prefix; the original unversioned paths remain as deprecated aliases for
+// one release:
 //
-//	POST   /tensors     — upload a .tns or binary tensor body
-//	GET    /tensors     — list resident tensors
-//	GET    /tensors/{id}
-//	POST   /jobs        — submit a decomposition (JobSpec JSON)
-//	GET    /jobs        — list jobs
-//	GET    /jobs/{id}
-//	DELETE /jobs/{id}   — cancel (queued or running)
-//	GET    /metrics     — queue/cache/worker gauges + engine timers
-//	GET    /healthz
+//	POST   /v1/tensors      — upload a .tns or binary tensor body
+//	GET    /v1/tensors      — list resident tensors (?limit=&offset=)
+//	GET    /v1/tensors/{id}
+//	DELETE /v1/tensors/{id} — evict (409 while pinned by active jobs)
+//	POST   /v1/jobs         — submit a decomposition (JobSpec JSON)
+//	GET    /v1/jobs         — list jobs (?limit=&offset=&status=)
+//	GET    /v1/jobs/{id}
+//	DELETE /v1/jobs/{id}    — cancel (queued or running)
+//	POST   /v1/models       — publish a Kruskal model directly
+//	GET    /v1/models       — list resident models (?limit=&offset=)
+//	GET    /v1/models/{id}
+//	DELETE /v1/models/{id}  — delete (409 while pinned by in-flight queries)
+//	GET    /v1/models/{id}/entry?coord=i,j,k — reconstruct one entry
+//	POST   /v1/models/{id}/topk              — top-K scoring over a mode slice
+//	POST   /v1/models/{id}/similar           — cosine nearest factor rows
+//	GET    /v1/metrics      — queue/cache/worker gauges + engine timers + query latency
+//	GET    /v1/healthz
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /tensors", s.handleUpload)
-	mux.HandleFunc("GET /tensors", s.handleListTensors)
-	mux.HandleFunc("GET /tensors/{id}", s.handleGetTensor)
-	mux.HandleFunc("POST /jobs", s.handleSubmitJob)
-	mux.HandleFunc("GET /jobs", s.handleListJobs)
-	mux.HandleFunc("GET /jobs/{id}", s.handleGetJob)
-	mux.HandleFunc("DELETE /jobs/{id}", s.handleCancelJob)
-	mux.HandleFunc("GET /metrics", s.handleMetrics)
-	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+	// route mounts one handler under /v1 and its deprecated unversioned
+	// alias (pattern is "METHOD /path").
+	route := func(method, path string, h http.HandlerFunc) {
+		mux.HandleFunc(method+" /v1"+path, h)
+		mux.HandleFunc(method+" "+path, h)
+	}
+	route("POST", "/tensors", s.handleUpload)
+	route("GET", "/tensors", s.handleListTensors)
+	route("GET", "/tensors/{id}", s.handleGetTensor)
+	route("DELETE", "/tensors/{id}", s.handleDeleteTensor)
+	route("POST", "/jobs", s.handleSubmitJob)
+	route("GET", "/jobs", s.handleListJobs)
+	route("GET", "/jobs/{id}", s.handleGetJob)
+	route("DELETE", "/jobs/{id}", s.handleCancelJob)
+	route("POST", "/models", s.handlePublishModel)
+	route("GET", "/models", s.handleListModels)
+	route("GET", "/models/{id}", s.handleGetModel)
+	route("DELETE", "/models/{id}", s.handleDeleteModel)
+	route("GET", "/models/{id}/entry", s.handleModelEntry)
+	route("POST", "/models/{id}/topk", s.handleModelTopK)
+	route("POST", "/models/{id}/similar", s.handleModelSimilar)
+	route("GET", "/metrics", s.handleMetrics)
+	route("GET", "/healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
 	return mux
 }
 
-// errorBody is the uniform JSON error envelope.
-type errorBody struct {
-	Error string `json:"error"`
+// errorEnvelope is the uniform JSON error body every failure path returns:
+// {"error":{"code":"...","message":"..."}}.
+type errorEnvelope struct {
+	Error errorDetail `json:"error"`
+}
+
+type errorDetail struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+// codeForStatus maps an HTTP status to the envelope's stable machine-
+// readable code, so clients switch on code instead of parsing messages.
+func codeForStatus(status int) string {
+	switch status {
+	case http.StatusBadRequest:
+		return "bad_request"
+	case http.StatusNotFound:
+		return "not_found"
+	case http.StatusConflict:
+		return "conflict"
+	case http.StatusGone:
+		return "gone"
+	case http.StatusServiceUnavailable:
+		return "unavailable"
+	case http.StatusRequestEntityTooLarge:
+		return "too_large"
+	default:
+		return "internal"
+	}
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -177,8 +250,51 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	_ = enc.Encode(v)
 }
 
+// writeError is the single error-response helper: every handler failure
+// funnels through it, so clients see one envelope shape on every path.
 func writeError(w http.ResponseWriter, status int, err error) {
-	writeJSON(w, status, errorBody{Error: err.Error()})
+	writeJSON(w, status, errorEnvelope{Error: errorDetail{
+		Code:    codeForStatus(status),
+		Message: err.Error(),
+	}})
+}
+
+// listWindow parses the ?limit=&offset= pagination parameters (limit <= 0
+// or absent means "all"), sets the X-Total-Count header, and returns the
+// [lo, hi) window into a total-element listing. ok is false when a
+// parameter is malformed (the error response has been written).
+func listWindow(w http.ResponseWriter, r *http.Request, total int) (lo, hi int, ok bool) {
+	parse := func(key string) (int, error) {
+		v := r.URL.Query().Get(key)
+		if v == "" {
+			return 0, nil
+		}
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			return 0, fmt.Errorf("serve: %s must be a non-negative integer, got %q", key, v)
+		}
+		return n, nil
+	}
+	limit, err := parse("limit")
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return 0, 0, false
+	}
+	offset, err := parse("offset")
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return 0, 0, false
+	}
+	w.Header().Set("X-Total-Count", strconv.Itoa(total))
+	lo = offset
+	if lo > total {
+		lo = total
+	}
+	hi = total
+	if limit > 0 && lo+limit < hi {
+		hi = lo + limit
+	}
+	return lo, hi, true
 }
 
 func (s *Server) handleUpload(w http.ResponseWriter, r *http.Request) {
@@ -195,7 +311,20 @@ func (s *Server) handleUpload(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleListTensors(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, s.registry.List())
+	infos := s.registry.List()
+	// Deterministic listing order for stable pagination: upload time, then
+	// ID — independent of LRU recency churn.
+	sort.Slice(infos, func(i, j int) bool {
+		if !infos[i].Uploaded.Equal(infos[j].Uploaded) {
+			return infos[i].Uploaded.Before(infos[j].Uploaded)
+		}
+		return infos[i].ID < infos[j].ID
+	})
+	lo, hi, ok := listWindow(w, r, len(infos))
+	if !ok {
+		return
+	}
+	writeJSON(w, http.StatusOK, infos[lo:hi])
 }
 
 func (s *Server) handleGetTensor(w http.ResponseWriter, r *http.Request) {
@@ -205,6 +334,18 @@ func (s *Server) handleGetTensor(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, info)
+}
+
+func (s *Server) handleDeleteTensor(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	switch err := s.registry.Remove(id); {
+	case err == nil:
+		writeJSON(w, http.StatusOK, map[string]any{"id": id, "deleted": true})
+	case errors.Is(err, ErrTensorPinned):
+		writeError(w, http.StatusConflict, err)
+	default:
+		writeError(w, http.StatusNotFound, err)
+	}
 }
 
 func (s *Server) handleSubmitJob(w http.ResponseWriter, r *http.Request) {
@@ -256,6 +397,14 @@ func (s *Server) handleSubmitJob(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleListJobs(w http.ResponseWriter, r *http.Request) {
+	statusFilter := r.URL.Query().Get("status")
+	switch JobState(statusFilter) {
+	case "", StateQueued, StateRunning, StateDone, StateFailed, StateCancelled:
+	default:
+		writeError(w, http.StatusBadRequest,
+			fmt.Errorf("serve: unknown status filter %q (want queued|running|done|failed|cancelled)", statusFilter))
+		return
+	}
 	s.jobsMu.Lock()
 	jobs := make([]*Job, 0, len(s.jobs))
 	for _, j := range s.jobs {
@@ -263,11 +412,19 @@ func (s *Server) handleListJobs(w http.ResponseWriter, r *http.Request) {
 	}
 	s.jobsMu.Unlock()
 	sort.Slice(jobs, func(i, k int) bool { return jobs[i].seq < jobs[k].seq })
-	out := make([]JobStatus, len(jobs))
-	for i, j := range jobs {
-		out[i] = j.Status()
+	out := make([]JobStatus, 0, len(jobs))
+	for _, j := range jobs {
+		st := j.Status()
+		if statusFilter != "" && st.State != JobState(statusFilter) {
+			continue
+		}
+		out = append(out, st)
 	}
-	writeJSON(w, http.StatusOK, out)
+	lo, hi, ok := listWindow(w, r, len(out))
+	if !ok {
+		return
+	}
+	writeJSON(w, http.StatusOK, out[lo:hi])
 }
 
 // retire counts a terminal job into the bounded history exactly once and
@@ -316,7 +473,29 @@ func (s *Server) handleCancelJob(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusAccepted, j.Status())
 }
 
-// Metrics is the GET /metrics document.
+// QueryStats is the per-endpoint model-query counter: request count and
+// cumulative handler seconds (divide for mean latency).
+type QueryStats struct {
+	Count   int64   `json:"count"`
+	Seconds float64 `json:"seconds"`
+}
+
+// recordQuery folds one model-query invocation into the per-endpoint
+// metrics.
+func (s *Server) recordQuery(endpoint string, start time.Time) {
+	elapsed := time.Since(start).Seconds()
+	s.statsMu.Lock()
+	q := s.queries[endpoint]
+	if q == nil {
+		q = &QueryStats{}
+		s.queries[endpoint] = q
+	}
+	q.Count++
+	q.Seconds += elapsed
+	s.statsMu.Unlock()
+}
+
+// Metrics is the GET /v1/metrics document.
 type Metrics struct {
 	UptimeSeconds float64 `json:"uptime_seconds"`
 
@@ -336,6 +515,9 @@ type Metrics struct {
 		Completed int64 `json:"completed"`
 		Failed    int64 `json:"failed"`
 		Cancelled int64 `json:"cancelled"`
+		// Published counts models published into the registry by completed
+		// jobs (publish:true).
+		Published int64 `json:"published"`
 		// ByFormat counts completed jobs per resolved storage backend
 		// ("csf", "alto", or "coo" for completion jobs).
 		ByFormat map[string]int64 `json:"by_format,omitempty"`
@@ -345,6 +527,13 @@ type Metrics struct {
 	} `json:"jobs"`
 
 	Cache CacheStats `json:"cache"`
+
+	// Models is the Kruskal-model registry (the serving cache).
+	Models model.CacheStats `json:"models"`
+
+	// ModelQueries holds per-endpoint ("entry"|"topk"|"similar") query
+	// counts and cumulative handler seconds.
+	ModelQueries map[string]QueryStats `json:"model_queries,omitempty"`
 
 	// RoutineSeconds aggregates the engines' perf timers (MTTKRP, SORT,
 	// INVERSE, ...) across all finished jobs.
@@ -359,6 +548,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	m.Workers.Total = s.cfg.Workers
 	m.Workers.Busy = s.busy.Load()
 	m.Cache = s.registry.Stats()
+	m.Models = s.models.Stats()
 
 	s.jobsMu.Lock()
 	m.Queue.Submitted = int64(s.seq)
@@ -369,6 +559,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	m.Jobs.Completed = s.completed
 	m.Jobs.Failed = s.failed
 	m.Jobs.Cancelled = s.cancelled
+	m.Jobs.Published = s.published
 	m.Jobs.ByFormat = make(map[string]int64, len(s.formats))
 	for k, v := range s.formats {
 		m.Jobs.ByFormat[k] = v
@@ -376,6 +567,10 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	m.Jobs.BySolver = make(map[string]int64, len(s.solvers))
 	for k, v := range s.solvers {
 		m.Jobs.BySolver[k] = v
+	}
+	m.ModelQueries = make(map[string]QueryStats, len(s.queries))
+	for k, v := range s.queries {
+		m.ModelQueries[k] = *v
 	}
 	m.RoutineSeconds = make(map[string]float64, len(s.routines))
 	for k, v := range s.routines {

@@ -3,10 +3,12 @@ package serve
 import (
 	"context"
 	"errors"
+	"fmt"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/dist"
+	"repro/internal/model"
 	"repro/internal/perf"
 )
 
@@ -44,14 +46,15 @@ func (s *Server) execute(j *Job) {
 	res := &JobResult{}
 	var timers *perf.Registry
 	var cancelled bool
+	var kruskal *core.KruskalTensor
 
 	switch j.Spec.Kind {
 	case KindCPD:
 		timers = perf.NewRegistry()
 		opts := j.Spec.coreOptions(j.ctx)
 		opts.Timers = timers
-		_, report, runErr := core.CPD(tensor, opts)
-		err = runErr
+		k, report, runErr := core.CPD(tensor, opts)
+		kruskal, err = k, runErr
 		if report != nil {
 			res.Fit = report.Fit
 			res.Iterations = report.Iterations
@@ -61,8 +64,8 @@ func (s *Server) execute(j *Job) {
 			cancelled = report.Cancelled
 		}
 	case KindDistributed:
-		_, report, runErr := dist.CPD(tensor, j.Spec.distOptions(j.ctx))
-		err = runErr
+		k, report, runErr := dist.CPD(tensor, j.Spec.distOptions(j.ctx))
+		kruskal, err = k, runErr
 		if report != nil {
 			res.Fit = report.Fit
 			res.Iterations = report.Iterations
@@ -73,8 +76,8 @@ func (s *Server) execute(j *Job) {
 			cancelled = report.Cancelled
 		}
 	case KindComplete:
-		_, report, runErr := core.CPDComplete(tensor, j.Spec.completionOptions(j.ctx))
-		err = runErr
+		k, report, runErr := core.CPDComplete(tensor, j.Spec.completionOptions(j.ctx))
+		kruskal, err = k, runErr
 		if report != nil {
 			res.RMSE = report.RMSE
 			res.Iterations = report.Iterations
@@ -91,11 +94,37 @@ func (s *Server) execute(j *Job) {
 		j.finish(StateFailed, nil, err)
 		s.tally(StateFailed, timers)
 	default:
+		if j.Spec.Publish {
+			// Publish-on-complete: the finished factors become a resident,
+			// queryable model. A build failure fails the job — the client
+			// asked for a servable model and did not get one.
+			if perr := s.publishModel(j, kruskal, res); perr != nil {
+				j.finish(StateFailed, nil, perr)
+				s.tally(StateFailed, timers)
+				return
+			}
+		}
 		j.finish(StateDone, res, nil)
 		s.tally(StateDone, timers)
 		s.tallyFormat(res.Format)
 		s.tallySolver(res.Solver)
 	}
+}
+
+// publishModel builds the read-optimized serving layout from a completed
+// job's Kruskal result and publishes it into the model registry, recording
+// the content-addressed ID in the job result.
+func (s *Server) publishModel(j *Job, k *core.KruskalTensor, res *JobResult) error {
+	m, err := model.Build(k)
+	if err != nil {
+		return fmt.Errorf("serve: publishing model for %s: %w", j.ID, err)
+	}
+	info, _ := s.models.Publish(m, j.Spec.TensorID, j.ID)
+	res.ModelID = info.ID
+	s.statsMu.Lock()
+	s.published++
+	s.statsMu.Unlock()
+	return nil
 }
 
 // tally merges a finished job's outcome and engine timers into the

@@ -17,7 +17,10 @@
 #   BENCH_MAX_ALLOC_GROWTH    allowed absolute allocs/op growth  (default: 8)
 #   BENCH_MIN_NSOP            gate floor: benchmarks whose baseline is below
 #                             this many ns/op are too noisy at 1x iteration
-#                             to compare and are skipped (default: 100000)
+#                             to compare and skip the ns/op check — the
+#                             allocation gate still applies to them, which is
+#                             the binding constraint for the sub-millisecond
+#                             model-query kernels (default: 1000000)
 #
 # To (re)pin a baseline:  ./scripts/bench.sh && cp benchmarks/latest.txt benchmarks/baseline.txt
 set -euo pipefail
@@ -28,7 +31,7 @@ BENCHTIME="${BENCH_TIME:-1x}"
 COUNT="${BENCH_COUNT:-1}"
 MAXPCT="${BENCH_MAX_REGRESSION_PCT:-5}"
 ALLOCGROWTH="${BENCH_MAX_ALLOC_GROWTH:-8}"
-MINNSOP="${BENCH_MIN_NSOP:-100000}"
+MINNSOP="${BENCH_MIN_NSOP:-1000000}"
 
 mkdir -p benchmarks
 echo "running benchmarks (pattern=$PATTERN benchtime=$BENCHTIME count=$COUNT) ..."

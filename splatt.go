@@ -41,6 +41,7 @@ import (
 	"repro/internal/dist"
 	"repro/internal/format"
 	"repro/internal/locks"
+	"repro/internal/model"
 	"repro/internal/mttkrp"
 	"repro/internal/perf"
 	"repro/internal/sketch"
@@ -51,6 +52,10 @@ import (
 // Tensor is a sparse tensor in coordinate format. See the sptensor package
 // for the full method set (Validate, Density, Norm2, ...).
 type Tensor = sptensor.Tensor
+
+// Index is one coordinate component of a sparse-tensor nonzero; slices of
+// Index address entries in Tensor and KruskalTensor.At.
+type Index = sptensor.Index
 
 // Matrix is a dense row-major matrix (factor matrices, Gram matrices).
 type Matrix = dense.Matrix
@@ -294,3 +299,31 @@ func ComputeStats(name string, t *Tensor) Stats { return sptensor.ComputeStats(n
 // NewTimerRegistry creates a per-routine timer registry to pass via
 // Options.Timers when aggregating timings across runs.
 func NewTimerRegistry() *perf.Registry { return perf.NewRegistry() }
+
+// Model is an immutable, read-optimized Kruskal model for serving: factor
+// columns normalized with the λ weights folded in, stored as flat row-major
+// slabs that the query kernels (At / TopK / Similar) stream with unit
+// stride and zero steady-state allocations.
+type Model = model.Model
+
+// ModelWorkspace is reusable query scratch for Model queries. Not safe for
+// concurrent use; concurrent queriers each need their own.
+type ModelWorkspace = model.Workspace
+
+// ModelItem is one scored result of a Model TopK or Similar query.
+type ModelItem = model.Item
+
+// BuildModel freezes a CPD result into the read-optimized serving form.
+// The source tensor is not modified or retained; the model's ID is the
+// SHA-256 content address of the source factors.
+func BuildModel(k *KruskalTensor) (*Model, error) { return model.Build(k) }
+
+// NewModelWorkspace creates an empty query workspace; its arena grows on
+// first use and is reused across queries.
+func NewModelWorkspace() *ModelWorkspace { return model.NewWorkspace() }
+
+// NewRandomKruskal initializes a random rank-R Kruskal model (SPLATT's
+// CP-ALS initialization) — useful for seeding models and tests.
+func NewRandomKruskal(dims []int, rank int, seed int64) *KruskalTensor {
+	return core.NewRandomKruskal(dims, rank, seed)
+}
