@@ -7,21 +7,33 @@
 // content-addressed model registry, queryable at sub-millisecond latency
 // (entry reconstruction, top-K scoring, cosine nearest-factors).
 //
+// Observability: every request carries an X-Request-ID (propagated or
+// generated) and is access-logged in structured form; GET /v1/metrics
+// serves the JSON metrics document, GET /v1/metrics/prometheus the same
+// registry in Prometheus text exposition; GET /v1/jobs/{id} reports live
+// per-iteration progress while a job runs and /v1/jobs/{id}/trace the full
+// retained timeline.
+//
 // Example session:
 //
 //	splatt-serve -addr :8080 -workers 4 &
 //	curl -s --data-binary @data.tns localhost:8080/v1/tensors
 //	curl -s -X POST -d '{"tensor_id":"<id>","rank":16,"tasks":4,"publish":true}' localhost:8080/v1/jobs
 //	curl -s localhost:8080/v1/jobs/job-000001
+//	curl -s localhost:8080/v1/jobs/job-000001/trace
 //	curl -s -X POST -d '{"mode":1,"coord":[7,0,3],"k":10}' localhost:8080/v1/models/<model_id>/topk
-//	curl -s localhost:8080/v1/metrics
+//	curl -s localhost:8080/v1/metrics/prometheus
+//
+// On SIGINT/SIGTERM the process stops accepting connections, cancels
+// in-flight jobs, and drains both the HTTP server and the worker pool
+// within -grace; a pool that cannot drain in time forces a nonzero exit.
 package main
 
 import (
 	"context"
 	"errors"
 	"flag"
-	"log"
+	"log/slog"
 	"net/http"
 	"net/http/pprof"
 	"os"
@@ -33,9 +45,6 @@ import (
 )
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("splatt-serve: ")
-
 	var (
 		addr      = flag.String("addr", ":8080", "HTTP listen address")
 		workers   = flag.Int("workers", 2, "decomposition worker pool size")
@@ -44,11 +53,22 @@ func main() {
 		cacheMB   = flag.Int64("cache-mb", 0, "max resident tensor MiB (0 = unbounded)")
 		modelN    = flag.Int("cache-models", 32, "max resident published models (LRU-evicted beyond)")
 		modelMB   = flag.Int64("cache-model-mb", 0, "max resident model MiB (0 = unbounded)")
-		uploadMB  = flag.Int64("max-upload-mb", 1024, "max upload body MiB")
+		uploadMB  = flag.Int64("max-upload-mb", 1024, "max upload body MiB (above => 413)")
+		reqTimeo  = flag.Duration("request-timeout", 30*time.Second, "per-request handler deadline (exceeded => 503)")
+		upTimeo   = flag.Duration("upload-timeout", 2*time.Minute, "upload handler deadline")
+		traceN    = flag.Int("trace-events", 512, "per-job iteration-trace ring capacity")
 		gracePeri = flag.Duration("grace", 10*time.Second, "shutdown grace period")
 		pprofOn   = flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/ (CPU/heap profiling of a live service; keep off on untrusted networks)")
+		logJSON   = flag.Bool("log-json", false, "emit structured logs as JSON instead of text")
 	)
 	flag.Parse()
+
+	var handlerOpts slog.HandlerOptions
+	var logHandler slog.Handler = slog.NewTextHandler(os.Stderr, &handlerOpts)
+	if *logJSON {
+		logHandler = slog.NewJSONHandler(os.Stderr, &handlerOpts)
+	}
+	logger := slog.New(logHandler).With(slog.String("service", "splatt-serve"))
 
 	srv := serve.NewServer(serve.Config{
 		Workers:          *workers,
@@ -58,6 +78,10 @@ func main() {
 		MaxCachedModels:  *modelN,
 		MaxModelBytes:    *modelMB << 20,
 		MaxUploadBytes:   *uploadMB << 20,
+		RequestTimeout:   *reqTimeo,
+		UploadTimeout:    *upTimeo,
+		MaxTraceEvents:   *traceN,
+		Logger:           logger,
 	})
 
 	handler := srv.Handler()
@@ -70,7 +94,7 @@ func main() {
 		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 		handler = mux
-		log.Printf("pprof enabled at /debug/pprof/ (e.g. go tool pprof http://localhost%s/debug/pprof/profile)", *addr)
+		logger.Info("pprof enabled", slog.String("path", "/debug/pprof/"))
 	}
 
 	httpSrv := &http.Server{
@@ -81,8 +105,12 @@ func main() {
 
 	errCh := make(chan error, 1)
 	go func() {
-		log.Printf("listening on %s (%d workers, queue %d, cache %d tensors / %d models)",
-			*addr, *workers, *queueCap, *cacheN, *modelN)
+		logger.Info("listening",
+			slog.String("addr", *addr),
+			slog.Int("workers", *workers),
+			slog.Int("queue", *queueCap),
+			slog.Int("cache_tensors", *cacheN),
+			slog.Int("cache_models", *modelN))
 		errCh <- httpSrv.ListenAndServe()
 	}()
 
@@ -91,13 +119,26 @@ func main() {
 	select {
 	case err := <-errCh:
 		if err != nil && !errors.Is(err, http.ErrServerClosed) {
-			log.Fatal(err)
+			logger.Error("serve failed", slog.Any("error", err))
+			os.Exit(1)
 		}
 	case sig := <-sigCh:
-		log.Printf("received %v, shutting down", sig)
+		logger.Info("shutting down",
+			slog.String("signal", sig.String()),
+			slog.Duration("grace", *gracePeri))
 		ctx, cancel := context.WithTimeout(context.Background(), *gracePeri)
 		defer cancel()
-		_ = httpSrv.Shutdown(ctx)
-		srv.Close()
+		// Drain HTTP first (stops new submissions), then the worker pool
+		// (in-flight jobs are cancelled and unwound). Either failing to
+		// drain within the grace period forces a nonzero exit so process
+		// supervisors see the unclean stop.
+		httpErr := httpSrv.Shutdown(ctx)
+		poolErr := srv.Shutdown(ctx)
+		if httpErr != nil || poolErr != nil {
+			logger.Error("forced shutdown",
+				slog.Any("http", httpErr), slog.Any("workers", poolErr))
+			os.Exit(1)
+		}
+		logger.Info("drained cleanly")
 	}
 }

@@ -8,6 +8,7 @@ import (
 	"repro/internal/format"
 	"repro/internal/locks"
 	"repro/internal/mttkrp"
+	"repro/internal/obs"
 	"repro/internal/perf"
 	"repro/internal/sketch"
 	"repro/internal/tsort"
@@ -124,6 +125,14 @@ type Options struct {
 	// Timers receives per-routine timings; nil allocates a private
 	// registry (available on the Report).
 	Timers *perf.Registry
+
+	// Trace, when non-nil, receives one obs.IterEvent after every
+	// completed ALS iteration: iteration number, fit, fit delta, and the
+	// cumulative per-routine timer snapshot. The event is pushed by value
+	// from the iteration loop, so a non-allocating sink (obs.TraceRing)
+	// keeps steady-state iterations at 0 allocs/op. A nil Trace costs one
+	// predictable branch per iteration.
+	Trace obs.TraceSink
 
 	// Ctx, when non-nil, is polled between factor updates: once it is
 	// cancelled, CPD stops at the next mode boundary (within one ALS

@@ -1,0 +1,109 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// TestTraceMatchesReport proves the per-iteration trace stream is a faithful
+// view of the run: one event per completed iteration, fits identical to
+// Report.FitHistory, deltas consistent, cumulative seconds nondecreasing.
+func TestTraceMatchesReport(t *testing.T) {
+	tensor := sessionTensor(t)
+	ring := obs.NewTraceRing(64)
+	opts := DefaultOptions()
+	opts.Rank = 8
+	opts.MaxIters = 6
+	opts.Tasks = 2
+	opts.Trace = ring
+
+	_, report, err := CPD(tensor, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := int(ring.Total()); got != report.Iterations {
+		t.Fatalf("trace events %d, iterations %d", got, report.Iterations)
+	}
+	events := ring.Snapshot()
+	prevFit, prevSec := 0.0, 0.0
+	for i, ev := range events {
+		if ev.Iteration != i+1 {
+			t.Errorf("event %d: iteration %d", i, ev.Iteration)
+		}
+		if ev.Fit != report.FitHistory[i] {
+			t.Errorf("event %d: fit %v, history %v", i, ev.Fit, report.FitHistory[i])
+		}
+		if math.Abs(ev.Delta-(ev.Fit-prevFit)) > 1e-15 {
+			t.Errorf("event %d: delta %v, want %v", i, ev.Delta, ev.Fit-prevFit)
+		}
+		if ev.Sampled {
+			t.Errorf("event %d: exact ALS run marked sampled", i)
+		}
+		if ev.Seconds < prevSec {
+			t.Errorf("event %d: cumulative seconds went backwards (%v < %v)",
+				i, ev.Seconds, prevSec)
+		}
+		if ev.Routines.MTTKRP <= 0 {
+			t.Errorf("event %d: no MTTKRP time recorded", i)
+		}
+		if ev.Routines.Sketch != 0 || ev.Routines.Leverage != 0 {
+			t.Errorf("event %d: exact run charged sketch/leverage time", i)
+		}
+		prevFit, prevSec = ev.Fit, ev.Seconds
+	}
+}
+
+// TestTraceRingOverflow checks the bounded-buffer semantics against a real
+// run: a ring smaller than the iteration count keeps only the tail and
+// reports the rest as dropped.
+func TestTraceRingOverflow(t *testing.T) {
+	tensor := sessionTensor(t)
+	ring := obs.NewTraceRing(3)
+	opts := DefaultOptions()
+	opts.Rank = 8
+	opts.MaxIters = 8
+	opts.Trace = ring
+
+	_, report, err := CPD(tensor, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Iterations != 8 {
+		t.Fatalf("iterations = %d", report.Iterations)
+	}
+	if ring.Dropped() != 5 {
+		t.Errorf("dropped = %d, want 5", ring.Dropped())
+	}
+	events := ring.Snapshot()
+	if len(events) != 3 || events[0].Iteration != 6 || events[2].Iteration != 8 {
+		t.Errorf("snapshot tail wrong: %+v", events)
+	}
+	last, ok := ring.Last()
+	if !ok || last.Iteration != 8 || last.Fit != report.Fit {
+		t.Errorf("last = %+v (ok=%v), want iteration 8 fit %v", last, ok, report.Fit)
+	}
+}
+
+// TestTracedIterateAllocationFree pins the issue's hard constraint: enabling
+// tracing must not move steady-state ALS iterations off 0 allocs/op. The
+// event is pushed by value into a pre-sized ring, so the warm loop stays
+// allocation-free.
+func TestTracedIterateAllocationFree(t *testing.T) {
+	tensor := sessionTensor(t)
+	opts := DefaultOptions()
+	opts.Rank = 8
+	opts.MaxIters = 64
+	opts.Trace = obs.NewTraceRing(8)
+
+	s, err := NewSession(tensor, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	s.Iterate(1) // warm-up: grows arena pools to steady size
+	if n := testing.AllocsPerRun(10, func() { s.Iterate(1) }); n != 0 {
+		t.Errorf("traced steady-state iteration allocates %v times", n)
+	}
+}

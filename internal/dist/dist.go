@@ -29,6 +29,7 @@ import (
 	"repro/internal/format"
 	"repro/internal/locks"
 	"repro/internal/mttkrp"
+	"repro/internal/obs"
 	"repro/internal/parallel"
 	"repro/internal/perf"
 	"repro/internal/sketch"
@@ -88,6 +89,14 @@ type Options struct {
 	// marked Cancelled, and CPD returns the partial model with ctx.Err().
 	// A nil Ctx never cancels.
 	Ctx context.Context
+
+	// Trace, when non-nil, receives one obs.IterEvent per completed ALS
+	// iteration. Replicated state is bitwise identical across locales, so
+	// locale 0 emits on behalf of the world; its MTTKRP clock (the
+	// per-locale timing the Report already surfaces as MTTKRPSeconds)
+	// fills the routine snapshot. The locales=1 fast path delegates to the
+	// shared-memory engine, which traces every routine.
+	Trace obs.TraceSink
 }
 
 // DefaultOptions returns a 2-locale configuration with the paper's ALS
@@ -160,6 +169,7 @@ func (o Options) coreOptions() core.Options {
 	co.Samples = o.Samples
 	co.RefineIters = o.RefineIters
 	co.Ctx = o.Ctx
+	co.Trace = o.Trace
 	return co
 }
 
@@ -232,7 +242,7 @@ func CPD(t *sptensor.Tensor, opts Options) (*core.KruskalTensor, *Report, error)
 		wg.Add(1)
 		go func(lc *locale) {
 			defer wg.Done()
-			lc.run(fabric, opts)
+			lc.run(fabric, opts, start)
 		}(lc)
 	}
 	wg.Wait()
@@ -430,7 +440,7 @@ func newLocale(lid int, slab Slab, t *sptensor.Tensor, seed *core.KruskalTensor,
 // collectives in the same order; replicated state (V, non-slab factors,
 // Grams, λ, fit) is combined in locale order, so it stays bitwise identical
 // across locales and the early-stopping decision is uniform.
-func (lc *locale) run(c *comm, opts Options) {
+func (lc *locale) run(c *comm, opts Options, started time.Time) {
 	defer lc.team.Close()
 	order := lc.k.Order()
 
@@ -484,6 +494,18 @@ func (lc *locale) run(c *comm, opts Options) {
 		}
 		lc.fitHistory = append(lc.fitHistory, fit)
 		lc.iterations = it + 1
+		// Locale 0 reports the world's progress: fit and λ are replicated,
+		// so its view is every locale's view.
+		if lc.lid == 0 && opts.Trace != nil {
+			opts.Trace.RecordIteration(obs.IterEvent{
+				Iteration: it + 1,
+				Fit:       fit,
+				Delta:     fit - oldFit,
+				Sampled:   sampled,
+				Seconds:   time.Since(started).Seconds(),
+				Routines:  obs.RoutineSnapshot{MTTKRP: lc.mttkrpSeconds},
+			})
+		}
 		// Mirrors core: a converged sampled phase hands over to exact
 		// refinement; the first exact iteration after the switch skips the
 		// test (its predecessor fit was an estimate). The fit is identical

@@ -1,0 +1,42 @@
+package dist
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// TestTraceEmission checks the distributed trace stream at world sizes 1
+// (core delegation) and 4 (locale-0 emission): one event per iteration,
+// fits matching the report history, monotone wall-clock seconds.
+func TestTraceEmission(t *testing.T) {
+	tensor := testTensor()
+	for _, locales := range []int{1, 4} {
+		ring := obs.NewTraceRing(32)
+		opts := distOptions(locales)
+		opts.Trace = ring
+		_, report, err := CPD(tensor, opts)
+		if err != nil {
+			t.Fatalf("locales=%d: %v", locales, err)
+		}
+		if got := int(ring.Total()); got != report.Iterations {
+			t.Fatalf("locales=%d: %d events, %d iterations",
+				locales, got, report.Iterations)
+		}
+		prevSec := 0.0
+		for i, ev := range ring.Snapshot() {
+			if ev.Iteration != i+1 {
+				t.Errorf("locales=%d event %d: iteration %d", locales, i, ev.Iteration)
+			}
+			if math.Abs(ev.Fit-report.FitHistory[i]) > 1e-12 {
+				t.Errorf("locales=%d event %d: fit %v, history %v",
+					locales, i, ev.Fit, report.FitHistory[i])
+			}
+			if ev.Seconds < prevSec {
+				t.Errorf("locales=%d event %d: seconds went backwards", locales, i)
+			}
+			prevSec = ev.Seconds
+		}
+	}
+}

@@ -1,0 +1,24 @@
+package obs
+
+import "testing"
+
+// BenchmarkObsHotPath is the bench-gate pin for the instrument hot path:
+// one request's worth of middleware accounting (in-flight gauge up/down,
+// latency observation, status-class counter) per op. The gate's binding
+// constraint for sub-millisecond benchmarks is allocs/op, which must stay
+// at 0 — instruments live on the solver and middleware hot paths.
+func BenchmarkObsHotPath(b *testing.B) {
+	reg := NewRegistry()
+	c := reg.Counter("bench_requests_total", "",
+		Label{Name: "route", Value: "/v1/jobs"}, Label{Name: "code", Value: "2xx"})
+	g := reg.Gauge("bench_in_flight", "")
+	h := reg.Histogram("bench_latency_seconds", "", DefLatencyBuckets)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.Inc()
+		h.Observe(0.0042)
+		c.Inc()
+		g.Dec()
+	}
+}

@@ -1,0 +1,342 @@
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func TestCounterGaugeFloatCounter(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Errorf("counter = %d, want 5", c.Value())
+	}
+	var f FloatCounter
+	f.Add(1.5)
+	f.Add(2.25)
+	if f.Value() != 3.75 {
+		t.Errorf("float counter = %g, want 3.75", f.Value())
+	}
+	var g Gauge
+	g.Set(10)
+	g.Inc()
+	g.Add(-3)
+	g.Dec()
+	if g.Value() != 7 {
+		t.Errorf("gauge = %g, want 7", g.Value())
+	}
+}
+
+func TestHistogramBucketing(t *testing.T) {
+	h := newHistogram([]float64{1, 2, 5})
+	for _, v := range []float64{0.5, 1, 1.5, 2, 3, 100} {
+		h.Observe(v)
+	}
+	// Per-bucket (non-cumulative): (-inf,1]=2, (1,2]=2, (2,5]=1, +Inf=1.
+	want := []uint64{2, 2, 1, 1}
+	for i, w := range want {
+		if got := h.counts[i].Load(); got != w {
+			t.Errorf("bucket %d = %d, want %d", i, got, w)
+		}
+	}
+	if h.Count() != 6 {
+		t.Errorf("count = %d, want 6", h.Count())
+	}
+	if math.Abs(h.Sum()-108) > 1e-12 {
+		t.Errorf("sum = %g, want 108", h.Sum())
+	}
+}
+
+func TestRegistryIdempotentRegistration(t *testing.T) {
+	reg := NewRegistry()
+	a := reg.Counter("x_total", "help", Label{Name: "k", Value: "v"})
+	b := reg.Counter("x_total", "ignored on re-registration", Label{Name: "k", Value: "v"})
+	if a != b {
+		t.Error("re-registering the same (name, labels) returned a new counter")
+	}
+	c := reg.Counter("x_total", "help", Label{Name: "k", Value: "other"})
+	if a == c {
+		t.Error("distinct label values share an instrument")
+	}
+
+	defer func() {
+		if recover() == nil {
+			t.Error("kind mismatch did not panic")
+		}
+	}()
+	reg.Gauge("x_total", "now a gauge?")
+}
+
+func TestRegistryRejectsBadNames(t *testing.T) {
+	reg := NewRegistry()
+	for _, bad := range []string{"", "9lives", "has space", "dash-ed"} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("name %q did not panic", bad)
+				}
+			}()
+			reg.Counter(bad, "")
+		}()
+	}
+}
+
+// parseExposition splits an exposition body into families, preserving the
+// order of lines within each family block.
+type parsedFamily struct {
+	help, typ string
+	samples   []string // raw sample lines in order
+}
+
+func parseExposition(t *testing.T, body string) (map[string]*parsedFamily, []string) {
+	t.Helper()
+	fams := make(map[string]*parsedFamily)
+	var order []string
+	var cur string
+	for _, line := range strings.Split(strings.TrimRight(body, "\n"), "\n") {
+		switch {
+		case strings.HasPrefix(line, "# HELP "):
+			rest := strings.TrimPrefix(line, "# HELP ")
+			name, help, _ := strings.Cut(rest, " ")
+			if _, dup := fams[name]; dup {
+				t.Fatalf("family %s appears twice (non-contiguous)", name)
+			}
+			fams[name] = &parsedFamily{help: help}
+			order = append(order, name)
+			cur = name
+		case strings.HasPrefix(line, "# TYPE "):
+			rest := strings.TrimPrefix(line, "# TYPE ")
+			name, typ, _ := strings.Cut(rest, " ")
+			if name != cur {
+				t.Fatalf("TYPE for %s not directly after HELP for %s", name, cur)
+			}
+			if fams[name].typ != "" {
+				t.Fatalf("family %s has two TYPE lines", name)
+			}
+			fams[name].typ = typ
+		case line == "":
+			t.Fatal("blank line in exposition")
+		default:
+			if cur == "" {
+				t.Fatalf("sample before any HELP: %q", line)
+			}
+			base := line[:strings.IndexAny(line, "{ ")]
+			if base != cur && !strings.HasPrefix(base, cur+"_") {
+				t.Fatalf("sample %q outside its family block (current %s)", line, cur)
+			}
+			fams[cur].samples = append(fams[cur].samples, line)
+		}
+	}
+	return fams, order
+}
+
+// TestPrometheusConformance is the exposition-format conformance test:
+// HELP-then-TYPE ordering, contiguous sorted families, label escaping,
+// and histogram bucket monotonicity with a trailing +Inf.
+func TestPrometheusConformance(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("t_requests_total", "Total requests.",
+		Label{Name: "route", Value: "/v1/jobs"}, Label{Name: "method", Value: "GET"}).Add(7)
+	reg.Gauge("t_depth", "Queue depth.").Set(3)
+	reg.Counter("t_weird_total", `has "quotes" and \slashes`,
+		Label{Name: "k", Value: "a\\b\"c\nd"}).Inc()
+	h := reg.Histogram("t_latency_seconds", "Latency.", []float64{0.01, 0.1, 1},
+		Label{Name: "route", Value: "/v1/jobs"})
+	for _, v := range []float64{0.005, 0.05, 0.5, 5} {
+		h.Observe(v)
+	}
+	reg.Func("t_uptime_seconds", "Uptime.", KindGauge, func() float64 { return 42 })
+
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	body := sb.String()
+	fams, order := parseExposition(t, body)
+
+	if !sort.StringsAreSorted(order) {
+		t.Errorf("families not in sorted order: %v", order)
+	}
+
+	// Every family has HELP, TYPE, and at least one sample.
+	for name, f := range fams {
+		if f.typ == "" {
+			t.Errorf("family %s missing TYPE", name)
+		}
+		if len(f.samples) == 0 {
+			t.Errorf("family %s has no samples", name)
+		}
+	}
+	if fams["t_requests_total"].typ != "counter" || fams["t_depth"].typ != "gauge" ||
+		fams["t_latency_seconds"].typ != "histogram" {
+		t.Errorf("wrong TYPE lines: %+v", fams)
+	}
+
+	// Labels render sorted by name.
+	wantSample := `t_requests_total{method="GET",route="/v1/jobs"} 7`
+	if got := fams["t_requests_total"].samples[0]; got != wantSample {
+		t.Errorf("sample = %q, want %q", got, wantSample)
+	}
+
+	// Escaping: backslash, quote, newline in label values; HELP text too.
+	weird := fams["t_weird_total"]
+	if want := `t_weird_total{k="a\\b\"c\nd"} 1`; weird.samples[0] != want {
+		t.Errorf("escaped sample = %q, want %q", weird.samples[0], want)
+	}
+	if want := `has "quotes" and \\slashes`; weird.help != want {
+		t.Errorf("escaped help = %q, want %q", weird.help, want)
+	}
+
+	// Histogram: cumulative monotone buckets, ascending le, +Inf last,
+	// _count equal to the +Inf bucket, _sum present.
+	var bucketCounts []uint64
+	var bounds []float64
+	var cnt, inf uint64
+	sawSum := false
+	for _, line := range fams["t_latency_seconds"].samples {
+		switch {
+		case strings.HasPrefix(line, "t_latency_seconds_bucket"):
+			leStart := strings.Index(line, `le="`) + 4
+			le := line[leStart : leStart+strings.Index(line[leStart:], `"`)]
+			v, err := strconv.ParseUint(line[strings.LastIndex(line, " ")+1:], 10, 64)
+			if err != nil {
+				t.Fatalf("bucket value in %q: %v", line, err)
+			}
+			if le == "+Inf" {
+				inf = v
+			} else {
+				b, err := strconv.ParseFloat(le, 64)
+				if err != nil {
+					t.Fatalf("le in %q: %v", line, err)
+				}
+				bounds = append(bounds, b)
+				bucketCounts = append(bucketCounts, v)
+			}
+		case strings.HasPrefix(line, "t_latency_seconds_sum"):
+			sawSum = true
+		case strings.HasPrefix(line, "t_latency_seconds_count"):
+			v, _ := strconv.ParseUint(line[strings.LastIndex(line, " ")+1:], 10, 64)
+			cnt = v
+		}
+	}
+	if !sort.Float64sAreSorted(bounds) {
+		t.Errorf("le bounds not ascending: %v", bounds)
+	}
+	for i := 1; i < len(bucketCounts); i++ {
+		if bucketCounts[i] < bucketCounts[i-1] {
+			t.Errorf("bucket counts not monotone: %v", bucketCounts)
+		}
+	}
+	if len(bucketCounts) > 0 && inf < bucketCounts[len(bucketCounts)-1] {
+		t.Errorf("+Inf bucket %d below last bound bucket %d", inf, bucketCounts[len(bucketCounts)-1])
+	}
+	if inf != 4 || cnt != inf {
+		t.Errorf("count = %d, +Inf = %d, want both 4", cnt, inf)
+	}
+	if !sawSum {
+		t.Error("missing _sum sample")
+	}
+}
+
+// TestHotPathAllocationFree pins the instrument hot paths at zero
+// allocations, the same discipline the steady-state solver gates enforce.
+func TestHotPathAllocationFree(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("a_total", "")
+	f := reg.FloatCounter("b_seconds_total", "")
+	g := reg.Gauge("c_depth", "")
+	h := reg.Histogram("d_seconds", "", DefLatencyBuckets)
+
+	if n := testing.AllocsPerRun(1000, func() { c.Inc() }); n != 0 {
+		t.Errorf("Counter.Inc allocates %v/op", n)
+	}
+	if n := testing.AllocsPerRun(1000, func() { f.Add(0.5) }); n != 0 {
+		t.Errorf("FloatCounter.Add allocates %v/op", n)
+	}
+	if n := testing.AllocsPerRun(1000, func() { g.Inc(); g.Dec() }); n != 0 {
+		t.Errorf("Gauge.Inc/Dec allocates %v/op", n)
+	}
+	if n := testing.AllocsPerRun(1000, func() { h.Observe(0.042) }); n != 0 {
+		t.Errorf("Histogram.Observe allocates %v/op", n)
+	}
+}
+
+func TestTraceRing(t *testing.T) {
+	r := NewTraceRing(4)
+	if _, ok := r.Last(); ok {
+		t.Error("empty ring reports a last event")
+	}
+	for i := 1; i <= 6; i++ {
+		r.RecordIteration(IterEvent{Iteration: i, Fit: float64(i) / 10})
+	}
+	if r.Total() != 6 || r.Dropped() != 2 {
+		t.Errorf("total = %d dropped = %d, want 6, 2", r.Total(), r.Dropped())
+	}
+	last, ok := r.Last()
+	if !ok || last.Iteration != 6 {
+		t.Errorf("last = %+v, want iteration 6", last)
+	}
+	snap := r.Snapshot()
+	if len(snap) != 4 {
+		t.Fatalf("snapshot length %d, want 4", len(snap))
+	}
+	for i, ev := range snap {
+		if ev.Iteration != i+3 {
+			t.Errorf("snapshot[%d].Iteration = %d, want %d", i, ev.Iteration, i+3)
+		}
+	}
+}
+
+// TestTraceRingPushAllocationFree proves RecordIteration is safe inside
+// the solver's 0 allocs/op iteration loop.
+func TestTraceRingPushAllocationFree(t *testing.T) {
+	r := NewTraceRing(128)
+	var sink TraceSink = r // interface call, as the solver performs it
+	ev := IterEvent{Iteration: 1, Fit: 0.5, Routines: RoutineSnapshot{MTTKRP: 0.1}}
+	if n := testing.AllocsPerRun(1000, func() {
+		ev.Iteration++
+		sink.RecordIteration(ev)
+	}); n != 0 {
+		t.Errorf("TraceRing.RecordIteration allocates %v/op", n)
+	}
+}
+
+func TestRegisterProcess(t *testing.T) {
+	reg := NewRegistry()
+	RegisterProcess(reg, "t")
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	body := sb.String()
+	for _, want := range []string{
+		"t_go_goroutines", "t_go_heap_alloc_bytes", "t_go_gc_runs_total",
+		"t_go_gc_pause_seconds_total", "t_process_uptime_seconds",
+		`t_build_info{go_version="go`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("process metrics missing %q:\n%s", want, body)
+		}
+	}
+}
+
+func TestCollectorRunsPerScrape(t *testing.T) {
+	reg := NewRegistry()
+	g := reg.Gauge("t_collected", "")
+	n := 0
+	reg.AddCollector(func() { n++; g.Set(float64(n)) })
+	for i := 1; i <= 3; i++ {
+		var sb strings.Builder
+		if err := reg.WritePrometheus(&sb); err != nil {
+			t.Fatal(err)
+		}
+		if want := fmt.Sprintf("t_collected %d\n", i); !strings.Contains(sb.String(), want) {
+			t.Errorf("scrape %d missing %q", i, want)
+		}
+	}
+}

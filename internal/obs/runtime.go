@@ -1,0 +1,42 @@
+package obs
+
+import (
+	"runtime"
+	"time"
+)
+
+// RegisterProcess adds the process/runtime family to the registry under
+// the given namespace (e.g. "splatt"): goroutine count, heap gauges, GC
+// totals and cumulative pause seconds, uptime, and a build_info gauge
+// carrying the Go toolchain version as a label. Heap and GC values come
+// from one runtime.ReadMemStats snapshot per scrape, refreshed by a
+// registry collector so every gauge in a scrape is mutually consistent.
+func RegisterProcess(reg *Registry, namespace string) {
+	started := time.Now()
+	var ms runtime.MemStats
+	reg.AddCollector(func() { runtime.ReadMemStats(&ms) })
+
+	reg.Func(namespace+"_go_goroutines",
+		"Number of live goroutines.",
+		KindGauge, func() float64 { return float64(runtime.NumGoroutine()) })
+	reg.Func(namespace+"_go_heap_alloc_bytes",
+		"Bytes of allocated heap objects.",
+		KindGauge, func() float64 { return float64(ms.HeapAlloc) })
+	reg.Func(namespace+"_go_heap_objects",
+		"Number of allocated heap objects.",
+		KindGauge, func() float64 { return float64(ms.HeapObjects) })
+	reg.Func(namespace+"_go_gc_runs_total",
+		"Completed garbage-collection cycles.",
+		KindCounter, func() float64 { return float64(ms.NumGC) })
+	reg.Func(namespace+"_go_gc_pause_seconds_total",
+		"Cumulative stop-the-world GC pause seconds.",
+		KindCounter, func() float64 { return float64(ms.PauseTotalNs) / 1e9 })
+	reg.Func(namespace+"_process_uptime_seconds",
+		"Seconds since the process registered its metrics.",
+		KindGauge, func() float64 { return time.Since(started).Seconds() })
+
+	build := reg.Gauge(namespace+"_build_info",
+		"Build metadata; the value is always 1.",
+		Label{Name: "go_version", Value: runtime.Version()})
+	build.Set(1)
+}

@@ -167,6 +167,18 @@ func (r *Registry) Names() []string {
 	return names
 }
 
+// Visit calls fn for every timer under the registry lock, without
+// building an intermediate map — the aggregation path for consumers
+// (metrics tallies, trace bridges) that fold many registries and should
+// not allocate per fold. fn must not call back into the registry.
+func (r *Registry) Visit(fn func(name string, seconds float64, laps int)) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for n, t := range r.timers {
+		fn(n, t.Seconds(), t.Laps())
+	}
+}
+
 // Snapshot returns a name → seconds view of the registry.
 func (r *Registry) Snapshot() map[string]float64 {
 	r.mu.Lock()

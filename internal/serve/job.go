@@ -9,6 +9,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/dist"
 	"repro/internal/format"
+	"repro/internal/obs"
 	"repro/internal/sketch"
 	"repro/internal/sptensor"
 )
@@ -213,16 +214,35 @@ type JobResult struct {
 	Seconds float64 `json:"seconds"`
 }
 
+// JobProgress is the live view of a running decomposition, derived from
+// the newest trace event: GET /v1/jobs/{id} reports it from the first
+// completed iteration onward, so clients watch fit converge without
+// waiting for the terminal state.
+type JobProgress struct {
+	// Iterations counts completed ALS iterations so far.
+	Iterations int `json:"iterations"`
+	// Fit and Delta are the newest iteration's fit and fit change.
+	Fit   float64 `json:"fit"`
+	Delta float64 `json:"delta"`
+	// Sampled marks iterations run on the sketched (ARLS) system.
+	Sampled bool `json:"sampled,omitempty"`
+	// ElapsedSeconds is engine wall-clock up to the newest iteration.
+	ElapsedSeconds float64 `json:"elapsed_seconds"`
+	// MTTKRPSeconds is cumulative time in the dominant kernel.
+	MTTKRPSeconds float64 `json:"mttkrp_seconds"`
+}
+
 // JobStatus is the JSON view of a job (GET /jobs/{id}).
 type JobStatus struct {
-	ID        string     `json:"id"`
-	Spec      JobSpec    `json:"spec"`
-	State     JobState   `json:"state"`
-	Submitted time.Time  `json:"submitted"`
-	Started   *time.Time `json:"started,omitempty"`
-	Finished  *time.Time `json:"finished,omitempty"`
-	Error     string     `json:"error,omitempty"`
-	Result    *JobResult `json:"result,omitempty"`
+	ID        string       `json:"id"`
+	Spec      JobSpec      `json:"spec"`
+	State     JobState     `json:"state"`
+	Submitted time.Time    `json:"submitted"`
+	Started   *time.Time   `json:"started,omitempty"`
+	Finished  *time.Time   `json:"finished,omitempty"`
+	Error     string       `json:"error,omitempty"`
+	Progress  *JobProgress `json:"progress,omitempty"`
+	Result    *JobResult   `json:"result,omitempty"`
 }
 
 // Job is one queued/running/finished decomposition. State transitions are
@@ -241,6 +261,11 @@ type Job struct {
 	// history; guarded by the server's jobsMu.
 	retired bool
 
+	// trace is the bounded per-iteration event ring the engine's trace
+	// hook writes into (internally synchronized; read by the status and
+	// trace handlers while the job runs).
+	trace *obs.TraceRing
+
 	mu        sync.Mutex
 	state     JobState
 	submitted time.Time
@@ -255,8 +280,8 @@ type Job struct {
 }
 
 // newJob creates a queued job whose context descends from base
-// (context.Background when nil).
-func newJob(id string, seq uint64, spec JobSpec, base context.Context) *Job {
+// (context.Background when nil); traceCap bounds its iteration ring.
+func newJob(id string, seq uint64, spec JobSpec, base context.Context, traceCap int) *Job {
 	if base == nil {
 		base = context.Background()
 	}
@@ -265,6 +290,7 @@ func newJob(id string, seq uint64, spec JobSpec, base context.Context) *Job {
 		ID:        id,
 		Spec:      spec,
 		seq:       seq,
+		trace:     obs.NewTraceRing(traceCap),
 		state:     StateQueued,
 		submitted: time.Now(),
 		ctx:       ctx,
@@ -292,6 +318,18 @@ func (j *Job) Status() JobStatus {
 	if !j.finished.IsZero() {
 		t := j.finished
 		st.Finished = &t
+	}
+	// Live progress from the newest trace event (the ring has its own
+	// lock, and reading it under j.mu is cheap and deadlock-free).
+	if ev, ok := j.trace.Last(); ok {
+		st.Progress = &JobProgress{
+			Iterations:     j.trace.Total(),
+			Fit:            ev.Fit,
+			Delta:          ev.Delta,
+			Sampled:        ev.Sampled,
+			ElapsedSeconds: ev.Seconds,
+			MTTKRPSeconds:  ev.Routines.MTTKRP,
+		}
 	}
 	return st
 }

@@ -1,0 +1,175 @@
+package serve
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"runtime/debug"
+	"time"
+)
+
+// RequestIDHeader carries the per-request correlation ID. Incoming values
+// are propagated verbatim (so a caller's trace ID threads through logs and
+// error reports); absent ones are generated.
+const RequestIDHeader = "X-Request-ID"
+
+type requestIDKey struct{}
+
+// RequestIDFromContext returns the request's correlation ID ("" outside a
+// served request).
+func RequestIDFromContext(ctx context.Context) string {
+	id, _ := ctx.Value(requestIDKey{}).(string)
+	return id
+}
+
+// newRequestID mints a 16-hex-char random ID.
+func newRequestID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return "req-unavailable"
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// statusRecorder captures the status code a handler writes, so the access
+// log and per-route counters see the real outcome.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+	bytes  int64
+}
+
+func (sr *statusRecorder) WriteHeader(status int) {
+	if sr.status == 0 {
+		sr.status = status
+	}
+	sr.ResponseWriter.WriteHeader(status)
+}
+
+func (sr *statusRecorder) Write(p []byte) (int, error) {
+	if sr.status == 0 {
+		sr.status = http.StatusOK
+	}
+	n, err := sr.ResponseWriter.Write(p)
+	sr.bytes += int64(n)
+	return n, err
+}
+
+// withRequestID ensures every request carries a correlation ID: propagated
+// from the caller's X-Request-ID header when present, generated otherwise,
+// echoed on the response, and stored in the request context for handlers
+// and downstream middleware.
+func withRequestID(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		id := r.Header.Get(RequestIDHeader)
+		if id == "" {
+			id = newRequestID()
+		}
+		w.Header().Set(RequestIDHeader, id)
+		next.ServeHTTP(w, r.WithContext(
+			context.WithValue(r.Context(), requestIDKey{}, id)))
+	})
+}
+
+// observeRequests is the combined access-log + panic-recovery layer. The
+// two share one status recorder so a recovered panic's 500 shows up in the
+// log line it caused. Recovered panics become the standard JSON error
+// envelope (when the handler had not started writing) and increment the
+// panic counter; http.ErrAbortHandler keeps its net/http semantics.
+func (s *Server) observeRequests(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		rec := &statusRecorder{ResponseWriter: w}
+		start := time.Now()
+		defer func() {
+			if p := recover(); p != nil {
+				if p == http.ErrAbortHandler {
+					panic(p)
+				}
+				s.met.panics.Inc()
+				s.logger.LogAttrs(r.Context(), slog.LevelError, "panic",
+					slog.String("request_id", RequestIDFromContext(r.Context())),
+					slog.String("method", r.Method),
+					slog.String("path", r.URL.Path),
+					slog.Any("panic", p),
+					slog.String("stack", string(debug.Stack())))
+				if rec.status == 0 {
+					writeError(rec, http.StatusInternalServerError,
+						errors.New("serve: internal error"))
+				}
+			}
+			s.logger.LogAttrs(r.Context(), slog.LevelInfo, "request",
+				slog.String("request_id", RequestIDFromContext(r.Context())),
+				slog.String("method", r.Method),
+				slog.String("path", r.URL.Path),
+				slog.Int("status", rec.status),
+				slog.Int64("bytes", rec.bytes),
+				slog.Duration("duration", time.Since(start)))
+		}()
+		next.ServeHTTP(rec, r)
+	})
+}
+
+// instrument wraps one route with its latency histogram, in-flight gauge,
+// and status-class counters. The defer runs even when a panic unwinds
+// toward the recovery layer, so the in-flight gauge cannot leak.
+func (s *Server) instrument(rm *routeMetrics, next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		rec := &statusRecorder{ResponseWriter: w}
+		rm.inFlight.Inc()
+		start := time.Now()
+		defer func() {
+			rm.inFlight.Dec()
+			rm.observe(rec.status, time.Since(start))
+		}()
+		next.ServeHTTP(rec, r)
+	})
+}
+
+// withTimeout bounds one route's handler wall-clock time, answering 503
+// with the standard JSON envelope when exceeded. d <= 0 disables the
+// bound. The Content-Type is pre-set on the outer writer: on success the
+// buffered handler headers overwrite it, on timeout it survives so the
+// envelope is served as JSON.
+func withTimeout(d time.Duration, next http.Handler) http.Handler {
+	if d <= 0 {
+		return next
+	}
+	body, _ := json.Marshal(errorEnvelope{Error: errorDetail{
+		Code:    codeForStatus(http.StatusServiceUnavailable),
+		Message: fmt.Sprintf("serve: request exceeded the %v handler deadline", d),
+	}})
+	inner := http.TimeoutHandler(next, d, string(body))
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		inner.ServeHTTP(w, r)
+	})
+}
+
+// withBodyLimit caps the request body at n bytes via http.MaxBytesReader,
+// so an oversized upload fails with *http.MaxBytesError (mapped to the
+// 413 envelope by uploadStatus) instead of exhausting memory.
+func withBodyLimit(n int64, next http.Handler) http.Handler {
+	if n <= 0 {
+		return next
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		r.Body = http.MaxBytesReader(w, r.Body, n)
+		next.ServeHTTP(w, r)
+	})
+}
+
+// uploadStatus maps a body-read error onto the response status: an
+// exceeded MaxBytesReader limit is 413 Request Entity Too Large, anything
+// else is a 400 malformed body.
+func uploadStatus(err error) int {
+	var mbe *http.MaxBytesError
+	if errors.As(err, &mbe) {
+		return http.StatusRequestEntityTooLarge
+	}
+	return http.StatusBadRequest
+}

@@ -78,10 +78,10 @@ func (u *KruskalUpload) toKruskal() (*core.KruskalTensor, error) {
 
 func (s *Server) handlePublishModel(w http.ResponseWriter, r *http.Request) {
 	var upload KruskalUpload
-	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.cfg.MaxUploadBytes))
+	dec := json.NewDecoder(r.Body) // bounded by the route's body limit
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&upload); err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("serve: decoding model upload: %w", err))
+		writeError(w, uploadStatus(err), fmt.Errorf("serve: decoding model upload: %w", err))
 		return
 	}
 	k, err := upload.toKruskal()
@@ -176,7 +176,7 @@ func (s *Server) handleModelEntry(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	s.recordQuery("entry", start)
+	s.met.recordQuery("entry", start)
 	writeJSON(w, http.StatusOK, entryResponse{ModelID: id, Coord: coord, Value: v})
 }
 
@@ -212,7 +212,7 @@ func (s *Server) handleModelTopK(w http.ResponseWriter, r *http.Request) {
 	}
 	defer s.models.Unpin(id)
 	var req topKRequest
-	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec := json.NewDecoder(r.Body) // bounded by the route's body limit
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&req); err != nil {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("serve: decoding topk request: %w", err))
@@ -225,7 +225,7 @@ func (s *Server) handleModelTopK(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	s.recordQuery("topk", start)
+	s.met.recordQuery("topk", start)
 	writeJSON(w, http.StatusOK, queryResponse{ModelID: id, Mode: req.Mode, Items: items})
 	wsPool.Put(ws)
 }
@@ -238,7 +238,7 @@ func (s *Server) handleModelSimilar(w http.ResponseWriter, r *http.Request) {
 	}
 	defer s.models.Unpin(id)
 	var req similarRequest
-	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec := json.NewDecoder(r.Body) // bounded by the route's body limit
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&req); err != nil {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("serve: decoding similar request: %w", err))
@@ -251,7 +251,7 @@ func (s *Server) handleModelSimilar(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	s.recordQuery("similar", start)
+	s.met.recordQuery("similar", start)
 	writeJSON(w, http.StatusOK, queryResponse{ModelID: id, Mode: req.Mode, Items: items})
 	wsPool.Put(ws)
 }

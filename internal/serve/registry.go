@@ -71,12 +71,14 @@ func tensorBytes(t *sptensor.Tensor) int64 {
 	return int64(t.NNZ()) * int64(8+4*t.NModes())
 }
 
-// IngestResult describes the outcome of one upload.
+// IngestResult describes the outcome of one upload. The JSON field names
+// match the rest of the lowercase /v1 surface (and the `jq -r .id`
+// recipes in README/EXPERIMENTS).
 type IngestResult struct {
-	ID     string
-	Cached bool // true when the bytes matched a resident tensor (no parse)
-	Dims   []int
-	NNZ    int
+	ID     string `json:"id"`
+	Cached bool   `json:"cached"` // true when the bytes matched a resident tensor (no parse)
+	Dims   []int  `json:"dims"`
+	NNZ    int    `json:"nnz"`
 }
 
 // Ingest hashes and (on a cache miss) parses one upload from r, which is

@@ -152,7 +152,7 @@ func TestBackpressure(t *testing.T) {
 func TestPriorityOrdering(t *testing.T) {
 	q := NewQueue(8)
 	mk := func(seq uint64, prio int) *Job {
-		return newJob(fmt.Sprintf("j%d", seq), seq, JobSpec{Priority: prio}, nil)
+		return newJob(fmt.Sprintf("j%d", seq), seq, JobSpec{Priority: prio}, nil, 8)
 	}
 	if err := q.Push(mk(1, 0)); err != nil {
 		t.Fatal(err)
@@ -181,14 +181,14 @@ func TestPriorityOrdering(t *testing.T) {
 // TestQueueFull exercises the bounded Push directly.
 func TestQueueFull(t *testing.T) {
 	q := NewQueue(1)
-	if err := q.Push(newJob("a", 1, JobSpec{}, nil)); err != nil {
+	if err := q.Push(newJob("a", 1, JobSpec{}, nil, 8)); err != nil {
 		t.Fatal(err)
 	}
-	if err := q.Push(newJob("b", 2, JobSpec{}, nil)); err != ErrQueueFull {
+	if err := q.Push(newJob("b", 2, JobSpec{}, nil, 8)); err != ErrQueueFull {
 		t.Fatalf("second push: %v, want ErrQueueFull", err)
 	}
 	q.Close()
-	if err := q.Push(newJob("c", 3, JobSpec{}, nil)); err != ErrQueueClosed {
+	if err := q.Push(newJob("c", 3, JobSpec{}, nil, 8)); err != ErrQueueClosed {
 		t.Fatalf("push after close: %v, want ErrQueueClosed", err)
 	}
 }
@@ -361,11 +361,19 @@ func TestAPIErrors(t *testing.T) {
 		t.Fatalf("missing tensor: status %d", st)
 	}
 
-	// Upload above the size limit.
+	// Upload above the size limit: 413 with the envelope's too_large code.
 	_, ts2 := newTestServer(t, Config{Workers: 1, QueueCapacity: 4, MaxUploadBytes: 16})
-	resp, _ = postBytes(t, ts2.URL+"/tensors", bytes.Repeat([]byte("1 1 1 1.0\n"), 10))
-	if resp.StatusCode != http.StatusBadRequest {
-		t.Fatalf("oversized upload: status %d", resp.StatusCode)
+	resp, data := postBytes(t, ts2.URL+"/tensors", bytes.Repeat([]byte("1 1 1 1.0\n"), 10))
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized upload: status %d, want 413", resp.StatusCode)
+	}
+	var env struct {
+		Error struct {
+			Code string `json:"code"`
+		} `json:"error"`
+	}
+	if err := json.Unmarshal(data, &env); err != nil || env.Error.Code != "too_large" {
+		t.Fatalf("oversized upload envelope: %s (err=%v)", data, err)
 	}
 
 	// Tensor with an over-long mode is rejected AND not left resident.

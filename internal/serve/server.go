@@ -20,6 +20,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"sort"
 	"strconv"
@@ -28,6 +29,7 @@ import (
 	"time"
 
 	"repro/internal/model"
+	"repro/internal/obs"
 )
 
 // Config sizes the service.
@@ -55,6 +57,19 @@ type Config struct {
 	// GET /v1/jobs/{id} (default 1000); older terminal jobs are pruned so a
 	// long-lived service does not grow without bound.
 	MaxJobHistory int
+	// MaxTraceEvents bounds each job's per-iteration trace ring (default
+	// 512): a job that iterates longer keeps the most recent events and
+	// reports the remainder as dropped.
+	MaxTraceEvents int
+	// RequestTimeout bounds every non-upload handler's wall-clock time;
+	// exceeding it answers 503 with the standard envelope (default 30s).
+	RequestTimeout time.Duration
+	// UploadTimeout bounds the two upload handlers (POST /v1/tensors,
+	// POST /v1/models), which parse arbitrarily large bodies (default 2m).
+	UploadTimeout time.Duration
+	// Logger receives structured access and lifecycle logs (default: a
+	// discard logger, keeping library users and tests quiet).
+	Logger *slog.Logger
 }
 
 func (c *Config) fill() {
@@ -79,6 +94,18 @@ func (c *Config) fill() {
 	if c.MaxJobHistory <= 0 {
 		c.MaxJobHistory = 1000
 	}
+	if c.MaxTraceEvents <= 0 {
+		c.MaxTraceEvents = 512
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = 30 * time.Second
+	}
+	if c.UploadTimeout <= 0 {
+		c.UploadTimeout = 2 * time.Minute
+	}
+	if c.Logger == nil {
+		c.Logger = slog.New(slog.DiscardHandler)
+	}
 }
 
 // Server owns the registries, queue, worker pool, and job table.
@@ -100,19 +127,10 @@ type Server struct {
 	started time.Time
 	busy    atomic.Int64 // workers currently executing a job
 
-	// Aggregated outcome counters, per-routine engine seconds
-	// (perf.Registry snapshots merged after each job), and per-endpoint
-	// model query counters/latency.
-	statsMu   sync.Mutex
-	completed int64
-	failed    int64
-	cancelled int64
-	rejected  int64
-	published int64
-	routines  map[string]float64
-	formats   map[string]int64 // completed jobs per resolved storage format
-	solvers   map[string]int64 // completed jobs per resolved solver
-	queries   map[string]*QueryStats
+	// met owns every operational instrument (and the Prometheus registry
+	// they are registered in); logger receives access and lifecycle logs.
+	met    *serverMetrics
+	logger *slog.Logger
 }
 
 // NewServer builds the service and starts its worker pool.
@@ -128,11 +146,9 @@ func NewServer(cfg Config) *Server {
 		stop:     cancel,
 		jobs:     make(map[string]*Job),
 		started:  time.Now(),
-		routines: make(map[string]float64),
-		formats:  make(map[string]int64),
-		solvers:  make(map[string]int64),
-		queries:  make(map[string]*QueryStats),
+		logger:   cfg.Logger,
 	}
+	s.met = newServerMetrics(s)
 	for i := 0; i < cfg.Workers; i++ {
 		s.wg.Add(1)
 		go s.worker()
@@ -140,9 +156,12 @@ func NewServer(cfg Config) *Server {
 	return s
 }
 
-// Close cancels every outstanding job, drains the pool, and returns once
-// all workers exit.
-func (s *Server) Close() {
+// Shutdown stops the service: the queue refuses new submissions, every
+// outstanding job's context is cancelled, and the call blocks until the
+// worker pool drains or ctx expires — in which case the workers are left
+// to unwind in the background and a forced-drain error is returned (the
+// binary turns it into a nonzero exit).
+func (s *Server) Shutdown(ctx context.Context) error {
 	s.queue.Close()
 	s.stop()
 	s.jobsMu.Lock()
@@ -150,8 +169,22 @@ func (s *Server) Close() {
 		j.requestCancel()
 	}
 	s.jobsMu.Unlock()
-	s.wg.Wait()
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("serve: forced drain, workers still running: %w", ctx.Err())
+	}
 }
+
+// Close cancels every outstanding job and drains the pool with no
+// deadline; it returns once all workers exit.
+func (s *Server) Close() { _ = s.Shutdown(context.Background()) }
 
 // Registry exposes the tensor cache (used by cmd/splatt-serve logging).
 func (s *Server) Registry() *Registry { return s.registry }
@@ -178,36 +211,51 @@ func (s *Server) Models() *model.Registry { return s.models }
 //	GET    /v1/models/{id}/entry?coord=i,j,k — reconstruct one entry
 //	POST   /v1/models/{id}/topk              — top-K scoring over a mode slice
 //	POST   /v1/models/{id}/similar           — cosine nearest factor rows
+//	GET    /v1/jobs/{id}/trace — full per-iteration trace timeline
 //	GET    /v1/metrics      — queue/cache/worker gauges + engine timers + query latency
+//	GET    /v1/metrics/prometheus — the same registry in text exposition 0.0.4
 //	GET    /v1/healthz
+//
+// Every route runs under the observability middleware stack, outermost
+// first: request-ID propagation, structured access logging + panic
+// recovery (sharing one status recorder), then per-route latency/in-flight
+// instruments, handler deadline, and body limit.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	// route mounts one handler under /v1 and its deprecated unversioned
-	// alias (pattern is "METHOD /path").
-	route := func(method, path string, h http.HandlerFunc) {
-		mux.HandleFunc(method+" /v1"+path, h)
-		mux.HandleFunc(method+" "+path, h)
+	// route mounts one wrapped handler under /v1 and its deprecated
+	// unversioned alias (pattern is "METHOD /path"); both mounts share the
+	// canonical /v1 route's instruments so traffic counts once per
+	// logical endpoint. bodyLimit <= 0 leaves the body unbounded,
+	// timeout <= 0 leaves the handler deadline off.
+	route := func(method, path string, timeout time.Duration, bodyLimit int64, h http.HandlerFunc) {
+		wrapped := s.instrument(s.met.route(method, "/v1"+path),
+			withTimeout(timeout, withBodyLimit(bodyLimit, h)))
+		mux.Handle(method+" /v1"+path, wrapped)
+		mux.Handle(method+" "+path, wrapped)
 	}
-	route("POST", "/tensors", s.handleUpload)
-	route("GET", "/tensors", s.handleListTensors)
-	route("GET", "/tensors/{id}", s.handleGetTensor)
-	route("DELETE", "/tensors/{id}", s.handleDeleteTensor)
-	route("POST", "/jobs", s.handleSubmitJob)
-	route("GET", "/jobs", s.handleListJobs)
-	route("GET", "/jobs/{id}", s.handleGetJob)
-	route("DELETE", "/jobs/{id}", s.handleCancelJob)
-	route("POST", "/models", s.handlePublishModel)
-	route("GET", "/models", s.handleListModels)
-	route("GET", "/models/{id}", s.handleGetModel)
-	route("DELETE", "/models/{id}", s.handleDeleteModel)
-	route("GET", "/models/{id}/entry", s.handleModelEntry)
-	route("POST", "/models/{id}/topk", s.handleModelTopK)
-	route("POST", "/models/{id}/similar", s.handleModelSimilar)
-	route("GET", "/metrics", s.handleMetrics)
-	route("GET", "/healthz", func(w http.ResponseWriter, r *http.Request) {
+	reqT, upT := s.cfg.RequestTimeout, s.cfg.UploadTimeout
+	route("POST", "/tensors", upT, s.cfg.MaxUploadBytes, s.handleUpload)
+	route("GET", "/tensors", reqT, 0, s.handleListTensors)
+	route("GET", "/tensors/{id}", reqT, 0, s.handleGetTensor)
+	route("DELETE", "/tensors/{id}", reqT, 0, s.handleDeleteTensor)
+	route("POST", "/jobs", reqT, 1<<20, s.handleSubmitJob)
+	route("GET", "/jobs", reqT, 0, s.handleListJobs)
+	route("GET", "/jobs/{id}", reqT, 0, s.handleGetJob)
+	route("DELETE", "/jobs/{id}", reqT, 0, s.handleCancelJob)
+	route("GET", "/jobs/{id}/trace", reqT, 0, s.handleJobTrace)
+	route("POST", "/models", upT, s.cfg.MaxUploadBytes, s.handlePublishModel)
+	route("GET", "/models", reqT, 0, s.handleListModels)
+	route("GET", "/models/{id}", reqT, 0, s.handleGetModel)
+	route("DELETE", "/models/{id}", reqT, 0, s.handleDeleteModel)
+	route("GET", "/models/{id}/entry", reqT, 0, s.handleModelEntry)
+	route("POST", "/models/{id}/topk", reqT, 1<<20, s.handleModelTopK)
+	route("POST", "/models/{id}/similar", reqT, 1<<20, s.handleModelSimilar)
+	route("GET", "/metrics", reqT, 0, s.handleMetrics)
+	route("GET", "/metrics/prometheus", reqT, 0, s.handlePrometheus)
+	route("GET", "/healthz", reqT, 0, func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
-	return mux
+	return withRequestID(s.observeRequests(mux))
 }
 
 // errorEnvelope is the uniform JSON error body every failure path returns:
@@ -300,7 +348,7 @@ func listWindow(w http.ResponseWriter, r *http.Request, total int) (lo, hi int, 
 func (s *Server) handleUpload(w http.ResponseWriter, r *http.Request) {
 	res, err := s.registry.Ingest(r.Body, s.cfg.MaxUploadBytes, s.cfg.MaxModeLength)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		writeError(w, uploadStatus(err), err)
 		return
 	}
 	status := http.StatusCreated
@@ -350,10 +398,10 @@ func (s *Server) handleDeleteTensor(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleSubmitJob(w http.ResponseWriter, r *http.Request) {
 	var spec JobSpec
-	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec := json.NewDecoder(r.Body) // bounded by the route's body limit
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&spec); err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("serve: decoding job spec: %w", err))
+		writeError(w, uploadStatus(err), fmt.Errorf("serve: decoding job spec: %w", err))
 		return
 	}
 	if err := spec.normalize(); err != nil {
@@ -372,7 +420,7 @@ func (s *Server) handleSubmitJob(w http.ResponseWriter, r *http.Request) {
 	s.jobsMu.Lock()
 	s.seq++
 	id := fmt.Sprintf("job-%06d", s.seq)
-	j := newJob(id, s.seq, spec, s.baseCtx)
+	j := newJob(id, s.seq, spec, s.baseCtx, s.cfg.MaxTraceEvents)
 	j.tensor = tensor
 	s.jobs[id] = j
 	s.jobsMu.Unlock()
@@ -383,9 +431,7 @@ func (s *Server) handleSubmitJob(w http.ResponseWriter, r *http.Request) {
 		delete(s.jobs, id)
 		s.jobsMu.Unlock()
 		j.finish(StateFailed, nil, err)
-		s.statsMu.Lock()
-		s.rejected++
-		s.statsMu.Unlock()
+		s.met.rejected.Inc()
 		status := http.StatusServiceUnavailable
 		if errors.Is(err, ErrQueueClosed) {
 			status = http.StatusGone
@@ -473,26 +519,43 @@ func (s *Server) handleCancelJob(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusAccepted, j.Status())
 }
 
+// JobTrace is the GET /v1/jobs/{id}/trace document: the job's retained
+// per-iteration timeline plus how much of it the bounded ring dropped.
+type JobTrace struct {
+	JobID string   `json:"job_id"`
+	State JobState `json:"state"`
+	// TotalIterations counts every iteration the engine reported; when it
+	// exceeds len(Events), the oldest (TotalIterations − len(Events))
+	// events were dropped by the ring.
+	TotalIterations int             `json:"total_iterations"`
+	Dropped         int             `json:"dropped"`
+	Events          []obs.IterEvent `json:"events"`
+}
+
+func (s *Server) handleJobTrace(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.lookupJob(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, errors.New("serve: no such job"))
+		return
+	}
+	events := j.trace.Snapshot()
+	if events == nil {
+		events = []obs.IterEvent{}
+	}
+	writeJSON(w, http.StatusOK, JobTrace{
+		JobID:           j.ID,
+		State:           j.State(),
+		TotalIterations: j.trace.Total(),
+		Dropped:         j.trace.Dropped(),
+		Events:          events,
+	})
+}
+
 // QueryStats is the per-endpoint model-query counter: request count and
 // cumulative handler seconds (divide for mean latency).
 type QueryStats struct {
 	Count   int64   `json:"count"`
 	Seconds float64 `json:"seconds"`
-}
-
-// recordQuery folds one model-query invocation into the per-endpoint
-// metrics.
-func (s *Server) recordQuery(endpoint string, start time.Time) {
-	elapsed := time.Since(start).Seconds()
-	s.statsMu.Lock()
-	q := s.queries[endpoint]
-	if q == nil {
-		q = &QueryStats{}
-		s.queries[endpoint] = q
-	}
-	q.Count++
-	q.Seconds += elapsed
-	s.statsMu.Unlock()
 }
 
 // Metrics is the GET /v1/metrics document.
@@ -540,6 +603,9 @@ type Metrics struct {
 	RoutineSeconds map[string]float64 `json:"routine_seconds"`
 }
 
+// handleMetrics renders the JSON metrics document. Every counter is read
+// from the same obs instruments the Prometheus exposition scrapes, so the
+// two views cannot drift apart.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	var m Metrics
 	m.UptimeSeconds = time.Since(s.started).Seconds()
@@ -554,29 +620,32 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	m.Queue.Submitted = int64(s.seq)
 	s.jobsMu.Unlock()
 
-	s.statsMu.Lock()
-	m.Queue.Rejected = s.rejected
-	m.Jobs.Completed = s.completed
-	m.Jobs.Failed = s.failed
-	m.Jobs.Cancelled = s.cancelled
-	m.Jobs.Published = s.published
-	m.Jobs.ByFormat = make(map[string]int64, len(s.formats))
-	for k, v := range s.formats {
-		m.Jobs.ByFormat[k] = v
+	m.Queue.Rejected = int64(s.met.rejected.Value())
+	m.Jobs.Completed = int64(s.met.jobsCompleted.Value())
+	m.Jobs.Failed = int64(s.met.jobsFailed.Value())
+	m.Jobs.Cancelled = int64(s.met.jobsCancelled.Value())
+	m.Jobs.Published = int64(s.met.published.Value())
+
+	s.met.mu.Lock()
+	m.Jobs.ByFormat = make(map[string]int64, len(s.met.formats))
+	for k, c := range s.met.formats {
+		m.Jobs.ByFormat[k] = int64(c.Value())
 	}
-	m.Jobs.BySolver = make(map[string]int64, len(s.solvers))
-	for k, v := range s.solvers {
-		m.Jobs.BySolver[k] = v
+	m.Jobs.BySolver = make(map[string]int64, len(s.met.solvers))
+	for k, c := range s.met.solvers {
+		m.Jobs.BySolver[k] = int64(c.Value())
 	}
-	m.ModelQueries = make(map[string]QueryStats, len(s.queries))
-	for k, v := range s.queries {
-		m.ModelQueries[k] = *v
+	m.ModelQueries = make(map[string]QueryStats, len(s.met.queries))
+	for k, q := range s.met.queries {
+		if n := q.count.Value(); n > 0 {
+			m.ModelQueries[k] = QueryStats{Count: int64(n), Seconds: q.seconds.Value()}
+		}
 	}
-	m.RoutineSeconds = make(map[string]float64, len(s.routines))
-	for k, v := range s.routines {
-		m.RoutineSeconds[k] = v
+	m.RoutineSeconds = make(map[string]float64, len(s.met.routines))
+	for k, fc := range s.met.routines {
+		m.RoutineSeconds[k] = fc.Value()
 	}
-	s.statsMu.Unlock()
+	s.met.mu.Unlock()
 
 	writeJSON(w, http.StatusOK, m)
 }

@@ -53,6 +53,7 @@ func (s *Server) execute(j *Job) {
 		timers = perf.NewRegistry()
 		opts := j.Spec.coreOptions(j.ctx)
 		opts.Timers = timers
+		opts.Trace = j.trace
 		k, report, runErr := core.CPD(tensor, opts)
 		kruskal, err = k, runErr
 		if report != nil {
@@ -64,7 +65,9 @@ func (s *Server) execute(j *Job) {
 			cancelled = report.Cancelled
 		}
 	case KindDistributed:
-		k, report, runErr := dist.CPD(tensor, j.Spec.distOptions(j.ctx))
+		dopts := j.Spec.distOptions(j.ctx)
+		dopts.Trace = j.trace
+		k, report, runErr := dist.CPD(tensor, dopts)
 		kruskal, err = k, runErr
 		if report != nil {
 			res.Fit = report.Fit
@@ -121,29 +124,25 @@ func (s *Server) publishModel(j *Job, k *core.KruskalTensor, res *JobResult) err
 	}
 	info, _ := s.models.Publish(m, j.Spec.TensorID, j.ID)
 	res.ModelID = info.ID
-	s.statsMu.Lock()
-	s.published++
-	s.statsMu.Unlock()
+	s.met.published.Inc()
 	return nil
 }
 
 // tally merges a finished job's outcome and engine timers into the
-// server-wide metrics.
+// server-wide instruments.
 func (s *Server) tally(state JobState, timers *perf.Registry) {
-	s.statsMu.Lock()
-	defer s.statsMu.Unlock()
 	switch state {
 	case StateDone:
-		s.completed++
+		s.met.jobsCompleted.Inc()
 	case StateFailed:
-		s.failed++
+		s.met.jobsFailed.Inc()
 	case StateCancelled:
-		s.cancelled++
+		s.met.jobsCancelled.Inc()
 	}
 	if timers != nil {
-		for name, secs := range timers.Snapshot() {
-			s.routines[name] += secs
-		}
+		timers.Visit(func(name string, secs float64, laps int) {
+			s.met.routine(name).Add(secs)
+		})
 	}
 }
 
@@ -154,9 +153,7 @@ func (s *Server) tallyFormat(resolved string) {
 	if resolved == "" {
 		resolved = "coo"
 	}
-	s.statsMu.Lock()
-	s.formats[resolved]++
-	s.statsMu.Unlock()
+	s.met.format(resolved).Inc()
 }
 
 // tallySolver counts a completed job against the factor-update algorithm
@@ -166,7 +163,5 @@ func (s *Server) tallySolver(resolved string) {
 	if resolved == "" {
 		resolved = "als"
 	}
-	s.statsMu.Lock()
-	s.solvers[resolved]++
-	s.statsMu.Unlock()
+	s.met.solver(resolved).Inc()
 }
