@@ -12,12 +12,15 @@ import (
 
 	splatt "repro"
 	"repro/internal/core"
+	"repro/internal/obs"
 )
 
 // benchSteadyState measures one full ALS iteration per op on a warm
-// session.
+// session. With spans, the session records into a span profiler sized so
+// the ring overflows mid-run — the measured path is the steady-state one
+// (aggregate atomics plus drop counting), which must stay at 0 allocs/op.
 func benchSteadyState(b *testing.B, ds string, format splatt.StorageFormat,
-	solver splatt.Solver, tasks int) {
+	solver splatt.Solver, tasks int, spans bool) {
 
 	t := benchTensor(b, ds)
 	opts := core.DefaultOptions()
@@ -25,6 +28,9 @@ func benchSteadyState(b *testing.B, ds string, format splatt.StorageFormat,
 	opts.Tasks = tasks
 	opts.Format = format
 	opts.Solver = solver
+	if spans {
+		opts.Spans = obs.NewProfiler(1, 4096)
+	}
 	// Enough budget that the measured iterations never hit MaxIters, and
 	// (for ARLS) stay inside the sampled phase: the point is steady-state
 	// behaviour, not convergence.
@@ -50,7 +56,7 @@ func BenchmarkSteadyStateALS(b *testing.B) {
 		for _, f := range []splatt.StorageFormat{splatt.FormatCSF, splatt.FormatALTO} {
 			for _, tasks := range []int{1, 4} {
 				b.Run(fmt.Sprintf("%s/%v/tasks=%d", ds, f, tasks), func(b *testing.B) {
-					benchSteadyState(b, ds, f, splatt.SolverALS, tasks)
+					benchSteadyState(b, ds, f, splatt.SolverALS, tasks, false)
 				})
 			}
 		}
@@ -63,7 +69,23 @@ func BenchmarkSteadyStateALS(b *testing.B) {
 func BenchmarkSteadyStateARLS(b *testing.B) {
 	for _, f := range []splatt.StorageFormat{splatt.FormatCSF, splatt.FormatALTO} {
 		b.Run(fmt.Sprintf("yelp/%v/tasks=4", f), func(b *testing.B) {
-			benchSteadyState(b, "yelp", f, splatt.SolverARLS, 4)
+			benchSteadyState(b, "yelp", f, splatt.SolverARLS, 4, false)
 		})
 	}
+}
+
+// BenchmarkSteadyStateSpans re-measures the iteration loops with the span
+// profiler attached: the delta against the spans-off benches above is the
+// whole-iteration cost of phase attribution, and the alloc gate holds the
+// instrumented loop at the same 0 allocs/op as the bare one.
+func BenchmarkSteadyStateSpans(b *testing.B) {
+	b.Run("yelp/csf/als/tasks=1", func(b *testing.B) {
+		benchSteadyState(b, "yelp", splatt.FormatCSF, splatt.SolverALS, 1, true)
+	})
+	b.Run("yelp/csf/als/tasks=4", func(b *testing.B) {
+		benchSteadyState(b, "yelp", splatt.FormatCSF, splatt.SolverALS, 4, true)
+	})
+	b.Run("yelp/csf/arls/tasks=4", func(b *testing.B) {
+		benchSteadyState(b, "yelp", splatt.FormatCSF, splatt.SolverARLS, 4, true)
+	})
 }

@@ -39,17 +39,19 @@ func main() {
 		tasks      = flag.String("tasks", "1,2,4,8,16,32", "comma-separated task sweep")
 		formatStr  = flag.String("format", "", "storage backend for all experiments: csf|alto|auto (default csf)")
 		solverStr  = flag.String("solver", "", "factor-update solver for all experiments: als|arls|auto (default als)")
+		profileStr = flag.String("profile", "", "print the aggregated span-profiler per-phase table after the sweep: tsv|json")
 		quick      = flag.Bool("quick", false, "tiny smoke configuration")
 	)
 	flag.Parse()
 
 	cfg := bench.Config{
-		Scale:  *scale,
-		Rank:   *rank,
-		Iters:  *iters,
-		Trials: *trials,
-		Format: *formatStr,
-		Solver: *solverStr,
+		Scale:   *scale,
+		Rank:    *rank,
+		Iters:   *iters,
+		Trials:  *trials,
+		Format:  *formatStr,
+		Solver:  *solverStr,
+		Profile: *profileStr,
 	}
 	var err error
 	cfg.Tasks, err = parseTasks(*tasks)
@@ -60,6 +62,7 @@ func main() {
 		cfg = bench.QuickConfig()
 		cfg.Format = *formatStr
 		cfg.Solver = *solverStr
+		cfg.Profile = *profileStr
 	}
 
 	r, err := bench.NewRunner(cfg, os.Stdout)
@@ -68,6 +71,12 @@ func main() {
 	}
 	if err := r.Run(*experiment); err != nil {
 		log.Fatal(err)
+	}
+	if *profileStr != "" {
+		fmt.Println()
+		if err := r.WriteProfile(os.Stdout); err != nil {
+			log.Fatal(err)
+		}
 	}
 }
 

@@ -22,6 +22,7 @@ import (
 	"repro/internal/format"
 	"repro/internal/locks"
 	"repro/internal/mttkrp"
+	"repro/internal/obs"
 	"repro/internal/perf"
 	"repro/internal/sketch"
 	"repro/internal/sptensor"
@@ -55,8 +56,13 @@ func main() {
 		ridge      = flag.Float64("ridge", 0, "Tikhonov regularizer added to each normal system")
 		blasTh     = flag.Int("blas-threads", 0, "BLAS pool threads for the inverse routine (>1 reproduces the §V-E interference)")
 		blasSpin   = flag.Int("blas-spin", 0, "BLAS pool post-call spin iterations (QT_SPINCOUNT analogue)")
+		phaseProf  = flag.String("phase-profile", "", "print the span-profiler per-phase table after the run: tsv|json (-profile, by contrast, selects the implementation profile)")
 	)
 	flag.Parse()
+
+	if *phaseProf != "" && *phaseProf != "tsv" && *phaseProf != "json" {
+		log.Fatalf("unknown -phase-profile format %q (want tsv or json)", *phaseProf)
+	}
 
 	t, name, err := loadInput(*tensorPath, *dataset, *scale)
 	if err != nil {
@@ -92,6 +98,11 @@ func main() {
 
 	timers := perf.NewRegistry()
 	opts.Timers = timers
+	var spans *obs.Profiler
+	if *phaseProf != "" {
+		spans = obs.NewProfiler(1, 8192)
+		opts.Spans = spans
+	}
 	k, report, err := core.CPD(t, opts)
 	if err != nil {
 		log.Fatal(err)
@@ -105,6 +116,20 @@ func main() {
 	fmt.Printf("  solver: %s (%d sampled + %d exact iterations)\n\n",
 		report.Solver, report.SampledIters, report.Iterations-report.SampledIters)
 	fmt.Print(timers.Report())
+
+	if spans != nil {
+		fmt.Println()
+		prof := spans.Profile()
+		var perr error
+		if *phaseProf == "json" {
+			perr = prof.WriteJSON(os.Stdout)
+		} else {
+			perr = prof.WriteTSV(os.Stdout)
+		}
+		if perr != nil {
+			log.Fatalf("writing phase profile: %v", perr)
+		}
+	}
 
 	if err := k.Validate(); err != nil {
 		log.Fatalf("result failed validation: %v", err)

@@ -38,6 +38,7 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"runtime"
 	"syscall"
 	"time"
 
@@ -57,8 +58,11 @@ func main() {
 		reqTimeo  = flag.Duration("request-timeout", 30*time.Second, "per-request handler deadline (exceeded => 503)")
 		upTimeo   = flag.Duration("upload-timeout", 2*time.Minute, "upload handler deadline")
 		traceN    = flag.Int("trace-events", 512, "per-job iteration-trace ring capacity")
+		spanN     = flag.Int("span-events", 4096, "per-job per-locale span-event ring capacity for /v1/jobs/{id}/timeline (earliest events kept; per-phase aggregates on /profile stay exact regardless; 0 = aggregates only)")
 		gracePeri = flag.Duration("grace", 10*time.Second, "shutdown grace period")
 		pprofOn   = flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/ (CPU/heap profiling of a live service; keep off on untrusted networks)")
+		mutexFrac = flag.Int("mutexprofile", 0, "mutex contention profiling fraction for /debug/pprof/mutex: sample 1/N of contention events (0 = off; requires -pprof; small N costs hot-path overhead)")
+		blockRate = flag.Int("blockprofile", 0, "goroutine blocking profile rate for /debug/pprof/block: one sample per N ns blocked (0 = off, 1 = every event; requires -pprof)")
 		logJSON   = flag.Bool("log-json", false, "emit structured logs as JSON instead of text")
 	)
 	flag.Parse()
@@ -81,6 +85,7 @@ func main() {
 		RequestTimeout:   *reqTimeo,
 		UploadTimeout:    *upTimeo,
 		MaxTraceEvents:   *traceN,
+		MaxSpanEvents:    *spanN,
 		Logger:           logger,
 	})
 
@@ -95,6 +100,16 @@ func main() {
 		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 		handler = mux
 		logger.Info("pprof enabled", slog.String("path", "/debug/pprof/"))
+		// Mutex and block profiling are opt-in because sampling costs
+		// hot-path overhead; they only matter when pprof is serving.
+		if *mutexFrac > 0 {
+			runtime.SetMutexProfileFraction(*mutexFrac)
+			logger.Info("mutex profiling enabled", slog.Int("fraction", *mutexFrac))
+		}
+		if *blockRate > 0 {
+			runtime.SetBlockProfileRate(*blockRate)
+			logger.Info("block profiling enabled", slog.Int("rate_ns", *blockRate))
+		}
 	}
 
 	httpSrv := &http.Server{

@@ -14,6 +14,7 @@ import (
 	"strings"
 
 	"repro/internal/format"
+	"repro/internal/obs"
 	"repro/internal/sketch"
 	"repro/internal/sptensor"
 )
@@ -41,6 +42,12 @@ type Config struct {
 	// ("" or "als" = exact; "arls"|"auto" available). The ablsolver
 	// ablation sweeps both solvers regardless.
 	Solver string
+	// Profile enables span profiling across every CP-ALS run the harness
+	// executes and selects the rendering for the aggregated per-phase
+	// table ("tsv" or "json"; "" = disabled). One profiler accumulates
+	// over all experiments of the invocation, so the table reports where
+	// the whole sweep's solver time went.
+	Profile string
 }
 
 // DefaultConfig returns the laptop-scale defaults.
@@ -87,6 +94,11 @@ func (c Config) Validate() error {
 	if _, err := sketch.Parse(c.Solver); err != nil {
 		return err
 	}
+	switch c.Profile {
+	case "", "tsv", "json":
+	default:
+		return fmt.Errorf("bench: unknown profile format %q (want tsv or json)", c.Profile)
+	}
 	return nil
 }
 
@@ -107,6 +119,7 @@ type Runner struct {
 	cfg   Config
 	out   io.Writer
 	cache map[string]*sptensor.Tensor
+	spans *obs.Profiler // non-nil when cfg.Profile != ""
 }
 
 // NewRunner creates a harness writing its reports to out.
@@ -114,7 +127,27 @@ func NewRunner(cfg Config, out io.Writer) (*Runner, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	return &Runner{cfg: cfg, out: out, cache: make(map[string]*sptensor.Tensor)}, nil
+	r := &Runner{cfg: cfg, out: out, cache: make(map[string]*sptensor.Tensor)}
+	if cfg.Profile != "" {
+		// Aggregates only (capacity 0): the harness wants the per-phase
+		// totals table, not a timeline, and runs far too many iterations
+		// for any bounded event ring to represent faithfully.
+		r.spans = obs.NewProfiler(1, 0)
+	}
+	return r, nil
+}
+
+// WriteProfile renders the accumulated per-phase table in the format
+// selected by Config.Profile. It is a no-op when profiling is disabled.
+func (r *Runner) WriteProfile(w io.Writer) error {
+	if r.spans == nil {
+		return nil
+	}
+	prof := r.spans.Profile()
+	if r.cfg.Profile == "json" {
+		return prof.WriteJSON(w)
+	}
+	return prof.WriteTSV(w)
 }
 
 // dataset returns the (cached) twin for a registry key.

@@ -100,6 +100,7 @@ func (r *Runner) runCPD(t *sptensor.Tensor, tasks int, opts core.Options) (map[s
 		runtime.GC() // isolate trials from prior configurations' heap growth
 		timers := perf.NewRegistry()
 		opts.Timers = timers
+		opts.Spans = r.spans
 		_, report, err := core.CPD(t, opts)
 		if err != nil {
 			panic(err)

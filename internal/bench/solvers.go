@@ -88,6 +88,7 @@ func (r *Runner) runTolCPD(t *sptensor.Tensor, tasks int, opts core.Options) (ma
 	opts.Tasks = tasks
 	timers := perf.NewRegistry()
 	opts.Timers = timers
+	opts.Spans = r.spans
 	_, report, err := core.CPD(t, opts)
 	if err != nil {
 		panic(err)

@@ -93,6 +93,11 @@ type decomposer struct {
 	tCPD, tATA, tMTTKRP, tInverse, tNorm, tFit *perf.Timer
 	tSketch, tSketchBuild, tLeverage           *perf.Timer
 
+	// rec is the span recorder (nil without a profiler): the phase-level
+	// counterpart of the timers above, feeding /profile, /timeline, and
+	// the per-phase Prometheus families.
+	rec *obs.SpanRecorder
+
 	// Fit-reduction scratch: staged operands plus a body built once.
 	fitPartials []float64
 	fitFactor   *dense.Matrix
@@ -153,6 +158,9 @@ func newDecomposer(t *sptensor.Tensor, backend format.Backend, team *parallel.Te
 	d.tSketch = timers.Get(perf.RoutineSketch)
 	d.tSketchBuild = timers.Get(perf.RoutineSketchBuild)
 	d.tLeverage = timers.Get(perf.RoutineLeverage)
+	if opts.Spans != nil {
+		d.rec = opts.Spans.Recorder(0)
+	}
 
 	d.fitPartials = arena.Task(0).F64(team.N())
 	d.fitBody = func(tid int) {
@@ -208,7 +216,23 @@ func (d *decomposer) resolveSolver() {
 	}
 	d.solver = sketch.ARLS
 	d.sampler = sampler
+	d.sampler.SetSpans(d.rec)
 	d.vs = dense.NewMatrix(d.opts.Rank, d.opts.Rank)
+}
+
+// spanStart opens a phase span (no-op handle without a recorder).
+func (d *decomposer) spanStart() int64 {
+	if d.rec == nil {
+		return 0
+	}
+	return d.rec.Start()
+}
+
+// spanEnd closes a phase span (no-op without a recorder).
+func (d *decomposer) spanEnd(p obs.Phase, start int64, mode int) {
+	if d.rec != nil {
+		d.rec.EndMode(p, start, mode)
+	}
 }
 
 // newReport assembles the report skeleton for this run.
@@ -252,6 +276,7 @@ func (d *decomposer) prepare() {
 func (d *decomposer) iterate(it int, report *Report) (stop bool) {
 	order := d.t.NModes()
 	sampled := d.sampledLeft > 0
+	iterSpan := d.spanStart()
 	for m := 0; m < order; m++ {
 		if d.cancelled() {
 			report.Cancelled = true
@@ -267,6 +292,15 @@ func (d *decomposer) iterate(it int, report *Report) (stop bool) {
 	} else {
 		fit = d.computeFit()
 	}
+	// The iteration span envelops the per-phase spans recorded above
+	// (subtract them from it for unattributed time). ARLS refinement
+	// iterations get their own phase so the sampled/exact split is
+	// visible in the aggregate table.
+	iterPhase := obs.PhaseIteration
+	if d.solver == sketch.ARLS && !sampled {
+		iterPhase = obs.PhaseRefine
+	}
+	d.spanEnd(iterPhase, iterSpan, it+1)
 	report.FitHistory = append(report.FitHistory, fit)
 	report.Iterations = it + 1
 	d.emitTrace(it, fit, sampled)
@@ -341,7 +375,9 @@ func (d *decomposer) finish(report *Report) {
 // refreshed whenever that factor changes).
 func (d *decomposer) refreshLeverage(m int) {
 	d.tLeverage.Start()
+	span := d.spanStart()
 	d.sampler.RefreshLeverage(m, d.k.Factors[m], d.grams[m])
+	d.spanEnd(obs.PhaseLeverage, span, m)
 	d.tLeverage.Stop()
 }
 
@@ -375,29 +411,35 @@ func (d *decomposer) updateMode(m, iter int, sampled bool, report *Report) {
 	} else {
 		// V ← ∘_{n≠m} A(n)ᵀA(n) (+ optional ridge), fused into one pass.
 		d.tATA.Start()
+		gramSpan := d.spanStart()
 		dense.HadamardOfGrams(d.v, d.grams, m)
 		if d.opts.Ridge > 0 {
 			for i := 0; i < r; i++ {
 				d.v.Set(i, i, d.v.At(i, i)+d.opts.Ridge)
 			}
 		}
+		d.spanEnd(obs.PhaseGram, gramSpan, m)
 		d.tATA.Stop()
 
 		// M ← X(m) · (⊙_{n≠m} A(n)), the MTTKRP.
 		d.tMTTKRP.Start()
+		mttkrpSpan := d.spanStart()
 		d.backend.MTTKRP(m, d.k.Factors, mrows)
+		d.spanEnd(obs.PhaseMTTKRP, mttkrpSpan, m)
 		d.tMTTKRP.Stop()
 		report.Strategies[m] = d.backend.LastStrategy()
 	}
 
 	// A(m) ← M · V†.
 	d.tInverse.Start()
+	solveSpan := d.spanStart()
 	factor.CopyFrom(mrows)
 	if d.blas != nil {
 		dense.SolveNormalsBLAS(d.blas, v, factor)
 	} else {
 		d.ws.SolveNormals(v, factor)
 	}
+	d.spanEnd(obs.PhaseSolve, solveSpan, m)
 	d.tInverse.Stop()
 
 	if d.opts.NonNegative {
@@ -407,16 +449,20 @@ func (d *decomposer) updateMode(m, iter int, sampled bool, report *Report) {
 	// Normalize columns, storing norms as λ: 2-norm on the first
 	// iteration, max-norm afterwards (SPLATT's schedule).
 	d.tNorm.Start()
+	normSpan := d.spanStart()
 	kind := dense.NormMax
 	if iter == 0 {
 		kind = dense.Norm2
 	}
 	d.ws.NormalizeColumns(factor, d.k.Lambda, kind)
+	d.spanEnd(obs.PhaseNormalize, normSpan, m)
 	d.tNorm.Stop()
 
 	// Refresh this mode's Gram for subsequent V products.
 	d.tATA.Start()
+	gramSpan := d.spanStart()
 	d.ws.Syrk(factor, d.grams[m])
+	d.spanEnd(obs.PhaseGram, gramSpan, m)
 	d.tATA.Stop()
 
 	// The sampled solver keeps mode m's leverage scores in sync with the
@@ -432,6 +478,7 @@ func (d *decomposer) updateMode(m, iter int, sampled bool, report *Report) {
 // the exact last-mode MTTKRP, which sampled iterations never compute.
 func (d *decomposer) estimateFit(iter int) float64 {
 	d.tFit.Start()
+	span := d.spanStart()
 	inner := d.sampler.EstimateInner(iter, 0, d.k.Lambda, d.k.Factors)
 	modelNorm2 := d.modelNormSquared()
 	residual2 := d.normX + modelNorm2 - 2*inner
@@ -442,6 +489,7 @@ func (d *decomposer) estimateFit(iter int) float64 {
 	if d.normX > 0 {
 		fit = 1 - math.Sqrt(residual2)/math.Sqrt(d.normX)
 	}
+	d.spanEnd(obs.PhaseFit, span, -1)
 	d.tFit.Stop()
 	return fit
 }
@@ -452,6 +500,7 @@ func (d *decomposer) estimateFit(iter int) float64 {
 // updated, normalized factor. No pass over the nonzeros is needed.
 func (d *decomposer) computeFit() float64 {
 	d.tFit.Start()
+	span := d.spanStart()
 	last := d.t.NModes() - 1
 	d.fitFactor = d.k.Factors[last]
 	if d.team == nil || d.team.N() == 1 {
@@ -470,6 +519,7 @@ func (d *decomposer) computeFit() float64 {
 	if d.normX > 0 {
 		fit = 1 - math.Sqrt(residual2)/math.Sqrt(d.normX)
 	}
+	d.spanEnd(obs.PhaseFit, span, -1)
 	d.tFit.Stop()
 	return fit
 }

@@ -134,6 +134,15 @@ type Options struct {
 	// predictable branch per iteration.
 	Trace obs.TraceSink
 
+	// Spans, when non-nil, receives phase-level spans (per-mode MTTKRP,
+	// Gram assembly, normal-equations solve, normalize, fit, and the
+	// sampled solver's sample/accumulate/leverage phases) on recorder 0.
+	// Recording is allocation-free — a bounded preallocated ring plus
+	// atomic aggregates — so steady-state iterations stay at 0 allocs/op
+	// with spans enabled. A nil Spans costs one predictable branch per
+	// phase boundary.
+	Spans *obs.Profiler
+
 	// Ctx, when non-nil, is polled between factor updates: once it is
 	// cancelled, CPD stops at the next mode boundary (within one ALS
 	// iteration), marks Report.Cancelled, and returns the partial model

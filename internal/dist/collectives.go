@@ -4,11 +4,41 @@ import (
 	"math"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/parallel"
 )
 
 // negInf is the identity element of the max reduction.
 var negInf = math.Inf(-1)
+
+// commOp indexes the per-operation accounting ledger.
+type commOp int
+
+const (
+	opBarrier commOp = iota
+	opAllreduce
+	opAllgather
+	numCommOps
+)
+
+// commOpNames are the stable exposition names of the collectives (the
+// `op` label of the Prometheus comm families and Report.CommOps rows).
+var commOpNames = [numCommOps]string{"barrier", "allreduce", "allgather"}
+
+// commOpPhases maps each operation to its span phase.
+var commOpPhases = [numCommOps]obs.Phase{
+	obs.PhaseCommBarrier, obs.PhaseCommAllreduce, obs.PhaseCommAllgather,
+}
+
+// opAccount is one locale's ledger for one collective operation. Each
+// locale writes only its own row, so no synchronization is needed; time
+// is kept as integer nanoseconds so per-op sums reconcile exactly with
+// the Report totals derived from them (float accumulation would not).
+type opAccount struct {
+	calls int64
+	bytes int64
+	nanos int64
+}
 
 // comm is the collective-communication fabric shared by the locales of one
 // run. Locales exchange data only through its staging buffers, so every
@@ -20,9 +50,11 @@ var negInf = math.Inf(-1)
 // combine locale contributions in ascending locale order on every locale,
 // so all replicas stay bitwise identical.
 //
-// Accounting counters are written only by locale 0 between the two barrier
-// phases of each collective and read only after the run joins, so they need
-// no extra synchronization.
+// Accounting is per locale and per operation: locale l's row counts its
+// own calls, its own outbound bytes (payload sent to the other L−1
+// locales), and its own seconds inside the collective (staging copies
+// plus barrier waits). Rows are written only by their owning locale and
+// read after the run joins, so they need no extra synchronization.
 type comm struct {
 	locales int
 	barrier *parallel.Barrier
@@ -32,26 +64,62 @@ type comm struct {
 	// gather is the shared assembly buffer for AllgatherRows.
 	gather []float64
 
-	// commSeconds[l] accumulates locale l's time inside collectives.
-	commSeconds []float64
-
-	allreduceCalls int
-	allgatherCalls int
-	barrierCalls   int
-	allreduceBytes int64
-	allgatherBytes int64
+	// ops[l][op] is locale l's ledger for one collective operation.
+	ops [][numCommOps]opAccount
+	// recs[l] is locale l's span recorder (nil without a profiler). When
+	// present it is also the collective clock: the span duration and the
+	// ledger nanos come from the same reading, so the profiler's comm
+	// phases and the Report's per-op seconds agree bitwise.
+	recs []*obs.SpanRecorder
 }
 
 // newComm creates the fabric for a world of `locales`, with an allgather
 // assembly buffer of gatherFloats elements (the mode-0 factor size).
 func newComm(locales, gatherFloats int) *comm {
 	return &comm{
-		locales:     locales,
-		barrier:     parallel.NewBarrier(locales),
-		stage:       make([][]float64, locales),
-		gather:      make([]float64, gatherFloats),
-		commSeconds: make([]float64, locales),
+		locales: locales,
+		barrier: parallel.NewBarrier(locales),
+		stage:   make([][]float64, locales),
+		gather:  make([]float64, gatherFloats),
+		ops:     make([][numCommOps]opAccount, locales),
+		recs:    make([]*obs.SpanRecorder, locales),
 	}
+}
+
+// attach points each locale's collective accounting at its span
+// recorder. A profiler with fewer recorders than locales shares its last
+// recorder (Recorder clamps) — attribution degrades, nothing breaks.
+func (c *comm) attach(p *obs.Profiler) {
+	if p == nil {
+		return
+	}
+	for l := range c.recs {
+		c.recs[l] = p.Recorder(l)
+	}
+}
+
+// begin opens a collective's clock for locale lid: the span handle when
+// a recorder is attached, a wall-clock reading otherwise.
+func (c *comm) begin(lid int) (int64, time.Time) {
+	if rec := c.recs[lid]; rec != nil {
+		return rec.Start(), time.Time{}
+	}
+	return 0, time.Now()
+}
+
+// charge closes the collective's clock and posts one ledger entry for
+// locale lid: a span (when recording) plus calls/bytes/nanos.
+func (c *comm) charge(lid int, op commOp, span int64, wall time.Time, bytes int64) {
+	var nanos int64
+	if rec := c.recs[lid]; rec != nil {
+		nanos = rec.EndOp(commOpPhases[op], span, bytes)
+	} else {
+		nanos = int64(time.Since(wall))
+	}
+	a := &c.ops[lid][op]
+	a.calls++
+	a.bytes += bytes
+	a.nanos += nanos
 }
 
 // outbox returns locale lid's staging buffer, grown to at least n elements.
@@ -67,23 +135,21 @@ func (c *comm) outbox(lid, n int) []float64 {
 // Barrier is the explicit standalone synchronization collective: it blocks
 // locale lid until every locale has reached it. The CP-ALS driver needs no
 // standalone barriers today (every sync point is a phase of a bulk
-// collective, which bump barrierCalls inline), but SPMD extensions — e.g.
-// a distributed tiling schedule — synchronize through this.
+// collective), but SPMD extensions — e.g. a distributed tiling schedule —
+// synchronize through this.
 func (c *comm) Barrier(lid int) {
-	start := time.Now()
-	if lid == 0 {
-		c.barrierCalls++
-	}
+	span, wall := c.begin(lid)
 	c.barrier.Wait()
-	c.commSeconds[lid] += time.Since(start).Seconds()
+	c.charge(lid, opBarrier, span, wall, 0)
 }
 
 // reduce runs one bulk-synchronous reduction round: stage the local
 // payload, wait for all peers, combine every locale's stage (in locale
 // order, so all replicas agree bitwise), and wait again before the stages
-// may be reused. combine folds src into dst element-wise.
+// may be reused. combine folds src into dst element-wise. Each locale is
+// charged its outbound payload: len(buf) floats read by L−1 peers.
 func (c *comm) reduce(lid int, buf []float64, init float64, combine func(dst, src []float64)) {
-	start := time.Now()
+	span, wall := c.begin(lid)
 	out := c.outbox(lid, len(buf))
 	copy(out, buf)
 	c.barrier.Wait()
@@ -93,13 +159,8 @@ func (c *comm) reduce(lid int, buf []float64, init float64, combine func(dst, sr
 	for l := 0; l < c.locales; l++ {
 		combine(buf, c.stage[l][:len(buf)])
 	}
-	if lid == 0 {
-		c.allreduceCalls++
-		c.allreduceBytes += int64(c.locales*(c.locales-1)*len(buf)) * 8
-		c.barrierCalls += 2
-	}
 	c.barrier.Wait()
-	c.commSeconds[lid] += time.Since(start).Seconds()
+	c.charge(lid, opAllreduce, span, wall, int64((c.locales-1)*len(buf))*8)
 }
 
 // AllreduceSum replaces buf on every locale with the element-wise sum of
@@ -134,30 +195,52 @@ func (c *comm) AllreduceScalar(lid int, v float64) float64 {
 // AllgatherRows assembles a row-partitioned matrix: locale lid contributes
 // rows [lo, hi) of the rowLen-wide matrix stored in full, and on return
 // every locale's full holds all rows. Ownership ranges must be disjoint
-// across locales and cover the rows every caller reads afterwards.
+// across locales and cover the rows every caller reads afterwards. Each
+// locale is charged its contribution: (hi−lo)·rowLen floats read by L−1
+// peers.
 func (c *comm) AllgatherRows(lid, lo, hi, rowLen int, full []float64) {
-	start := time.Now()
+	span, wall := c.begin(lid)
 	copy(c.gather[lo*rowLen:hi*rowLen], full[lo*rowLen:hi*rowLen])
 	c.barrier.Wait()
 	copy(full, c.gather[:len(full)])
-	if lid == 0 {
-		c.allgatherCalls++
-		c.allgatherBytes += int64((c.locales-1)*len(full)) * 8
-		c.barrierCalls += 2
-	}
 	c.barrier.Wait()
-	c.commSeconds[lid] += time.Since(start).Seconds()
+	c.charge(lid, opAllgather, span, wall, int64((c.locales-1)*(hi-lo)*rowLen)*8)
 }
 
-// fill copies the accounting totals into a Report.
+// fill derives the Report's communication ledger from the per-locale
+// per-op accounts. Calls are counted once per collective (every locale
+// calls in lockstep, so locale 0's count is the world's); bytes sum over
+// locales; seconds are per locale and per op, with totals computed FROM
+// the per-op values so Report.CommSeconds equals the sum of its parts
+// exactly.
 func (c *comm) fill(r *Report) {
-	r.AllreduceCalls = c.allreduceCalls
-	r.AllgatherCalls = c.allgatherCalls
-	r.BarrierCalls = c.barrierCalls
-	r.AllreduceBytes = c.allreduceBytes
-	r.AllgatherBytes = c.allgatherBytes
-	r.CommBytes = c.allreduceBytes + c.allgatherBytes
-	for _, s := range c.commSeconds {
+	r.CommOps = make([]CommOpStats, numCommOps)
+	perLocale := make([]float64, c.locales)
+	for op := commOp(0); op < numCommOps; op++ {
+		st := &r.CommOps[op]
+		st.Op = commOpNames[op]
+		st.Calls = int(c.ops[0][op].calls)
+		st.SecondsPerLocale = make([]float64, c.locales)
+		for l := 0; l < c.locales; l++ {
+			a := &c.ops[l][op]
+			st.Bytes += a.bytes
+			secs := float64(a.nanos) / 1e9
+			st.SecondsPerLocale[l] = secs
+			perLocale[l] += secs
+			if secs > st.Seconds {
+				st.Seconds = secs
+			}
+		}
+	}
+	r.AllreduceCalls = int(c.ops[0][opAllreduce].calls)
+	r.AllgatherCalls = int(c.ops[0][opAllgather].calls)
+	// Legacy semantics: each bulk collective is two barrier phases, plus
+	// the standalone Barrier calls.
+	r.BarrierCalls = int(c.ops[0][opBarrier].calls) + 2*(r.AllreduceCalls+r.AllgatherCalls)
+	r.AllreduceBytes = r.CommOps[opAllreduce].Bytes
+	r.AllgatherBytes = r.CommOps[opAllgather].Bytes
+	r.CommBytes = r.CommOps[opBarrier].Bytes + r.AllreduceBytes + r.AllgatherBytes
+	for _, s := range perLocale {
 		if s > r.CommSeconds {
 			r.CommSeconds = s
 		}

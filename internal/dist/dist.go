@@ -97,6 +97,15 @@ type Options struct {
 	// fills the routine snapshot. The locales=1 fast path delegates to the
 	// shared-memory engine, which traces every routine.
 	Trace obs.TraceSink
+
+	// Spans, when non-nil, receives phase-level spans: each locale
+	// records into Spans.Recorder(lid), and the comm fabric charges every
+	// collective to the calling locale's recorder, so comm-phase
+	// aggregates agree bitwise with the Report's per-op seconds. The
+	// profiler should be built with at least Locales recorders (a smaller
+	// one shares its last recorder). Recording is allocation-free; see
+	// obs.NewProfiler for the retention knob.
+	Spans *obs.Profiler
 }
 
 // DefaultOptions returns a 2-locale configuration with the paper's ALS
@@ -170,6 +179,7 @@ func (o Options) coreOptions() core.Options {
 	co.RefineIters = o.RefineIters
 	co.Ctx = o.Ctx
 	co.Trace = o.Trace
+	co.Spans = o.Spans
 	return co
 }
 
@@ -217,6 +227,7 @@ func CPD(t *sptensor.Tensor, opts Options) (*core.KruskalTensor, *Report, error)
 	solver := resolveSolver(t, opts)
 	slabs := PartitionSlabs(t, world)
 	fabric := newComm(world, t.Dims[0]*opts.Rank)
+	fabric.attach(opts.Spans)
 	seed := core.NewRandomKruskal(t.Dims, opts.Rank, opts.Seed)
 	locales := make([]*locale, world)
 	var setup sync.WaitGroup
@@ -340,6 +351,13 @@ type locale struct {
 	cancelled     bool
 	mttkrpSeconds float64
 
+	// rec is this locale's span recorder (nil without a profiler). Comm
+	// spans are charged by the fabric; the locale charges its compute
+	// phases. Collectives embedded in a compute segment (e.g. the
+	// normalization allreduce) nest inside that segment's span, so
+	// subtract comm phases from compute phases for pure-compute time.
+	rec *obs.SpanRecorder
+
 	// Sampled-solver state (nil / zero for the exact solver). Every locale
 	// holds identical leverage tables and draws identical samples (same
 	// seed, same replicated factors), so the sampled schedule needs no
@@ -369,6 +387,9 @@ func newLocale(lid int, slab Slab, t *sptensor.Tensor, seed *core.KruskalTensor,
 		grams: make([]*dense.Matrix, order),
 		v:     dense.NewMatrix(r, r),
 		gbuf:  dense.NewMatrix(r, r),
+	}
+	if opts.Spans != nil {
+		lc.rec = opts.Spans.Recorder(lid)
 	}
 	lc.ws = dense.NewWorkspace(lc.team, lc.arena, r)
 	lc.a0 = dense.NewMatrixFrom(slab.Rows(), r, lc.k.Factors[0].Data[slab.Lo*r:slab.Hi*r])
@@ -431,6 +452,9 @@ func newLocale(lid int, slab Slab, t *sptensor.Tensor, seed *core.KruskalTensor,
 			Offsets: offsets,
 			Team:    lc.team,
 		})
+		if lc.sampler != nil {
+			lc.sampler.SetSpans(lc.rec)
+		}
 		lc.vs = dense.NewMatrix(r, r)
 	}
 	return lc
@@ -448,11 +472,13 @@ func (lc *locale) run(c *comm, opts Options, started time.Time) {
 
 	// Initial Grams: the mode-0 Gram is reduced from per-slab partials; the
 	// replicated modes compute identical full Grams locally.
+	gramSpan := lc.spanStart()
 	lc.ws.Syrk(lc.a0, lc.grams[0])
 	c.AllreduceSum(lc.lid, lc.grams[0].Data)
 	for m := 1; m < order; m++ {
 		lc.ws.Syrk(lc.k.Factors[m], lc.grams[m])
 	}
+	lc.spanEnd(obs.PhaseGram, gramSpan, -1)
 
 	// Sampled phase budget — a deterministic function of the uniform
 	// options, so every locale runs the same schedule without coordination.
@@ -481,9 +507,11 @@ func (lc *locale) run(c *comm, opts Options, started time.Time) {
 			}
 		}
 		sampled := sampledLeft > 0
+		iterSpan := lc.spanStart()
 		for m := 0; m < order; m++ {
 			lc.updateMode(c, m, it, sampled, opts)
 		}
+		fitSpan := lc.spanStart()
 		var fit float64
 		if sampled {
 			fit = lc.estimateFit(c, it)
@@ -492,6 +520,12 @@ func (lc *locale) run(c *comm, opts Options, started time.Time) {
 		} else {
 			fit = lc.computeFit()
 		}
+		lc.spanEnd(obs.PhaseFit, fitSpan, -1)
+		iterPhase := obs.PhaseIteration
+		if lc.solver == sketch.ARLS && !sampled {
+			iterPhase = obs.PhaseRefine
+		}
+		lc.spanEnd(iterPhase, iterSpan, it+1)
 		lc.fitHistory = append(lc.fitHistory, fit)
 		lc.iterations = it + 1
 		// Locale 0 reports the world's progress: fit and λ are replicated,
@@ -572,7 +606,9 @@ func (lc *locale) updateMode(c *comm, m, iter int, sampled bool, opts Options) {
 	if sampled {
 		v = lc.vs
 	} else {
+		gramSpan := lc.spanStart()
 		dense.HadamardOfGrams(lc.v, lc.grams, m)
+		lc.spanEnd(obs.PhaseGram, gramSpan, m)
 	}
 
 	kind := dense.NormMax
@@ -589,13 +625,19 @@ func (lc *locale) updateMode(c *comm, m, iter int, sampled bool, opts Options) {
 		} else {
 			lc.applyMTTKRP(0, mrows)
 		}
+		solveSpan := lc.spanStart()
 		lc.addRidge(v, opts)
 		lc.a0.CopyFrom(mrows)
 		lc.ws.SolveNormals(v, lc.a0)
 		lc.clampNonNegative(lc.a0, opts)
+		lc.spanEnd(obs.PhaseSolve, solveSpan, 0)
+		normSpan := lc.spanStart()
 		lc.normalizeOwnedRows(c, kind)
+		lc.spanEnd(obs.PhaseNormalize, normSpan, 0)
+		gramSpan := lc.spanStart()
 		lc.ws.Syrk(lc.a0, lc.grams[0])
 		c.AllreduceSum(lc.lid, lc.grams[0].Data)
+		lc.spanEnd(obs.PhaseGram, gramSpan, 0)
 		c.AllgatherRows(lc.lid, lc.slab.Lo, lc.slab.Hi, r, factor.Data)
 		lc.refreshLeverage(m, sampled)
 		return
@@ -610,13 +652,34 @@ func (lc *locale) updateMode(c *comm, m, iter int, sampled bool, opts Options) {
 	// Replicated modes reduce the per-shard partial M — the same collective
 	// for both solvers, so sampled and exact runs stay aligned.
 	c.AllreduceSum(lc.lid, mrows.Data)
+	solveSpan := lc.spanStart()
 	lc.addRidge(v, opts)
 	factor.CopyFrom(mrows)
 	lc.ws.SolveNormals(v, factor)
 	lc.clampNonNegative(factor, opts)
+	lc.spanEnd(obs.PhaseSolve, solveSpan, m)
+	normSpan := lc.spanStart()
 	lc.ws.NormalizeColumns(factor, lc.k.Lambda, kind)
+	lc.spanEnd(obs.PhaseNormalize, normSpan, m)
+	gramSpan := lc.spanStart()
 	lc.ws.Syrk(factor, lc.grams[m])
+	lc.spanEnd(obs.PhaseGram, gramSpan, m)
 	lc.refreshLeverage(m, sampled)
+}
+
+// spanStart opens a phase span (no-op handle without a recorder).
+func (lc *locale) spanStart() int64 {
+	if lc.rec == nil {
+		return 0
+	}
+	return lc.rec.Start()
+}
+
+// spanEnd closes a phase span (no-op without a recorder).
+func (lc *locale) spanEnd(p obs.Phase, start int64, mode int) {
+	if lc.rec != nil {
+		lc.rec.EndMode(p, start, mode)
+	}
 }
 
 // addRidge adds the Tikhonov diagonal to the normal matrix (the exact path
@@ -635,7 +698,9 @@ func (lc *locale) addRidge(v *dense.Matrix, opts Options) {
 // factor a sampled iteration just rewrote. Identical on every locale.
 func (lc *locale) refreshLeverage(m int, sampled bool) {
 	if sampled {
+		span := lc.spanStart()
 		lc.sampler.RefreshLeverage(m, lc.k.Factors[m], lc.grams[m])
+		lc.spanEnd(obs.PhaseLeverage, span, m)
 	}
 }
 
@@ -649,8 +714,20 @@ func (lc *locale) applySampledMTTKRP(m, iter int, out *dense.Matrix) {
 }
 
 // applyMTTKRP runs the local kernel into out (zeroing it when the shard is
-// empty) and charges the time to the locale's MTTKRP clock.
+// empty) and charges the time to the locale's MTTKRP clock. With a span
+// recorder, the span's clock is the MTTKRP clock, so the profiler's
+// mttkrp phase matches Report.MTTKRPSeconds reading for reading.
 func (lc *locale) applyMTTKRP(m int, out *dense.Matrix) {
+	if lc.rec != nil {
+		span := lc.rec.Start()
+		if lc.op == nil {
+			out.Zero()
+		} else {
+			lc.op.MTTKRP(m, lc.factors, out)
+		}
+		lc.mttkrpSeconds += float64(lc.rec.EndMode(obs.PhaseMTTKRP, span, m)) / 1e9
+		return
+	}
 	start := time.Now()
 	if lc.op == nil {
 		out.Zero()

@@ -48,6 +48,14 @@ type Report struct {
 	// AllreduceBytes + AllgatherBytes.
 	CommBytes int64
 
+	// CommOps is the per-operation communication ledger, one row per
+	// collective kind ("barrier", "allreduce", "allgather"). The rows
+	// partition the totals above exactly: summing CommOps bytes
+	// reproduces CommBytes, and summing each locale's per-op seconds (in
+	// row order) reproduces the per-locale totals whose maximum is
+	// CommSeconds. Nil for single-locale runs, which have no fabric.
+	CommOps []CommOpStats
+
 	// MTTKRPSeconds is the MTTKRP critical path: the maximum across locales
 	// of the time each spent inside local MTTKRP kernels. With perfect
 	// slab balance it shrinks linearly in the locale count.
@@ -57,6 +65,22 @@ type Report struct {
 	CommSeconds float64
 	// TotalSeconds is the wall-clock time of the whole run.
 	TotalSeconds float64
+}
+
+// CommOpStats is the cost of one collective operation over a whole run.
+type CommOpStats struct {
+	// Op names the collective: "barrier", "allreduce", or "allgather".
+	Op string
+	// Calls counts invocations (once per collective, not per locale —
+	// every locale calls in lockstep).
+	Calls int
+	// Bytes is the total cross-locale payload, summed over locales.
+	Bytes int64
+	// SecondsPerLocale[l] is locale l's time inside this collective
+	// (staging copies plus barrier waits).
+	SecondsPerLocale []float64
+	// Seconds is the critical path: max of SecondsPerLocale.
+	Seconds float64
 }
 
 // ImbalanceRatio reports max/mean nonzeros per locale (1.0 = perfectly

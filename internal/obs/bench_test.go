@@ -22,3 +22,21 @@ func BenchmarkObsHotPath(b *testing.B) {
 		g.Dec()
 	}
 }
+
+// BenchmarkSpanHotPath pins the span-recording hot path: one Start +
+// EndMode per op against a pre-filled ring, so the measured path is the
+// steady-state one (aggregate atomics + drop counting). Must stay at
+// 0 allocs/op — it runs inside every instrumented solver phase.
+func BenchmarkSpanHotPath(b *testing.B) {
+	p := NewProfiler(1, 64)
+	r := p.Recorder(0)
+	for i := 0; i < 64; i++ { // fill the ring: steady state drops, not appends
+		r.EndMode(PhaseMTTKRP, r.Start(), 0)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := r.Start()
+		r.EndMode(PhaseMTTKRP, s, 1)
+	}
+}

@@ -1,0 +1,47 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// WriteTSV renders the merged per-phase table as tab-separated rows —
+// the output behind the CLI -phase-profile/-profile flags. Per-locale
+// breakdowns are appended as extra rows with a locale column only when
+// the profile has them, so single-node output stays a flat four-column
+// table.
+func (p Profile) WriteTSV(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "phase\tcalls\tseconds\tbytes"); err != nil {
+		return err
+	}
+	for _, st := range p.Phases {
+		if _, err := fmt.Fprintf(w, "%s\t%d\t%.6f\t%d\n",
+			st.Phase, st.Calls, st.Seconds, st.Bytes); err != nil {
+			return err
+		}
+	}
+	for _, lp := range p.Locales {
+		for _, st := range lp.Phases {
+			if _, err := fmt.Fprintf(w, "locale%d/%s\t%d\t%.6f\t%d\n",
+				lp.Locale, st.Phase, st.Calls, st.Seconds, st.Bytes); err != nil {
+				return err
+			}
+		}
+	}
+	if p.SpansDropped > 0 {
+		if _, err := fmt.Fprintf(w, "# %d span events dropped (ring full); aggregates above remain exact\n",
+			p.SpansDropped); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteJSON renders the full profile — including the per-locale
+// breakdown when present — as indented JSON.
+func (p Profile) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(p)
+}

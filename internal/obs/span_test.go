@@ -1,0 +1,302 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"sync"
+	"testing"
+)
+
+func TestPhaseNames(t *testing.T) {
+	seen := map[string]bool{}
+	for p := Phase(0); p < NumPhases; p++ {
+		name := p.String()
+		if name == "" || name == "unknown" {
+			t.Fatalf("phase %d has no name", p)
+		}
+		if seen[name] {
+			t.Fatalf("duplicate phase name %q", name)
+		}
+		seen[name] = true
+		if p.IsComm() != (p.CommOp() != "") {
+			t.Errorf("phase %s: IsComm=%v but CommOp=%q", name, p.IsComm(), p.CommOp())
+		}
+	}
+	if NumPhases.String() != "unknown" {
+		t.Errorf("out-of-range phase name = %q, want unknown", NumPhases.String())
+	}
+}
+
+func TestSpanAggregates(t *testing.T) {
+	p := NewProfiler(2, 64)
+	for l := 0; l < 2; l++ {
+		r := p.Recorder(l)
+		for i := 0; i < 3; i++ {
+			r.EndMode(PhaseMTTKRP, r.Start(), i)
+		}
+		r.EndOp(PhaseCommAllreduce, r.Start(), 128)
+	}
+
+	prof := p.Profile()
+	if prof.Locales == nil || len(prof.Locales) != 2 {
+		t.Fatalf("want 2 locale breakdowns, got %v", prof.Locales)
+	}
+	if prof.Spans != 8 || prof.SpansDropped != 0 {
+		t.Fatalf("spans=%d dropped=%d, want 8/0", prof.Spans, prof.SpansDropped)
+	}
+	stats := map[string]PhaseStat{}
+	for _, st := range prof.Phases {
+		stats[st.Phase] = st
+	}
+	if st := stats["mttkrp"]; st.Calls != 6 {
+		t.Errorf("mttkrp calls = %d, want 6", st.Calls)
+	}
+	if st := stats["comm_allreduce"]; st.Calls != 2 || st.Bytes != 256 {
+		t.Errorf("comm_allreduce = %+v, want 2 calls / 256 bytes", st)
+	}
+	if _, ok := stats["solve"]; ok {
+		t.Error("zero-call phase should be omitted from the profile")
+	}
+	// Merged seconds must be the exact float64 image of the summed
+	// integer ledgers, not a float sum of per-locale seconds.
+	wantNanos := p.recs[0].agg[PhaseMTTKRP].nanos.Load() +
+		p.recs[1].agg[PhaseMTTKRP].nanos.Load()
+	if got := stats["mttkrp"].Seconds; got != float64(wantNanos)/1e9 {
+		t.Errorf("merged mttkrp seconds = %v, want %v", got, float64(wantNanos)/1e9)
+	}
+
+	single := NewProfiler(1, 8)
+	single.Recorder(0).End(PhaseFit, single.Recorder(0).Start())
+	if sp := single.Profile(); sp.Locales != nil {
+		t.Error("single-locale profile should omit the per-locale breakdown")
+	}
+}
+
+func TestSpanRingKeepsHeadAndCountsDrops(t *testing.T) {
+	p := NewProfiler(1, 2)
+	r := p.Recorder(0)
+	for i := 0; i < 5; i++ {
+		r.EndMode(PhaseGram, r.Start(), i)
+	}
+	ls := p.Spans()[0]
+	if len(ls.Spans) != 2 || ls.Dropped != 3 {
+		t.Fatalf("retained=%d dropped=%d, want 2/3", len(ls.Spans), ls.Dropped)
+	}
+	// Keep-first retention: the survivors are the earliest records.
+	if ls.Spans[0].Mode != 0 || ls.Spans[1].Mode != 1 {
+		t.Errorf("retained modes %d,%d, want the first two (0,1)",
+			ls.Spans[0].Mode, ls.Spans[1].Mode)
+	}
+	prof := p.Profile()
+	if prof.SpansDropped != 3 {
+		t.Errorf("profile dropped = %d, want 3", prof.SpansDropped)
+	}
+	// Aggregates must be exact despite the drops.
+	if got := prof.Phases[0].Calls; got != 5 {
+		t.Errorf("gram calls = %d, want 5 (drops must not lose aggregate counts)", got)
+	}
+}
+
+func TestRecorderClamps(t *testing.T) {
+	p := NewProfiler(2, 4)
+	if p.Recorder(-1) != p.Recorder(0) {
+		t.Error("negative index should clamp to recorder 0")
+	}
+	if p.Recorder(99) != p.Recorder(1) {
+		t.Error("oversized index should clamp to the last recorder")
+	}
+	if NewProfiler(0, -5).Locales() != 1 {
+		t.Error("locales/capacity should clamp to 1/0")
+	}
+}
+
+func TestSpanRecordZeroAllocs(t *testing.T) {
+	p := NewProfiler(1, 32)
+	r := p.Recorder(0)
+	// 200 runs overflow the 32-span ring, so both the append path and
+	// the drop path are covered; neither may allocate.
+	if allocs := testing.AllocsPerRun(200, func() {
+		s := r.Start()
+		r.EndMode(PhaseMTTKRP, s, 1)
+	}); allocs != 0 {
+		t.Errorf("span record allocates %v allocs/op, want 0", allocs)
+	}
+}
+
+func TestSpanConcurrentRecordAndSnapshot(t *testing.T) {
+	p := NewProfiler(4, 128)
+	var wg sync.WaitGroup
+	for l := 0; l < 4; l++ {
+		wg.Add(1)
+		go func(l int) {
+			defer wg.Done()
+			r := p.Recorder(l)
+			for i := 0; i < 500; i++ {
+				r.EndOp(PhaseCommBarrier, r.Start(), 8)
+			}
+		}(l)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 50; i++ {
+			p.Profile()
+			p.Spans()
+			_ = p.WriteChromeTrace(io.Discard, "race")
+		}
+	}()
+	wg.Wait()
+	prof := p.Profile()
+	if prof.Phases[0].Calls != 2000 || prof.Phases[0].Bytes != 2000*8 {
+		t.Errorf("concurrent aggregate = %+v, want 2000 calls / 16000 bytes", prof.Phases[0])
+	}
+}
+
+// chromeCheck decodes a Chrome trace document and verifies structural
+// conformance: monotonic non-decreasing timestamps per thread and
+// stack-matched B/E pairs (every E names the innermost open B).
+func chromeCheck(t *testing.T, raw []byte) (events, pairs int) {
+	t.Helper()
+	var doc struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			TS   float64        `json:"ts"`
+			PID  int            `json:"pid"`
+			TID  int            `json:"tid"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	if doc.DisplayTimeUnit != "ms" {
+		t.Errorf("displayTimeUnit = %q, want ms", doc.DisplayTimeUnit)
+	}
+	stacks := map[int][]string{}
+	lastTS := map[int]float64{}
+	sawProcessName := false
+	for _, ev := range doc.TraceEvents {
+		switch ev.Ph {
+		case "M":
+			if ev.Name == "process_name" {
+				sawProcessName = true
+			}
+		case "B":
+			if ev.TS < lastTS[ev.TID] {
+				t.Fatalf("tid %d: B %q ts %v went backwards (last %v)",
+					ev.TID, ev.Name, ev.TS, lastTS[ev.TID])
+			}
+			lastTS[ev.TID] = ev.TS
+			stacks[ev.TID] = append(stacks[ev.TID], ev.Name)
+			events++
+		case "E":
+			if ev.TS < lastTS[ev.TID] {
+				t.Fatalf("tid %d: E %q ts %v went backwards (last %v)",
+					ev.TID, ev.Name, ev.TS, lastTS[ev.TID])
+			}
+			lastTS[ev.TID] = ev.TS
+			st := stacks[ev.TID]
+			if len(st) == 0 {
+				t.Fatalf("tid %d: E %q with no open span", ev.TID, ev.Name)
+			}
+			if st[len(st)-1] != ev.Name {
+				t.Fatalf("tid %d: E %q does not match open span %q",
+					ev.TID, ev.Name, st[len(st)-1])
+			}
+			stacks[ev.TID] = st[:len(st)-1]
+			events++
+			pairs++
+		default:
+			t.Fatalf("unexpected event phase %q", ev.Ph)
+		}
+	}
+	for tid, st := range stacks {
+		if len(st) != 0 {
+			t.Fatalf("tid %d: %d spans left open at end of trace", tid, len(st))
+		}
+	}
+	if !sawProcessName {
+		t.Error("trace is missing the process_name metadata event")
+	}
+	return events, pairs
+}
+
+func TestChromeTraceConformance(t *testing.T) {
+	p := NewProfiler(2, 16)
+	// Completion-ordered records with nesting: children finish before
+	// the enclosing iteration, exactly as the solver emits them.
+	r0 := p.Recorder(0)
+	r0.spans = append(r0.spans,
+		Span{Phase: PhaseMTTKRP, Mode: 0, Start: 100, Dur: 200},
+		Span{Phase: PhaseSolve, Mode: 0, Start: 400, Dur: 150},
+		Span{Phase: PhaseIteration, Mode: 1, Start: 50, Dur: 900},
+		Span{Phase: PhaseCommAllreduce, Mode: -1, Start: 1100, Dur: 40, Bytes: 512},
+	)
+	r1 := p.Recorder(1)
+	r1.spans = append(r1.spans,
+		Span{Phase: PhaseMTTKRP, Mode: 1, Start: 120, Dur: 300},
+		Span{Phase: PhaseIteration, Mode: 1, Start: 60, Dur: 800},
+	)
+
+	var buf bytes.Buffer
+	if err := p.WriteChromeTrace(&buf, "test-job"); err != nil {
+		t.Fatal(err)
+	}
+	_, pairs := chromeCheck(t, buf.Bytes())
+	if pairs != 6 {
+		t.Errorf("matched B/E pairs = %d, want 6 (one per span)", pairs)
+	}
+}
+
+func TestChromeTraceFromLiveRecording(t *testing.T) {
+	p := NewProfiler(1, 64)
+	r := p.Recorder(0)
+	for it := 1; it <= 3; it++ {
+		iter := r.Start()
+		for m := 0; m < 2; m++ {
+			r.EndMode(PhaseMTTKRP, r.Start(), m)
+			r.EndMode(PhaseSolve, r.Start(), m)
+		}
+		r.EndOp(PhaseCommAllreduce, r.Start(), 64)
+		r.EndMode(PhaseIteration, iter, it)
+	}
+	var buf bytes.Buffer
+	if err := p.WriteChromeTrace(&buf, ""); err != nil {
+		t.Fatal(err)
+	}
+	if _, pairs := chromeCheck(t, buf.Bytes()); pairs != 3*6 {
+		t.Errorf("matched pairs = %d, want 18", pairs)
+	}
+}
+
+func TestProfileTextRendering(t *testing.T) {
+	p := NewProfiler(1, 8)
+	r := p.Recorder(0)
+	r.EndMode(PhaseMTTKRP, r.Start(), 0)
+	r.EndOp(PhaseCommAllgather, r.Start(), 96)
+	prof := p.Profile()
+
+	var tsv bytes.Buffer
+	if err := prof.WriteTSV(&tsv); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(tsv.Bytes(), []byte("phase\tcalls\tseconds\tbytes")) ||
+		!bytes.Contains(tsv.Bytes(), []byte("comm_allgather\t1")) {
+		t.Errorf("TSV output missing expected rows:\n%s", tsv.String())
+	}
+
+	var js bytes.Buffer
+	if err := prof.WriteJSON(&js); err != nil {
+		t.Fatal(err)
+	}
+	var round Profile
+	if err := json.Unmarshal(js.Bytes(), &round); err != nil {
+		t.Fatalf("JSON output does not round-trip: %v", err)
+	}
+	if len(round.Phases) != 2 {
+		t.Errorf("round-tripped phases = %d, want 2", len(round.Phases))
+	}
+}

@@ -1,0 +1,125 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+	"strconv"
+)
+
+// chromeEvent is one entry of the Chrome trace-event JSON format
+// (the "JSON Array Format" consumed by Perfetto and chrome://tracing).
+// Timestamps are microseconds; B/E pairs nest by emission order.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	TS   float64        `json:"ts"`
+	PID  int            `json:"pid"`
+	TID  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// chromeTrace is the top-level trace document.
+type chromeTrace struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// WriteChromeTrace serializes the retained spans as Chrome trace-event
+// JSON: one trace thread per locale, duration (B/E) event pairs per
+// span, metadata events naming the process and threads. The export path
+// allocates freely — it never runs inside the solver loop.
+//
+// Spans recorded per locale are completion-ordered; the export re-sorts
+// by start time (ties: longer span first, so parents precede children)
+// and emits begin/end events with an explicit open-span stack, which
+// yields matched, properly nested B/E pairs with monotonic timestamps.
+func (p *Profiler) WriteChromeTrace(w io.Writer, process string) error {
+	if process == "" {
+		process = "splatt"
+	}
+	trace := chromeTrace{TraceEvents: []chromeEvent{}, DisplayTimeUnit: "ms"}
+	trace.TraceEvents = append(trace.TraceEvents, chromeEvent{
+		Name: "process_name", Ph: "M", PID: 1,
+		Args: map[string]any{"name": process},
+	})
+	for _, ls := range p.Spans() {
+		tid := ls.Locale
+		trace.TraceEvents = append(trace.TraceEvents, chromeEvent{
+			Name: "thread_name", Ph: "M", PID: 1, TID: tid,
+			Args: map[string]any{"name": "locale " + strconv.Itoa(tid)},
+		})
+		spans := ls.Spans
+		sort.SliceStable(spans, func(i, j int) bool {
+			if spans[i].Start != spans[j].Start {
+				return spans[i].Start < spans[j].Start
+			}
+			return spans[i].Dur > spans[j].Dur
+		})
+		var stack []Span
+		for _, sp := range spans {
+			for len(stack) > 0 && stack[len(stack)-1].End() <= sp.Start {
+				top := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				trace.TraceEvents = append(trace.TraceEvents, endEvent(top, tid))
+			}
+			trace.TraceEvents = append(trace.TraceEvents, beginEvent(sp, tid))
+			stack = append(stack, sp)
+		}
+		for len(stack) > 0 {
+			top := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			trace.TraceEvents = append(trace.TraceEvents, endEvent(top, tid))
+		}
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(trace)
+}
+
+func beginEvent(sp Span, tid int) chromeEvent {
+	ev := chromeEvent{
+		Name: sp.Phase.String(),
+		Cat:  spanCategory(sp.Phase),
+		Ph:   "B",
+		TS:   float64(sp.Start) / 1e3,
+		PID:  1,
+		TID:  tid,
+	}
+	args := map[string]any{}
+	switch sp.Phase {
+	case PhaseIteration, PhaseRefine:
+		if sp.Mode >= 0 {
+			args["iteration"] = sp.Mode
+		}
+	default:
+		if sp.Mode >= 0 {
+			args["mode"] = sp.Mode
+		}
+	}
+	if sp.Bytes != 0 {
+		args["bytes"] = sp.Bytes
+	}
+	if len(args) > 0 {
+		ev.Args = args
+	}
+	return ev
+}
+
+func endEvent(sp Span, tid int) chromeEvent {
+	return chromeEvent{
+		Name: sp.Phase.String(),
+		Cat:  spanCategory(sp.Phase),
+		Ph:   "E",
+		TS:   float64(sp.End()) / 1e3,
+		PID:  1,
+		TID:  tid,
+	}
+}
+
+func spanCategory(p Phase) string {
+	if p.IsComm() {
+		return "comm"
+	}
+	return "solver"
+}

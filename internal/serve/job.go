@@ -113,6 +113,19 @@ func (s *JobSpec) solverSpec() sketch.Solver {
 	return solver
 }
 
+// worldSize is how many span recorders the job's profiler needs: one per
+// locale for dist jobs (the engine default when unspecified), one
+// otherwise.
+func (s *JobSpec) worldSize() int {
+	if s.Kind != KindDistributed {
+		return 1
+	}
+	if s.Locales > 0 {
+		return s.Locales
+	}
+	return dist.DefaultOptions().Locales
+}
+
 // coreOptions maps the spec onto core.Options (kind "cpd").
 func (s *JobSpec) coreOptions(ctx context.Context) core.Options {
 	o := core.DefaultOptions()
@@ -265,6 +278,11 @@ type Job struct {
 	// hook writes into (internally synchronized; read by the status and
 	// trace handlers while the job runs).
 	trace *obs.TraceRing
+	// spans is the job's phase-span profiler: one recorder per locale
+	// (one for non-dist jobs), read live by the /profile and /timeline
+	// handlers and folded into the server-wide phase metrics when the
+	// job reaches a terminal state.
+	spans *obs.Profiler
 
 	mu        sync.Mutex
 	state     JobState
@@ -280,8 +298,9 @@ type Job struct {
 }
 
 // newJob creates a queued job whose context descends from base
-// (context.Background when nil); traceCap bounds its iteration ring.
-func newJob(id string, seq uint64, spec JobSpec, base context.Context, traceCap int) *Job {
+// (context.Background when nil); traceCap bounds its iteration ring and
+// spanCap each locale's phase-span ring.
+func newJob(id string, seq uint64, spec JobSpec, base context.Context, traceCap, spanCap int) *Job {
 	if base == nil {
 		base = context.Background()
 	}
@@ -291,6 +310,7 @@ func newJob(id string, seq uint64, spec JobSpec, base context.Context, traceCap 
 		Spec:      spec,
 		seq:       seq,
 		trace:     obs.NewTraceRing(traceCap),
+		spans:     obs.NewProfiler(spec.worldSize(), spanCap),
 		state:     StateQueued,
 		submitted: time.Now(),
 		ctx:       ctx,

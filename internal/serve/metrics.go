@@ -34,7 +34,21 @@ type serverMetrics struct {
 	solvers  map[string]*obs.Counter
 	queries  map[string]*queryInstruments
 	routes   map[string]*routeMetrics
+
+	// Span-profiler families, keyed by phase name. The full phase set is
+	// known statically, so every series is registered (at zero) up front;
+	// recordProfile folds each finished job's profile in with plain map
+	// reads — no lock needed after construction.
+	phaseSeconds map[string]*obs.FloatCounter
+	phaseCalls   map[string]*obs.Counter
+	commBytes    map[string]*obs.Counter      // comm phases only, labelled by op
+	commSeconds  map[string]*obs.FloatCounter // comm phases only, labelled by op
+	commLatency  map[string]*obs.Histogram    // comm phases only, labelled by op
 }
+
+// collectiveBuckets spans sub-microsecond in-process barriers up to
+// second-scale stragglers, one decade per bucket.
+var collectiveBuckets = []float64{1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 0.1, 1}
 
 // queryInstruments is one model-query endpoint's count + cumulative
 // handler seconds.
@@ -86,6 +100,12 @@ func newServerMetrics(s *Server) *serverMetrics {
 		solvers:  make(map[string]*obs.Counter),
 		queries:  make(map[string]*queryInstruments),
 		routes:   make(map[string]*routeMetrics),
+
+		phaseSeconds: make(map[string]*obs.FloatCounter),
+		phaseCalls:   make(map[string]*obs.Counter),
+		commBytes:    make(map[string]*obs.Counter),
+		commSeconds:  make(map[string]*obs.FloatCounter),
+		commLatency:  make(map[string]*obs.Histogram),
 	}
 	obs.RegisterProcess(reg, "splatt")
 
@@ -119,6 +139,34 @@ func newServerMetrics(s *Server) *serverMetrics {
 		return float64(st.Entries), float64(st.Bytes),
 			float64(st.Hits), float64(st.Misses), float64(st.Evictions)
 	})
+
+	// Solver phases and comm ops are fixed enums, so the span-profiler
+	// families are visible (at zero) from the first scrape too. Comm
+	// phases additionally get per-op byte/second totals and a collective
+	// latency histogram fed from retained span events.
+	for p := obs.Phase(0); p < obs.NumPhases; p++ {
+		name := p.String()
+		m.phaseSeconds[name] = reg.FloatCounter("splatt_phase_seconds_total",
+			"Cumulative solver wall seconds by profiler phase, across all finished jobs.",
+			obs.Label{Name: "phase", Value: name})
+		m.phaseCalls[name] = reg.Counter("splatt_phase_calls_total",
+			"Profiler span count by phase, across all finished jobs.",
+			obs.Label{Name: "phase", Value: name})
+		if !p.IsComm() {
+			continue
+		}
+		op := p.CommOp()
+		m.commBytes[name] = reg.Counter("splatt_dist_comm_bytes_total",
+			"Bytes moved by distributed collectives, by operation.",
+			obs.Label{Name: "op", Value: op})
+		m.commSeconds[name] = reg.FloatCounter("splatt_dist_comm_seconds_total",
+			"Cumulative per-locale seconds spent in distributed collectives, by operation.",
+			obs.Label{Name: "op", Value: op})
+		m.commLatency[name] = reg.Histogram("splatt_dist_collective_seconds",
+			"Latency of individual collective operations, by operation.",
+			collectiveBuckets,
+			obs.Label{Name: "op", Value: op})
+	}
 
 	// The three model-query endpoints are known statically; registering
 	// them up front makes the Prometheus families visible (at zero) from
@@ -234,6 +282,41 @@ func (m *serverMetrics) solver(name string) *obs.Counter {
 		m.solvers[name] = c
 	}
 	return c
+}
+
+// recordProfile folds one finished job's span profile into the
+// server-wide phase and comm families. The maps are fully populated at
+// construction (the phase enum is closed), so no locking is needed.
+// Collective latency histograms are fed from the retained span events;
+// when a job overflows its span ring the histograms undercount tail
+// events but the seconds/calls/bytes totals stay exact — they come from
+// the always-exact aggregates.
+func (m *serverMetrics) recordProfile(p *obs.Profiler) {
+	if p == nil {
+		return
+	}
+	prof := p.Profile()
+	for _, st := range prof.Phases {
+		if fc := m.phaseSeconds[st.Phase]; fc != nil {
+			fc.Add(st.Seconds)
+		}
+		if c := m.phaseCalls[st.Phase]; c != nil {
+			c.Add(uint64(st.Calls))
+		}
+		if c := m.commBytes[st.Phase]; c != nil && st.Bytes > 0 {
+			c.Add(uint64(st.Bytes))
+		}
+		if fc := m.commSeconds[st.Phase]; fc != nil {
+			fc.Add(st.Seconds)
+		}
+	}
+	for _, ls := range p.Spans() {
+		for _, sp := range ls.Spans {
+			if h := m.commLatency[sp.Phase.String()]; h != nil {
+				h.Observe(float64(sp.Dur) / 1e9)
+			}
+		}
+	}
 }
 
 // recordQuery folds one successful model-query invocation into the

@@ -152,7 +152,7 @@ func TestBackpressure(t *testing.T) {
 func TestPriorityOrdering(t *testing.T) {
 	q := NewQueue(8)
 	mk := func(seq uint64, prio int) *Job {
-		return newJob(fmt.Sprintf("j%d", seq), seq, JobSpec{Priority: prio}, nil, 8)
+		return newJob(fmt.Sprintf("j%d", seq), seq, JobSpec{Priority: prio}, nil, 8, 8)
 	}
 	if err := q.Push(mk(1, 0)); err != nil {
 		t.Fatal(err)
@@ -181,14 +181,14 @@ func TestPriorityOrdering(t *testing.T) {
 // TestQueueFull exercises the bounded Push directly.
 func TestQueueFull(t *testing.T) {
 	q := NewQueue(1)
-	if err := q.Push(newJob("a", 1, JobSpec{}, nil, 8)); err != nil {
+	if err := q.Push(newJob("a", 1, JobSpec{}, nil, 8, 8)); err != nil {
 		t.Fatal(err)
 	}
-	if err := q.Push(newJob("b", 2, JobSpec{}, nil, 8)); err != ErrQueueFull {
+	if err := q.Push(newJob("b", 2, JobSpec{}, nil, 8, 8)); err != ErrQueueFull {
 		t.Fatalf("second push: %v, want ErrQueueFull", err)
 	}
 	q.Close()
-	if err := q.Push(newJob("c", 3, JobSpec{}, nil, 8)); err != ErrQueueClosed {
+	if err := q.Push(newJob("c", 3, JobSpec{}, nil, 8, 8)); err != ErrQueueClosed {
 		t.Fatalf("push after close: %v, want ErrQueueClosed", err)
 	}
 }

@@ -61,6 +61,12 @@ type Config struct {
 	// 512): a job that iterates longer keeps the most recent events and
 	// reports the remainder as dropped.
 	MaxTraceEvents int
+	// MaxSpanEvents bounds each job's per-locale phase-span ring (default
+	// 4096): a job that records more spans keeps the earliest per locale
+	// (preserving a well-nested timeline prefix for /timeline) and counts
+	// the rest as dropped; the per-phase aggregates on /profile stay
+	// exact regardless.
+	MaxSpanEvents int
 	// RequestTimeout bounds every non-upload handler's wall-clock time;
 	// exceeding it answers 503 with the standard envelope (default 30s).
 	RequestTimeout time.Duration
@@ -96,6 +102,9 @@ func (c *Config) fill() {
 	}
 	if c.MaxTraceEvents <= 0 {
 		c.MaxTraceEvents = 512
+	}
+	if c.MaxSpanEvents <= 0 {
+		c.MaxSpanEvents = 4096
 	}
 	if c.RequestTimeout <= 0 {
 		c.RequestTimeout = 30 * time.Second
@@ -212,6 +221,8 @@ func (s *Server) Models() *model.Registry { return s.models }
 //	POST   /v1/models/{id}/topk              — top-K scoring over a mode slice
 //	POST   /v1/models/{id}/similar           — cosine nearest factor rows
 //	GET    /v1/jobs/{id}/trace — full per-iteration trace timeline
+//	GET    /v1/jobs/{id}/profile  — aggregated per-phase/per-locale profile
+//	GET    /v1/jobs/{id}/timeline — Chrome trace-event JSON (Perfetto)
 //	GET    /v1/metrics      — queue/cache/worker gauges + engine timers + query latency
 //	GET    /v1/metrics/prometheus — the same registry in text exposition 0.0.4
 //	GET    /v1/healthz
@@ -243,6 +254,8 @@ func (s *Server) Handler() http.Handler {
 	route("GET", "/jobs/{id}", reqT, 0, s.handleGetJob)
 	route("DELETE", "/jobs/{id}", reqT, 0, s.handleCancelJob)
 	route("GET", "/jobs/{id}/trace", reqT, 0, s.handleJobTrace)
+	route("GET", "/jobs/{id}/profile", reqT, 0, s.handleJobProfile)
+	route("GET", "/jobs/{id}/timeline", reqT, 0, s.handleJobTimeline)
 	route("POST", "/models", upT, s.cfg.MaxUploadBytes, s.handlePublishModel)
 	route("GET", "/models", reqT, 0, s.handleListModels)
 	route("GET", "/models/{id}", reqT, 0, s.handleGetModel)
@@ -420,7 +433,7 @@ func (s *Server) handleSubmitJob(w http.ResponseWriter, r *http.Request) {
 	s.jobsMu.Lock()
 	s.seq++
 	id := fmt.Sprintf("job-%06d", s.seq)
-	j := newJob(id, s.seq, spec, s.baseCtx, s.cfg.MaxTraceEvents)
+	j := newJob(id, s.seq, spec, s.baseCtx, s.cfg.MaxTraceEvents, s.cfg.MaxSpanEvents)
 	j.tensor = tensor
 	s.jobs[id] = j
 	s.jobsMu.Unlock()
@@ -549,6 +562,48 @@ func (s *Server) handleJobTrace(w http.ResponseWriter, r *http.Request) {
 		Dropped:         j.trace.Dropped(),
 		Events:          events,
 	})
+}
+
+// JobProfile is the GET /v1/jobs/{id}/profile document: the aggregated
+// per-phase (and, for dist jobs, per-locale) wall seconds, call counts,
+// and comm bytes of the job so far. Safe to poll while the job runs —
+// aggregates are read atomically from the live recorders.
+type JobProfile struct {
+	JobID   string      `json:"job_id"`
+	State   JobState    `json:"state"`
+	Kind    JobKind     `json:"kind"`
+	Profile obs.Profile `json:"profile"`
+}
+
+func (s *Server) handleJobProfile(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.lookupJob(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, errors.New("serve: no such job"))
+		return
+	}
+	prof := j.spans.Profile()
+	if prof.Phases == nil {
+		prof.Phases = []obs.PhaseStat{}
+	}
+	writeJSON(w, http.StatusOK, JobProfile{
+		JobID:   j.ID,
+		State:   j.State(),
+		Kind:    j.Spec.Kind,
+		Profile: prof,
+	})
+}
+
+// handleJobTimeline streams the job's retained spans as Chrome
+// trace-event JSON — load the body in Perfetto (ui.perfetto.dev) or
+// chrome://tracing. One trace thread per locale.
+func (s *Server) handleJobTimeline(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.lookupJob(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, errors.New("serve: no such job"))
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = j.spans.WriteChromeTrace(w, j.ID)
 }
 
 // QueryStats is the per-endpoint model-query counter: request count and

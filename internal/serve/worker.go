@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"runtime/pprof"
 	"time"
 
 	"repro/internal/core"
@@ -38,6 +39,8 @@ func (s *Server) worker() {
 
 // execute dispatches the job's pinned tensor to the selected engine with
 // the job context threaded into the ALS loop, and records the outcome.
+// The dispatch runs under pprof labels (job ID, kind, format, solver),
+// so CPU profiles pulled from -pprof attribute samples to jobs.
 func (s *Server) execute(j *Job) {
 	tensor := j.tensor
 
@@ -48,46 +51,59 @@ func (s *Server) execute(j *Job) {
 	var cancelled bool
 	var kruskal *core.KruskalTensor
 
-	switch j.Spec.Kind {
-	case KindCPD:
-		timers = perf.NewRegistry()
-		opts := j.Spec.coreOptions(j.ctx)
-		opts.Timers = timers
-		opts.Trace = j.trace
-		k, report, runErr := core.CPD(tensor, opts)
-		kruskal, err = k, runErr
-		if report != nil {
-			res.Fit = report.Fit
-			res.Iterations = report.Iterations
-			res.Format = report.Format
-			res.Solver = report.Solver
-			res.SampledIters = report.SampledIters
-			cancelled = report.Cancelled
+	labels := pprof.Labels(
+		"job", j.ID,
+		"kind", string(j.Spec.Kind),
+		"format", j.Spec.formatSpec().String(),
+		"solver", j.Spec.solverSpec().String(),
+	)
+	pprof.Do(j.ctx, labels, func(ctx context.Context) {
+		switch j.Spec.Kind {
+		case KindCPD:
+			timers = perf.NewRegistry()
+			opts := j.Spec.coreOptions(ctx)
+			opts.Timers = timers
+			opts.Trace = j.trace
+			opts.Spans = j.spans
+			k, report, runErr := core.CPD(tensor, opts)
+			kruskal, err = k, runErr
+			if report != nil {
+				res.Fit = report.Fit
+				res.Iterations = report.Iterations
+				res.Format = report.Format
+				res.Solver = report.Solver
+				res.SampledIters = report.SampledIters
+				cancelled = report.Cancelled
+			}
+		case KindDistributed:
+			dopts := j.Spec.distOptions(ctx)
+			dopts.Trace = j.trace
+			dopts.Spans = j.spans
+			k, report, runErr := dist.CPD(tensor, dopts)
+			kruskal, err = k, runErr
+			if report != nil {
+				res.Fit = report.Fit
+				res.Iterations = report.Iterations
+				res.CommBytes = report.CommBytes
+				res.Format = report.Format
+				res.Solver = report.Solver
+				res.SampledIters = report.SampledIters
+				cancelled = report.Cancelled
+			}
+		case KindComplete:
+			k, report, runErr := core.CPDComplete(tensor, j.Spec.completionOptions(ctx))
+			kruskal, err = k, runErr
+			if report != nil {
+				res.RMSE = report.RMSE
+				res.Iterations = report.Iterations
+				cancelled = report.Cancelled
+			}
 		}
-	case KindDistributed:
-		dopts := j.Spec.distOptions(j.ctx)
-		dopts.Trace = j.trace
-		k, report, runErr := dist.CPD(tensor, dopts)
-		kruskal, err = k, runErr
-		if report != nil {
-			res.Fit = report.Fit
-			res.Iterations = report.Iterations
-			res.CommBytes = report.CommBytes
-			res.Format = report.Format
-			res.Solver = report.Solver
-			res.SampledIters = report.SampledIters
-			cancelled = report.Cancelled
-		}
-	case KindComplete:
-		k, report, runErr := core.CPDComplete(tensor, j.Spec.completionOptions(j.ctx))
-		kruskal, err = k, runErr
-		if report != nil {
-			res.RMSE = report.RMSE
-			res.Iterations = report.Iterations
-			cancelled = report.Cancelled
-		}
-	}
+	})
 	res.Seconds = time.Since(start).Seconds()
+	// Fold the job's phase profile into the server-wide families whatever
+	// the outcome — cancelled and failed runs burned real phase time too.
+	s.met.recordProfile(j.spans)
 
 	switch {
 	case cancelled || errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):

@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"repro/internal/dense"
+	"repro/internal/obs"
 	"repro/internal/parallel"
 	"repro/internal/sptensor"
 )
@@ -121,7 +122,17 @@ type Sampler struct {
 	curFactors []*dense.Matrix
 	curOut     *dense.Matrix
 	curOutLen  int
+
+	// spans, when non-nil, splits SampledMTTKRP into a sample-draw span
+	// (fiber index build + leverage draw) and an accumulation span, so
+	// the profiler attributes sketching cost separately from the sampled
+	// kernel. Set by the owning solver; recording is allocation-free.
+	spans *obs.SpanRecorder
 }
+
+// SetSpans attaches a span recorder (nil detaches). The caller owns the
+// recorder's lifecycle; the sampler only records into it.
+func (s *Sampler) SetSpans(rec *obs.SpanRecorder) { s.spans = rec }
 
 // runTeam dispatches a cached body across the team (inline when serial).
 func (s *Sampler) runTeam(body func(tid int)) {
@@ -425,8 +436,16 @@ func (s *Sampler) SampledMTTKRP(mode, iter int, factors []*dense.Matrix, out, no
 			panic(fmt.Sprintf("sketch: mode %d leverage table not refreshed", n))
 		}
 	}
+	var span int64
+	if s.spans != nil {
+		span = s.spans.Start()
+	}
 	s.buildFiberIndex(mode)
 	s.drawSamples(mode, iter)
+	if s.spans != nil {
+		s.spans.EndMode(obs.PhaseSample, span, mode)
+		span = s.spans.Start()
+	}
 
 	out.Zero()
 	normal.Zero()
@@ -449,6 +468,9 @@ func (s *Sampler) SampledMTTKRP(mode, iter int, factors []*dense.Matrix, out, no
 		for j := 0; j < i; j++ {
 			normal.Data[i*r+j] = normal.Data[j*r+i]
 		}
+	}
+	if s.spans != nil {
+		s.spans.EndMode(obs.PhaseSampledMTTKRP, span, mode)
 	}
 }
 
