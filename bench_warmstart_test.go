@@ -1,0 +1,80 @@
+// BenchmarkWarmStartAbsorb pins the streaming claim in the benchmark gate:
+// absorbing a ~1% nonzero append into a published model (sampled ARLS with
+// the short absorb schedule) must stay a small fraction of the cold
+// decomposition it replaces, in both iterations and wall time. The cold
+// sub-benchmark is the reference; both report an explicit iters/op metric
+// so the nightly benchstat summary shows the convergence gap, not just
+// ns/op.
+package splatt_test
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/sketch"
+	"repro/internal/sptensor"
+)
+
+// splitWarmStart carves every step-th nonzero out of the twin into an
+// append batch, leaving the base the pre-append tensor (same dims).
+func splitWarmStart(t *sptensor.Tensor, step int) (base *sptensor.Tensor) {
+	base = sptensor.New(t.Dims, 0)
+	for x := 0; x < t.NNZ(); x++ {
+		if x%step == step-1 {
+			continue
+		}
+		for m := range t.Dims {
+			base.Inds[m] = append(base.Inds[m], t.Inds[m][x])
+		}
+		base.Vals = append(base.Vals, t.Vals[x])
+	}
+	return base
+}
+
+func BenchmarkWarmStartAbsorb(b *testing.B) {
+	full := benchTensor(b, "yelp")
+	base := splitWarmStart(full, 100)
+
+	cold := core.DefaultOptions()
+	cold.Rank = benchRank
+	cold.MaxIters = 20
+
+	// The published pre-append model every warm iteration seeds from,
+	// computed outside the timed region.
+	seed, _, err := core.CPD(base, cold)
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	b.Run("cold", func(b *testing.B) {
+		iters := 0
+		for i := 0; i < b.N; i++ {
+			_, r, err := core.CPD(full, cold)
+			if err != nil {
+				b.Fatal(err)
+			}
+			iters += r.Iterations
+		}
+		b.ReportMetric(float64(iters)/float64(b.N), "iters/op")
+	})
+
+	b.Run("warm", func(b *testing.B) {
+		warm := core.DefaultOptions()
+		warm.Rank = benchRank
+		warm.MaxIters = sketch.AbsorbMaxIters
+		warm.Solver = sketch.ARLS
+		warm.Init = seed
+		iters := 0
+		for i := 0; i < b.N; i++ {
+			_, r, err := core.CPD(full, warm)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if !r.WarmStart {
+				b.Fatal("warm run's report does not mark WarmStart")
+			}
+			iters += r.Iterations
+		}
+		b.ReportMetric(float64(iters)/float64(b.N), "iters/op")
+	})
+}

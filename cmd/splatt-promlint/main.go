@@ -1,0 +1,69 @@
+// Command splatt-promlint checks a Prometheus text-exposition (0.0.4)
+// payload for conformance violations: malformed metric/label names,
+// HELP/TYPE ordering, interleaved families, duplicate series, negative
+// counters, and inconsistent histogram ladders. It reads from stdin, a
+// file, or an http(s) URL, and exits nonzero on the first violation — the
+// check the nightly soak runs against a live splatt-serve before tearing
+// it down.
+//
+//	splatt-promlint http://localhost:8080/v1/metrics/prometheus
+//	curl -s localhost:8080/v1/metrics/prometheus | splatt-promlint
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/obs"
+)
+
+func open(arg string) (io.ReadCloser, error) {
+	if arg == "" || arg == "-" {
+		return io.NopCloser(os.Stdin), nil
+	}
+	if strings.HasPrefix(arg, "http://") || strings.HasPrefix(arg, "https://") {
+		client := &http.Client{Timeout: 30 * time.Second}
+		resp, err := client.Get(arg)
+		if err != nil {
+			return nil, err
+		}
+		if resp.StatusCode != http.StatusOK {
+			resp.Body.Close()
+			return nil, fmt.Errorf("GET %s: status %d", arg, resp.StatusCode)
+		}
+		return resp.Body, nil
+	}
+	return os.Open(arg)
+}
+
+func main() {
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(),
+			"usage: splatt-promlint [file | URL | -]\n\nLints a Prometheus text exposition; exits 1 on the first violation.\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	arg := ""
+	if flag.NArg() > 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	if flag.NArg() == 1 {
+		arg = flag.Arg(0)
+	}
+	r, err := open(arg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "splatt-promlint: %v\n", err)
+		os.Exit(2)
+	}
+	defer r.Close()
+	if err := obs.LintPrometheus(r); err != nil {
+		fmt.Fprintf(os.Stderr, "splatt-promlint: %v\n", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,335 @@
+// Command splatt-soak drives a running splatt-serve with sustained mixed
+// traffic — uploads, append batches, cold and warm-started jobs, status
+// and trace polls, model queries, deletes — and verifies the service's two
+// hard contracts under churn:
+//
+//  1. every error response carries the uniform envelope
+//     {"error":{"code","message"}}, and no request ever surfaces a 500
+//     (the middleware converts handler panics to 500s, so a 500 IS a
+//     panic); and
+//  2. the Prometheus exposition stays conformant, checked by linting a
+//     final scrape.
+//
+// It exits nonzero on the first class of violation it saw, which makes it
+// the nightly CI soak gate:
+//
+//	splatt-serve -addr :18321 &
+//	splatt-soak -base http://localhost:18321 -seconds 300 -workers 8
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/sptensor"
+)
+
+type soaker struct {
+	base   string
+	client *http.Client
+
+	mu      sync.Mutex
+	tensors []string // resident tensor/revision IDs (best-effort)
+	models  []string
+
+	requests   atomic.Int64
+	violations atomic.Int64
+
+	errMu     sync.Mutex
+	firstErrs []string
+}
+
+func (s *soaker) violate(format string, args ...any) {
+	s.violations.Add(1)
+	s.errMu.Lock()
+	if len(s.firstErrs) < 20 {
+		s.firstErrs = append(s.firstErrs, fmt.Sprintf(format, args...))
+	}
+	s.errMu.Unlock()
+}
+
+// check enforces the error-envelope contract on one response and returns
+// the body. A 5xx other than 503 means a recovered panic or an internal
+// failure leaking through — both soak violations. 4xx and 503 are expected
+// under adversarial traffic but must carry the envelope.
+func (s *soaker) check(op string, resp *http.Response, err error) []byte {
+	s.requests.Add(1)
+	if err != nil {
+		s.violate("%s: transport error: %v", op, err)
+		return nil
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if resp.StatusCode < 400 {
+		return body
+	}
+	if resp.StatusCode >= 500 && resp.StatusCode != http.StatusServiceUnavailable {
+		s.violate("%s: status %d (panic or internal error): %.200s", op, resp.StatusCode, body)
+		return nil
+	}
+	var env struct {
+		Error struct {
+			Code    string `json:"code"`
+			Message string `json:"message"`
+		} `json:"error"`
+	}
+	if json.Unmarshal(body, &env) != nil || env.Error.Code == "" || env.Error.Message == "" {
+		s.violate("%s: status %d without the error envelope: %.200s", op, resp.StatusCode, body)
+	}
+	return nil
+}
+
+func (s *soaker) get(path string) []byte {
+	resp, err := s.client.Get(s.base + path)
+	return s.check("GET "+path, resp, err)
+}
+
+func (s *soaker) do(method, path string, body []byte) []byte {
+	req, err := http.NewRequest(method, s.base+path, bytes.NewReader(body))
+	if err != nil {
+		s.violate("%s %s: building request: %v", method, path, err)
+		return nil
+	}
+	resp, rerr := s.client.Do(req)
+	return s.check(method+" "+path, resp, rerr)
+}
+
+func (s *soaker) remember(list *[]string, id string) {
+	s.mu.Lock()
+	*list = append(*list, id)
+	if len(*list) > 64 {
+		*list = (*list)[len(*list)-64:]
+	}
+	s.mu.Unlock()
+}
+
+func (s *soaker) pick(list *[]string, rng *rand.Rand) (string, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(*list) == 0 {
+		return "", false
+	}
+	return (*list)[rng.Intn(len(*list))], true
+}
+
+func tnsBody(rng *rand.Rand) []byte {
+	dims := []int{4 + rng.Intn(24), 4 + rng.Intn(16), 4 + rng.Intn(10)}
+	nnz := 16 + rng.Intn(256)
+	t := sptensor.Random(dims, nnz, rng.Int63())
+	var buf bytes.Buffer
+	_ = sptensor.WriteTNS(&buf, t)
+	return buf.Bytes()
+}
+
+// step runs one randomly chosen operation against the service.
+func (s *soaker) step(rng *rand.Rand) {
+	switch op := rng.Intn(100); {
+	case op < 15: // upload
+		if body := s.do("POST", "/v1/tensors", tnsBody(rng)); body != nil {
+			var res struct {
+				ID string `json:"id"`
+			}
+			if json.Unmarshal(body, &res) == nil && res.ID != "" {
+				s.remember(&s.tensors, res.ID)
+			}
+		}
+	case op < 30: // append a batch, growing the revision chain
+		id, ok := s.pick(&s.tensors, rng)
+		if !ok {
+			return
+		}
+		if body := s.do("PATCH", "/v1/tensors/"+id, tnsBody(rng)); body != nil {
+			var res struct {
+				ID string `json:"id"`
+			}
+			if json.Unmarshal(body, &res) == nil && res.ID != "" {
+				s.remember(&s.tensors, res.ID)
+			}
+		}
+	case op < 45: // submit a job: cold, published, or warm-started
+		id, ok := s.pick(&s.tensors, rng)
+		if !ok {
+			return
+		}
+		spec := map[string]any{
+			"tensor_id": id,
+			"rank":      2 + rng.Intn(6),
+			"max_iters": 1 + rng.Intn(5),
+			"seed":      rng.Intn(1000),
+		}
+		switch rng.Intn(3) {
+		case 0:
+			spec["publish"] = true
+		case 1:
+			spec["warm_start"] = "auto" // may fail the job; must not panic
+		}
+		raw, _ := json.Marshal(spec)
+		if body := s.do("POST", "/v1/jobs", raw); body != nil {
+			var st struct {
+				ID string `json:"id"`
+				// Result is polled below; the submit response has none.
+			}
+			if json.Unmarshal(body, &st) == nil && st.ID != "" {
+				s.pollJob(st.ID, rng)
+			}
+		}
+	case op < 60: // listings and metrics
+		paths := []string{
+			"/v1/tensors", "/v1/tensors?limit=3", "/v1/jobs", "/v1/jobs?status=done",
+			"/v1/models", "/v1/metrics", "/v1/healthz",
+		}
+		s.get(paths[rng.Intn(len(paths))])
+	case op < 70: // revision chains
+		if id, ok := s.pick(&s.tensors, rng); ok {
+			s.get("/v1/tensors/" + id + "/revisions")
+			s.get(fmt.Sprintf("/v1/tensors/%s/revisions?limit=%d&offset=%d", id, rng.Intn(4), rng.Intn(4)))
+		}
+	case op < 80: // model queries (including invalid coords: 400s with envelopes)
+		id, ok := s.pick(&s.models, rng)
+		if !ok {
+			return
+		}
+		switch rng.Intn(3) {
+		case 0:
+			s.get(fmt.Sprintf("/v1/models/%s/entry?coord=%d,%d,%d", id, rng.Intn(30), rng.Intn(30), rng.Intn(30)))
+		case 1:
+			raw, _ := json.Marshal(map[string]any{"mode": rng.Intn(4), "coord": []int{0, 0, 0}, "k": 1 + rng.Intn(5)})
+			s.do("POST", "/v1/models/"+id+"/topk", raw)
+		default:
+			s.get("/v1/models/" + id)
+		}
+	case op < 90: // deletes: 404/409 under churn are fine, envelopes required
+		if id, ok := s.pick(&s.tensors, rng); ok && rng.Intn(4) == 0 {
+			s.do("DELETE", "/v1/tensors/"+id, nil)
+		} else if id, ok := s.pick(&s.models, rng); ok {
+			s.do("DELETE", "/v1/models/"+id, nil)
+		}
+	default: // adversarial inputs: garbage bodies, unknown IDs
+		switch rng.Intn(4) {
+		case 0:
+			s.do("POST", "/v1/tensors", []byte("not a tensor at all"))
+		case 1:
+			s.do("PATCH", "/v1/tensors/deadbeef", []byte("1 1 1 1.0\n"))
+		case 2:
+			s.do("POST", "/v1/jobs", []byte(`{"tensor_id":`))
+		default:
+			s.get("/v1/jobs/job-999999/trace")
+		}
+	}
+}
+
+// pollJob follows one submitted job for a bounded time, harvesting its
+// published model and exercising the trace/profile surfaces while it runs.
+func (s *soaker) pollJob(id string, rng *rand.Rand) {
+	for i := 0; i < 50; i++ {
+		body := s.get("/v1/jobs/" + id)
+		if body == nil {
+			return
+		}
+		if rng.Intn(2) == 0 {
+			s.get("/v1/jobs/" + id + "/trace")
+		} else {
+			s.get("/v1/jobs/" + id + "/profile")
+		}
+		var st struct {
+			State  string `json:"state"`
+			Result *struct {
+				ModelID string `json:"model_id"`
+			} `json:"result"`
+		}
+		if json.Unmarshal(body, &st) != nil {
+			return
+		}
+		switch st.State {
+		case "done", "failed", "cancelled":
+			if st.Result != nil && st.Result.ModelID != "" {
+				s.remember(&s.models, st.Result.ModelID)
+			}
+			return
+		}
+		time.Sleep(time.Duration(5+rng.Intn(20)) * time.Millisecond)
+	}
+}
+
+func main() {
+	var (
+		base    = flag.String("base", "http://localhost:8080", "splatt-serve base URL")
+		seconds = flag.Int("seconds", 300, "soak duration")
+		workers = flag.Int("workers", 8, "concurrent traffic generators")
+		seed    = flag.Int64("seed", 1, "traffic randomness seed")
+	)
+	flag.Parse()
+
+	s := &soaker{
+		base:   *base,
+		client: &http.Client{Timeout: 60 * time.Second},
+	}
+
+	// The service must be up before the clock starts.
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		resp, err := s.client.Get(*base + "/v1/healthz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				break
+			}
+		}
+		if time.Now().After(deadline) {
+			fmt.Fprintf(os.Stderr, "splatt-soak: service at %s never became healthy: %v\n", *base, err)
+			os.Exit(2)
+		}
+		time.Sleep(250 * time.Millisecond)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), time.Duration(*seconds)*time.Second)
+	defer cancel()
+	var wg sync.WaitGroup
+	for w := 0; w < *workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(*seed + int64(w)))
+			for ctx.Err() == nil {
+				s.step(rng)
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	// Final conformance scrape: the exposition of a service that just
+	// served every family under concurrency must lint clean.
+	resp, err := s.client.Get(*base + "/v1/metrics/prometheus")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "splatt-soak: final scrape: %v\n", err)
+		os.Exit(1)
+	}
+	lintErr := obs.LintPrometheus(resp.Body)
+	resp.Body.Close()
+	if lintErr != nil {
+		fmt.Fprintf(os.Stderr, "splatt-soak: prometheus conformance: %v\n", lintErr)
+		os.Exit(1)
+	}
+
+	fmt.Printf("splatt-soak: %d requests over %ds, %d violations\n",
+		s.requests.Load(), *seconds, s.violations.Load())
+	if n := s.violations.Load(); n > 0 {
+		s.errMu.Lock()
+		for _, e := range s.firstErrs {
+			fmt.Fprintf(os.Stderr, "splatt-soak: violation: %s\n", e)
+		}
+		s.errMu.Unlock()
+		os.Exit(1)
+	}
+}

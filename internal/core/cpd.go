@@ -1,6 +1,7 @@
 package core
 
 import (
+	"fmt"
 	"math"
 
 	"repro/internal/csf"
@@ -61,7 +62,31 @@ func buildDecomposer(t *sptensor.Tensor, team *parallel.Team, tasks int,
 	cfg := opts.backendConfig(timers)
 	cfg.Team = team
 	cfg.Kernel.Arena = arena
-	backend, err := format.Build(t, opts.Format, cfg)
+	var backend format.Backend
+	var err error
+	if opts.Init != nil {
+		// Warm start: the seed factors must tile the tensor exactly, and
+		// only the storage backend is rebuilt for the delta'd tensor — the
+		// factors carry over, so Auto is pinned to a concrete spec first
+		// and the run goes through the revision rebuild path.
+		if opts.Init.Order() != t.NModes() {
+			return nil, fmt.Errorf("core: warm-start seed has order %d, tensor has order %d",
+				opts.Init.Order(), t.NModes())
+		}
+		for m, d := range t.Dims {
+			if f := opts.Init.Factors[m]; f.Rows != d {
+				return nil, fmt.Errorf("core: warm-start seed mode %d has %d rows, tensor has %d (ExpandTo first)",
+					m, f.Rows, d)
+			}
+		}
+		spec := opts.Format
+		if spec == format.Auto {
+			spec, _ = format.Choose(t)
+		}
+		backend, err = format.Rebuild(t, spec, cfg)
+	} else {
+		backend, err = format.Build(t, opts.Format, cfg)
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -122,9 +147,17 @@ func newDecomposer(t *sptensor.Tensor, backend format.Backend, team *parallel.Te
 	if arena == nil {
 		arena = parallel.NewArena(team.N())
 	}
+	// Warm start clones the seed model (never mutating the caller's copy);
+	// cold start keeps SPLATT's random initialization.
+	var k *KruskalTensor
+	if opts.Init != nil {
+		k = opts.Init.Clone()
+	} else {
+		k = NewRandomKruskal(t.Dims, r, opts.Seed)
+	}
 	d := &decomposer{
 		t: t, backend: backend, team: team, arena: arena, opts: opts, timers: timers,
-		k:     NewRandomKruskal(t.Dims, r, opts.Seed),
+		k:     k,
 		grams: make([]*dense.Matrix, t.NModes()),
 		v:     dense.NewMatrix(r, r),
 		gbuf:  dense.NewMatrix(r, r),
@@ -243,6 +276,7 @@ func (d *decomposer) newReport() *Report {
 		Format:     d.backend.Format().String(),
 		Solver:     d.solver.String(),
 		CSFBytes:   d.backend.MemoryBytes(),
+		WarmStart:  d.opts.Init != nil,
 	}
 }
 

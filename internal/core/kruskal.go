@@ -162,6 +162,38 @@ func (k *KruskalTensor) Fit(t *sptensor.Tensor) float64 {
 	return 1 - math.Sqrt(residual2)/math.Sqrt(normX2)
 }
 
+// ExpandTo returns a copy of the model grown to the given mode lengths:
+// existing factor rows carry over unchanged and rows for newly-appeared
+// indices (an appended revision growing a mode) are seeded with the same
+// uniform [0,1) initialization NewRandomKruskal uses, deterministic under
+// seed. Shrinking a mode or changing the order is an error — revisions
+// only ever grow. The receiver is not modified; when every mode already
+// matches, the result is a plain deep copy.
+func (k *KruskalTensor) ExpandTo(dims []int, seed int64) (*KruskalTensor, error) {
+	if len(dims) != k.Order() {
+		return nil, fmt.Errorf("core: expand to order %d, model has order %d", len(dims), k.Order())
+	}
+	rank := k.Rank()
+	rng := rand.New(rand.NewSource(seed))
+	out := &KruskalTensor{
+		Lambda:  append([]float64(nil), k.Lambda...),
+		Factors: make([]*dense.Matrix, k.Order()),
+	}
+	for m, f := range k.Factors {
+		if dims[m] < f.Rows {
+			return nil, fmt.Errorf("core: expand would shrink mode %d from %d to %d rows",
+				m, f.Rows, dims[m])
+		}
+		g := dense.NewMatrix(dims[m], rank)
+		copy(g.Data[:f.Rows*rank], f.Data)
+		for i := f.Rows * rank; i < len(g.Data); i++ {
+			g.Data[i] = rng.Float64()
+		}
+		out.Factors[m] = g
+	}
+	return out, nil
+}
+
 // Clone deep-copies the Kruskal tensor.
 func (k *KruskalTensor) Clone() *KruskalTensor {
 	out := &KruskalTensor{

@@ -108,6 +108,15 @@ type Options struct {
 	// from an exact MTTKRP, not an estimate.
 	RefineIters int
 
+	// Init, when non-nil, warm-starts the run: the factor matrices are
+	// seeded from a clone of this Kruskal model instead of random values —
+	// the evolving-tensor absorb path, where a model trained on an earlier
+	// revision seeds the decomposition of the appended one. Init's rank
+	// must equal Rank and its mode lengths must match the tensor's (grow a
+	// smaller seed with KruskalTensor.ExpandTo first). Init itself is
+	// never modified.
+	Init *KruskalTensor
+
 	// BLASThreads > 1 runs the inverse routine on an independent BLAS
 	// goroutine pool (the OMP_NUM_THREADS axis of §V-E); BLASSpin is the
 	// post-call spin (QT_SPINCOUNT analogue).
@@ -223,6 +232,15 @@ func (o Options) Validate() error {
 	if o.RefineIters < 0 {
 		return fmt.Errorf("core: refine iterations %d < 0", o.RefineIters)
 	}
+	if o.Init != nil {
+		if err := o.Init.Validate(); err != nil {
+			return fmt.Errorf("core: warm-start seed: %w", err)
+		}
+		if o.Init.Rank() != o.Rank {
+			return fmt.Errorf("core: warm-start seed has rank %d, run wants rank %d",
+				o.Init.Rank(), o.Rank)
+		}
+	}
 	return nil
 }
 
@@ -258,6 +276,9 @@ type Report struct {
 	// Cancelled reports that Options.Ctx was cancelled and the run stopped
 	// early; Fit and FitHistory reflect the last completed iteration.
 	Cancelled bool
+	// WarmStart reports that the factors were seeded from Options.Init
+	// instead of random initialization.
+	WarmStart bool
 }
 
 // UsedLocks reports whether any mode's MTTKRP used the mutex pool.

@@ -1,0 +1,141 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/sketch"
+	"repro/internal/sptensor"
+)
+
+// splitAppend partitions a tensor into a base holding all but every step-th
+// nonzero and a batch holding the rest — the "≤1% append" twin of the
+// streaming workload when step >= 100.
+func splitAppend(t *sptensor.Tensor, step int) (base, batch *sptensor.Tensor) {
+	base = sptensor.New(t.Dims, 0)
+	batch = sptensor.New(t.Dims, 0)
+	for x := 0; x < t.NNZ(); x++ {
+		dst := base
+		if x%step == step-1 {
+			dst = batch
+		}
+		for m := range t.Dims {
+			dst.Inds[m] = append(dst.Inds[m], t.Inds[m][x])
+		}
+		dst.Vals = append(dst.Vals, t.Vals[x])
+	}
+	return base, batch
+}
+
+// TestWarmStartAbsorbBeatsCold pins the streaming acceptance criterion: on
+// the YELP twin, a warm-started run absorbing a ~1% nonzero append reaches
+// the cold run's final fit (±1e-3) in at most a third of the cold run's
+// iterations.
+func TestWarmStartAbsorbBeatsCold(t *testing.T) {
+	full := sptensor.Datasets["yelp"].Generate(1.0 / 1024)
+	base, batch := splitAppend(full, 100)
+	if got := batch.NNZ(); got == 0 || got*50 > full.NNZ() {
+		t.Fatalf("bad split: batch %d of %d nonzeros", got, full.NNZ())
+	}
+
+	cold := DefaultOptions()
+	cold.Rank = 8
+	cold.MaxIters = 20
+
+	// Cold pinned run on the final (appended) tensor: the reference fit.
+	_, coldR, err := CPD(full, cold)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The seed model: a converged run on the pre-append tensor, standing in
+	// for the model a streaming deployment published before the append.
+	seedK, _, err := CPD(base, cold)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	warm := DefaultOptions()
+	warm.Rank = 8
+	warm.MaxIters = sketch.AbsorbMaxIters
+	warm.Solver = sketch.ARLS
+	warm.Init = seedK
+	_, warmR, err := CPD(full, warm)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if !warmR.WarmStart {
+		t.Error("warm run's report does not mark WarmStart")
+	}
+	if warmR.Iterations*3 > coldR.Iterations {
+		t.Errorf("warm run took %d iterations, want <= 1/3 of cold's %d",
+			warmR.Iterations, coldR.Iterations)
+	}
+	if warmR.Fit < coldR.Fit-1e-3 {
+		t.Errorf("warm fit %.6f short of cold fit %.6f - 1e-3", warmR.Fit, coldR.Fit)
+	}
+	t.Logf("cold: %d iters fit %.6f; warm: %d iters (%d sampled) fit %.6f",
+		coldR.Iterations, coldR.Fit, warmR.Iterations, warmR.SampledIters, warmR.Fit)
+}
+
+// TestExpandTo covers warm-start seeding across mode growth: existing rows
+// are preserved exactly, new rows are filled, and shrinking is rejected.
+func TestExpandTo(t *testing.T) {
+	k := NewRandomKruskal([]int{4, 5, 6}, 3, 7)
+	grown, err := k.ExpandTo([]int{6, 5, 6}, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if grown.Factors[0].Rows != 6 {
+		t.Fatalf("mode 0 has %d rows, want 6", grown.Factors[0].Rows)
+	}
+	for m := range k.Factors {
+		f, g := k.Factors[m], grown.Factors[m]
+		for i := 0; i < f.Rows; i++ {
+			for r := 0; r < 3; r++ {
+				if f.At(i, r) != g.At(i, r) {
+					t.Fatalf("mode %d row %d changed under expansion", m, i)
+				}
+			}
+		}
+	}
+	for r := 0; r < 3; r++ {
+		if grown.Factors[0].At(5, r) == 0 {
+			t.Errorf("new row left zero at column %d — dead slice for ALS", r)
+		}
+	}
+	if _, err := k.ExpandTo([]int{3, 5, 6}, 7); err == nil {
+		t.Error("shrinking expansion accepted")
+	}
+	if _, err := k.ExpandTo([]int{4, 5}, 7); err == nil {
+		t.Error("order-changing expansion accepted")
+	}
+}
+
+// TestWarmStartValidation pins the option checks: a seed with the wrong
+// rank or wrong order fails fast instead of producing a shape panic deep in
+// the solver.
+func TestWarmStartValidation(t *testing.T) {
+	tensor := sessionTensor(t)
+	seed := NewRandomKruskal(tensor.Dims, 4, 1)
+
+	opts := DefaultOptions()
+	opts.Rank = 8 // != seed rank 4
+	opts.Init = seed
+	if _, _, err := CPD(tensor, opts); err == nil {
+		t.Error("rank-mismatched warm-start seed accepted")
+	}
+
+	opts = DefaultOptions()
+	opts.Rank = 4
+	opts.Init = NewRandomKruskal([]int{3, 3}, 4, 1) // wrong order
+	if _, _, err := CPD(tensor, opts); err == nil {
+		t.Error("order-mismatched warm-start seed accepted")
+	}
+
+	short := NewRandomKruskal([]int{1, 1, 1}, 4, 1) // rows < tensor dims
+	opts.Init = short
+	if _, _, err := CPD(tensor, opts); err == nil {
+		t.Error("under-sized warm-start seed accepted")
+	}
+}

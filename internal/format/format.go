@@ -119,6 +119,21 @@ func Build(t *sptensor.Tensor, spec Spec, cfg Config) (Backend, error) {
 	}
 }
 
+// Rebuild constructs the storage backend for a delta'd revision of a
+// tensor — the warm-start path of an evolving decomposition, where the
+// factor matrices carry over from a model trained on an earlier revision
+// and only the representation is rebuilt for the appended nonzeros. It
+// requires a concrete spec: the caller resolves Auto against the new
+// revision before seeding, so the sampler, the report, and the serving
+// metrics all see one fixed format for the whole warm run instead of a
+// choice that could flip between revisions mid-chain.
+func Rebuild(t *sptensor.Tensor, spec Spec, cfg Config) (Backend, error) {
+	if spec == Auto {
+		return nil, fmt.Errorf("format: rebuild needs a resolved spec, got auto (run Choose first)")
+	}
+	return Build(t, spec, cfg)
+}
+
 // heuristic thresholds for Choose, exported for tests and documentation.
 const (
 	// AutoSkewThreshold is the longest-mode slice-population skew

@@ -168,6 +168,30 @@ func contentID(k *core.KruskalTensor) string {
 	return hex.EncodeToString(h.Sum(nil))
 }
 
+// Kruskal reconstructs a Kruskal tensor from the serving layout — the
+// warm-start seed of an evolving decomposition. The read-optimized form
+// already has the component weights folded into the factor columns, so the
+// reconstruction carries unit λ and factors equal to the slabs; it
+// evaluates to exactly the same tensor as the source model (CP-ALS
+// re-normalizes the columns on its first iteration, so the folded scaling
+// is harmless as an initialization). The returned tensor shares no storage
+// with the model.
+func (m *Model) Kruskal() *core.KruskalTensor {
+	k := &core.KruskalTensor{
+		Lambda:  make([]float64, m.rank),
+		Factors: make([]*dense.Matrix, len(m.slabs)),
+	}
+	for r := range k.Lambda {
+		k.Lambda[r] = 1
+	}
+	for mm, slab := range m.slabs {
+		f := dense.NewMatrix(m.dims[mm], m.rank)
+		copy(f.Data, slab)
+		k.Factors[mm] = f
+	}
+	return k
+}
+
 // ID returns the content address (SHA-256 hex of the source model).
 func (m *Model) ID() string { return m.id }
 

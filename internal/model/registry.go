@@ -201,6 +201,33 @@ func sortInfos(infos []Info) {
 	}
 }
 
+// LatestForTensors returns the most recently published resident model whose
+// provenance tensor is in ids — the auto warm-start resolution: given an
+// appended revision's ancestor chain, pick the newest model computed from
+// any revision in that lineage. Ties on publish time break toward the
+// larger ID so the choice is deterministic.
+func (rg *Registry) LatestForTensors(ids []string) (Info, bool) {
+	want := make(map[string]bool, len(ids))
+	for _, id := range ids {
+		want[id] = true
+	}
+	rg.mu.Lock()
+	defer rg.mu.Unlock()
+	var best Info
+	found := false
+	for _, e := range rg.entries {
+		if !want[e.tensorID] {
+			continue
+		}
+		in := e.info()
+		if !found || in.Published.After(best.Published) ||
+			(in.Published.Equal(best.Published) && in.ID > best.ID) {
+			best, found = in, true
+		}
+	}
+	return best, found
+}
+
 // CacheStats is the /metrics view of the model registry.
 type CacheStats struct {
 	Entries    int   `json:"entries"`

@@ -1,0 +1,348 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// LintPrometheus checks a text-exposition (format 0.0.4) payload for
+// conformance violations: malformed metric or label names, samples that do
+// not parse, HELP/TYPE comments appearing after (or duplicated within) a
+// family, interleaved families, duplicate series, negative counters, and
+// histograms whose cumulative buckets decrease or whose +Inf bucket
+// disagrees with _count. The soak harness scrapes a long-lived server at
+// exit and fails the run on the first violation, so an instrument that
+// drifts out of spec (a label value breaking escaping, a family registered
+// under two kinds) is caught by CI rather than by the first real scraper
+// pointed at production.
+func LintPrometheus(r io.Reader) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<24)
+	l := &promLinter{
+		types:   make(map[string]string),
+		helped:  make(map[string]bool),
+		closed:  make(map[string]bool),
+		sampled: make(map[string]bool),
+		series:  make(map[string]bool),
+		hists:   make(map[string]*histCheck),
+	}
+	line := 0
+	for sc.Scan() {
+		line++
+		if err := l.line(strings.TrimRight(sc.Text(), " \t")); err != nil {
+			return fmt.Errorf("line %d: %w", line, err)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return fmt.Errorf("reading exposition: %w", err)
+	}
+	return l.finish()
+}
+
+var (
+	metricNameRe = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+	labelNameRe  = regexp.MustCompile(`^[a-zA-Z_][a-zA-Z0-9_]*$`)
+)
+
+// histCheck accumulates one histogram series' bucket ladder for the
+// cumulative and +Inf-vs-_count checks. Keyed by name plus the non-le
+// label suffix, so labelled histogram families are checked per series.
+type histCheck struct {
+	lastCum  float64
+	bad      bool
+	haveInf  bool
+	infCum   float64
+	haveCnt  float64
+	sawCount bool
+}
+
+type promLinter struct {
+	types   map[string]string // family -> declared TYPE
+	helped  map[string]bool   // family -> HELP seen
+	closed  map[string]bool   // family -> a different family started after it
+	sampled map[string]bool   // family -> at least one sample emitted
+	series  map[string]bool   // name+labels -> seen
+	hists   map[string]*histCheck
+	cur     string // family currently being emitted
+}
+
+// family maps a sample's metric name onto its declaring family: histogram
+// and summary samples use the _bucket/_sum/_count suffixes of the base
+// name.
+func (l *promLinter) family(name string) string {
+	for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+		base := strings.TrimSuffix(name, suffix)
+		if base == name {
+			continue
+		}
+		switch l.types[base] {
+		case "histogram", "summary":
+			return base
+		}
+	}
+	return name
+}
+
+func (l *promLinter) line(s string) error {
+	if s == "" {
+		return nil
+	}
+	if strings.HasPrefix(s, "#") {
+		return l.comment(s)
+	}
+	return l.sample(s)
+}
+
+func (l *promLinter) comment(s string) error {
+	fields := strings.SplitN(s, " ", 4)
+	if len(fields) < 3 || (fields[1] != "HELP" && fields[1] != "TYPE") {
+		return nil // free-form comment, ignored by the format
+	}
+	name := fields[2]
+	if !metricNameRe.MatchString(name) {
+		return fmt.Errorf("invalid metric name %q in %s comment", name, fields[1])
+	}
+	if l.closed[name] {
+		return fmt.Errorf("%s for %q after the family was interrupted by another family", fields[1], name)
+	}
+	switch fields[1] {
+	case "HELP":
+		if l.helped[name] {
+			return fmt.Errorf("second HELP line for %q", name)
+		}
+		l.helped[name] = true
+	case "TYPE":
+		if _, ok := l.types[name]; ok {
+			return fmt.Errorf("second TYPE line for %q", name)
+		}
+		if l.sampled[name] {
+			return fmt.Errorf("TYPE for %q after its first sample", name)
+		}
+		kind := ""
+		if len(fields) >= 4 {
+			kind = strings.TrimSpace(fields[3])
+		}
+		switch kind {
+		case "counter", "gauge", "histogram", "summary", "untyped":
+		default:
+			return fmt.Errorf("unknown TYPE %q for %q", kind, name)
+		}
+		l.types[name] = kind
+	}
+	l.enter(name)
+	return nil
+}
+
+// enter marks a family as current, closing whichever family was being
+// emitted before: the format requires every family's lines to be
+// consecutive.
+func (l *promLinter) enter(fam string) {
+	if l.cur == fam {
+		return
+	}
+	if l.cur != "" {
+		l.closed[l.cur] = true
+	}
+	l.cur = fam
+}
+
+func (l *promLinter) sample(s string) error {
+	name, rest := splitName(s)
+	if !metricNameRe.MatchString(name) {
+		return fmt.Errorf("invalid metric name in sample %q", s)
+	}
+	labels, rest, err := parseLabels(rest)
+	if err != nil {
+		return fmt.Errorf("sample %q: %w", s, err)
+	}
+	valueFields := strings.Fields(rest)
+	if len(valueFields) < 1 || len(valueFields) > 2 {
+		return fmt.Errorf("sample %q: want value [timestamp], got %q", s, rest)
+	}
+	value, err := parseValue(valueFields[0])
+	if err != nil {
+		return fmt.Errorf("sample %q: %w", s, err)
+	}
+	if len(valueFields) == 2 {
+		if _, err := strconv.ParseInt(valueFields[1], 10, 64); err != nil {
+			return fmt.Errorf("sample %q: bad timestamp %q", s, valueFields[1])
+		}
+	}
+
+	fam := l.family(name)
+	if l.closed[fam] {
+		return fmt.Errorf("family %q interleaved with other families", fam)
+	}
+	l.enter(fam)
+	l.sampled[fam] = true
+
+	key := name + "{" + strings.Join(labels, ",") + "}"
+	if l.series[key] {
+		return fmt.Errorf("duplicate series %s", key)
+	}
+	l.series[key] = true
+
+	switch l.types[fam] {
+	case "counter":
+		if value < 0 || math.IsNaN(value) {
+			return fmt.Errorf("counter %s has non-monotone value %v", key, value)
+		}
+	case "histogram":
+		l.histSample(fam, name, labels, value)
+	}
+	return nil
+}
+
+// histSample folds one histogram-family sample into the per-series ladder
+// check.
+func (l *promLinter) histSample(fam, name string, labels []string, value float64) {
+	le := ""
+	others := make([]string, 0, len(labels))
+	for _, lb := range labels {
+		if v, ok := strings.CutPrefix(lb, `le=`); ok {
+			le = v
+			continue
+		}
+		others = append(others, lb)
+	}
+	key := fam + "{" + strings.Join(others, ",") + "}"
+	hc := l.hists[key]
+	if hc == nil {
+		hc = &histCheck{lastCum: math.Inf(-1)}
+		l.hists[key] = hc
+	}
+	switch {
+	case name == fam+"_bucket":
+		if value < hc.lastCum {
+			hc.bad = true
+			return
+		}
+		hc.lastCum = value
+		if le == `"+Inf"` {
+			hc.haveInf = true
+			hc.infCum = value
+		}
+	case name == fam+"_count":
+		hc.sawCount = true
+		hc.haveCnt = value
+	}
+}
+
+// finish runs the whole-payload checks that need every line first.
+func (l *promLinter) finish() error {
+	for key, hc := range l.hists {
+		if hc.bad {
+			return fmt.Errorf("histogram %s has decreasing cumulative buckets", key)
+		}
+		if !hc.haveInf {
+			return fmt.Errorf("histogram %s is missing the +Inf bucket", key)
+		}
+		if hc.sawCount && hc.infCum != hc.haveCnt {
+			return fmt.Errorf("histogram %s: +Inf bucket %v != count %v", key, hc.infCum, hc.haveCnt)
+		}
+	}
+	return nil
+}
+
+// splitName cuts the metric name off the front of a sample line.
+func splitName(s string) (name, rest string) {
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '{', ' ', '\t':
+			return s[:i], s[i:]
+		}
+	}
+	return s, ""
+}
+
+// parseLabels consumes an optional {name="value",...} block, returning the
+// canonical label strings and the remainder of the line. Escapes \\, \",
+// and \n are validated.
+func parseLabels(s string) (labels []string, rest string, err error) {
+	s = strings.TrimLeft(s, " \t")
+	if !strings.HasPrefix(s, "{") {
+		return nil, s, nil
+	}
+	s = s[1:]
+	seen := make(map[string]bool)
+	for {
+		s = strings.TrimLeft(s, " \t")
+		if strings.HasPrefix(s, "}") {
+			return labels, s[1:], nil
+		}
+		eq := strings.IndexByte(s, '=')
+		if eq < 0 {
+			return nil, "", fmt.Errorf("label block missing '='")
+		}
+		lname := strings.TrimSpace(s[:eq])
+		if !labelNameRe.MatchString(lname) {
+			return nil, "", fmt.Errorf("invalid label name %q", lname)
+		}
+		if seen[lname] {
+			return nil, "", fmt.Errorf("duplicate label name %q", lname)
+		}
+		seen[lname] = true
+		s = s[eq+1:]
+		if !strings.HasPrefix(s, `"`) {
+			return nil, "", fmt.Errorf("label %q value is not quoted", lname)
+		}
+		val, remainder, err := scanQuoted(s)
+		if err != nil {
+			return nil, "", fmt.Errorf("label %q: %w", lname, err)
+		}
+		labels = append(labels, lname+"="+val)
+		s = strings.TrimLeft(remainder, " \t")
+		if strings.HasPrefix(s, ",") {
+			s = s[1:]
+			continue
+		}
+		if !strings.HasPrefix(s, "}") {
+			return nil, "", fmt.Errorf("label block not closed after %q", lname)
+		}
+	}
+}
+
+// scanQuoted consumes a double-quoted label value with \\ \" \n escapes,
+// returning the raw quoted token and the remainder.
+func scanQuoted(s string) (token, rest string, err error) {
+	for i := 1; i < len(s); i++ {
+		switch s[i] {
+		case '\\':
+			if i+1 >= len(s) {
+				return "", "", fmt.Errorf("dangling escape in label value")
+			}
+			switch s[i+1] {
+			case '\\', '"', 'n':
+				i++
+			default:
+				return "", "", fmt.Errorf("invalid escape \\%c in label value", s[i+1])
+			}
+		case '"':
+			return s[:i+1], s[i+1:], nil
+		}
+	}
+	return "", "", fmt.Errorf("unterminated label value")
+}
+
+// parseValue parses a sample value: Go float syntax plus the exposition's
+// +Inf/-Inf/NaN spellings.
+func parseValue(s string) (float64, error) {
+	switch s {
+	case "+Inf":
+		return math.Inf(1), nil
+	case "-Inf":
+		return math.Inf(-1), nil
+	case "NaN", "nan":
+		return math.NaN(), nil
+	}
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad sample value %q", s)
+	}
+	return v, nil
+}

@@ -1,0 +1,95 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestLintPrometheusAcceptsRegistryOutput pins the contract the soak gate
+// relies on: whatever WritePrometheus emits must pass the linter.
+func TestLintPrometheusAcceptsRegistryOutput(t *testing.T) {
+	reg := NewRegistry()
+	RegisterProcess(reg, "test")
+	c := reg.Counter("test_events_total", "Events.", Label{Name: "kind", Value: "a\"b\\c\nd"})
+	c.Add(3)
+	reg.FloatCounter("test_seconds_total", "Seconds.", Label{Name: "kind", Value: "x"}).Add(1.5)
+	reg.Gauge("test_depth", "Depth.").Set(-2)
+	h := reg.Histogram("test_latency_seconds", "Latency.", []float64{0.001, 0.1, 1})
+	h.Observe(0.05)
+	h.Observe(2)
+	reg.Func("test_dynamic", "Dynamic.", KindGauge, func() float64 { return 7 })
+
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatalf("WritePrometheus: %v", err)
+	}
+	if err := LintPrometheus(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatalf("lint of registry output: %v\npayload:\n%s", err, buf.String())
+	}
+}
+
+func TestLintPrometheusRejectsViolations(t *testing.T) {
+	cases := []struct {
+		name    string
+		payload string
+		wantSub string
+	}{
+		{"bad metric name", "9bad_name 1\n", "invalid metric name"},
+		{"bad value", "ok_metric borked\n", "bad sample value"},
+		{"duplicate series", "a_total 1\na_total 2\n", "duplicate series"},
+		{"duplicate labelled series",
+			"a_total{x=\"1\"} 1\na_total{x=\"1\"} 2\n", "duplicate series"},
+		{"type after sample",
+			"a_total 1\n# TYPE a_total counter\n", "after its first sample"},
+		{"second help",
+			"# HELP a_total one\n# HELP a_total two\na_total 1\n", "second HELP"},
+		{"unknown type", "# TYPE a_total bogus\na_total 1\n", "unknown TYPE"},
+		{"negative counter",
+			"# TYPE a_total counter\na_total -1\n", "non-monotone"},
+		{"interleaved families",
+			"# TYPE a_total counter\na_total 1\nb_total 2\n# TYPE a_total counter\n", "interrupted"},
+		{"interleaved samples",
+			"a_metric 1\nb_metric 2\na_metric{x=\"1\"} 3\n", "interleaved"},
+		{"bad label name", "a_total{9x=\"1\"} 1\n", "invalid label name"},
+		{"unterminated label", "a_total{x=\"1} 1\n", "unterminated"},
+		{"bad escape", `a_total{x="a\q"} 1` + "\n", "invalid escape"},
+		{"duplicate label", `a_total{x="1",x="2"} 1` + "\n", "duplicate label"},
+		{"missing inf bucket",
+			"# TYPE h histogram\nh_bucket{le=\"1\"} 1\nh_sum 1\nh_count 1\n", "+Inf"},
+		{"decreasing buckets",
+			"# TYPE h histogram\nh_bucket{le=\"1\"} 5\nh_bucket{le=\"2\"} 3\nh_bucket{le=\"+Inf\"} 5\nh_sum 1\nh_count 5\n",
+			"decreasing"},
+		{"count mismatch",
+			"# TYPE h histogram\nh_bucket{le=\"1\"} 1\nh_bucket{le=\"+Inf\"} 2\nh_sum 1\nh_count 3\n",
+			"!= count"},
+		{"bad timestamp", "a_total 1 notatime\n", "bad timestamp"},
+	}
+	for _, c := range cases {
+		err := LintPrometheus(strings.NewReader(c.payload))
+		if err == nil {
+			t.Errorf("%s: lint passed, want violation containing %q", c.name, c.wantSub)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.wantSub) {
+			t.Errorf("%s: error %q does not contain %q", c.name, err, c.wantSub)
+		}
+	}
+}
+
+func TestLintPrometheusAcceptsCleanPayload(t *testing.T) {
+	payload := strings.Join([]string{
+		"# HELP a_total Things.",
+		"# TYPE a_total counter",
+		`a_total{x="1"} 5`,
+		`a_total{x="2"} 0`,
+		"# some free-form comment",
+		"# TYPE g gauge",
+		"g NaN",
+		"g{x=\"inf\"} +Inf 1712000000",
+		"",
+	}, "\n")
+	if err := LintPrometheus(strings.NewReader(payload)); err != nil {
+		t.Fatalf("lint of clean payload: %v", err)
+	}
+}

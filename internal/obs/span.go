@@ -40,6 +40,13 @@ const (
 	PhaseSampledMTTKRP
 	// PhaseLeverage spans leverage-score refresh after a factor update.
 	PhaseLeverage
+	// PhaseWarmStart spans warm-start seeding: resolving the seed model
+	// and expanding its factors to the appended revision's mode lengths
+	// before the absorb run starts. Recorded by the serving layer, not the
+	// engine, so it appears in job profiles only for warm-started jobs.
+	// New non-comm phases must be inserted before PhaseCommBarrier (IsComm
+	// treats the comm phases as a trailing block).
+	PhaseWarmStart
 	// PhaseCommBarrier spans standalone barrier collectives.
 	PhaseCommBarrier
 	// PhaseCommAllreduce spans allreduce collectives (sum/max/scalar).
@@ -63,6 +70,7 @@ var phaseNames = [NumPhases]string{
 	"sample",
 	"sampled_mttkrp",
 	"leverage",
+	"warm_start",
 	"comm_barrier",
 	"comm_allreduce",
 	"comm_allgather",

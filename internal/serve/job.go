@@ -73,6 +73,12 @@ type JobSpec struct {
 	// successful completion; the model's content-addressed ID lands in the
 	// job result and the model becomes queryable under /v1/models/{id}.
 	Publish bool `json:"publish,omitempty"`
+	// WarmStart seeds the factor matrices from a published model instead of
+	// random init: a model ID, or "auto" to pick the newest model published
+	// against this tensor or any ancestor revision in its append chain.
+	// Unset knobs take absorb defaults (ARLS with a short iteration budget)
+	// rather than cold-run defaults. Kind "cpd" only.
+	WarmStart string `json:"warm_start,omitempty"`
 }
 
 // normalize fills defaults and validates the engine-independent fields.
@@ -97,6 +103,9 @@ func (s *JobSpec) normalize() error {
 	}
 	if _, err := sketch.Parse(s.Solver); err != nil {
 		return err
+	}
+	if s.WarmStart != "" && s.Kind != KindCPD {
+		return fmt.Errorf("serve: warm_start applies to kind %q only, got %q", KindCPD, s.Kind)
 	}
 	return nil
 }
@@ -223,8 +232,12 @@ type JobResult struct {
 	SampledIters int `json:"sampled_iters,omitempty"`
 	// ModelID is the content-addressed ID of the published model (jobs
 	// submitted with publish:true only).
-	ModelID string  `json:"model_id,omitempty"`
-	Seconds float64 `json:"seconds"`
+	ModelID string `json:"model_id,omitempty"`
+	// WarmStart marks a job seeded from a published model;
+	// WarmStartModel is the resolved model it was seeded from.
+	WarmStart      bool    `json:"warm_start,omitempty"`
+	WarmStartModel string  `json:"warm_start_model,omitempty"`
+	Seconds        float64 `json:"seconds"`
 }
 
 // JobProgress is the live view of a running decomposition, derived from

@@ -22,6 +22,7 @@ type serverMetrics struct {
 	jobsFailed    *obs.Counter
 	jobsCancelled *obs.Counter
 	published     *obs.Counter
+	warmStarted   *obs.Counter
 	rejected      *obs.Counter
 	panics        *obs.Counter
 
@@ -91,6 +92,8 @@ func newServerMetrics(s *Server) *serverMetrics {
 			"Decomposition jobs cancelled while queued or running."),
 		published: reg.Counter("splatt_models_published_total",
 			"Kruskal models published into the serving registry by jobs."),
+		warmStarted: reg.Counter("splatt_jobs_warm_started_total",
+			"Decomposition jobs seeded from a published model."),
 		rejected: reg.Counter("splatt_queue_rejected_total",
 			"Job submissions rejected by a full or closed queue."),
 		panics: reg.Counter("splatt_http_panics_total",
@@ -134,6 +137,12 @@ func newServerMetrics(s *Server) *serverMetrics {
 		return float64(st.Entries), float64(st.Bytes),
 			float64(st.Hits), float64(st.Misses), float64(st.Evictions)
 	})
+	reg.Func("splatt_tensor_appends_total",
+		"Append batches accepted into new tensor revisions.", obs.KindCounter,
+		func() float64 { return float64(s.registry.Stats().Appends) })
+	reg.Func("splatt_tensor_append_seconds_total",
+		"Cumulative seconds spent parsing, merging, and hashing append batches.", obs.KindCounter,
+		func() float64 { return s.registry.Stats().AppendSeconds })
 	registerCacheMetrics(reg, "model", func() (entries, bytes, hits, misses, evictions float64) {
 		st := s.models.Stats()
 		return float64(st.Entries), float64(st.Bytes),

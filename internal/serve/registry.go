@@ -39,6 +39,15 @@ type Registry struct {
 	misses        int64
 	evictions     int64
 	ingestSeconds float64 // cumulative cold-ingest (hash+parse) time
+	appends       int64
+	appendSeconds float64 // cumulative append (parse+merge+hash) time
+
+	// lineage records revision provenance (parent/root/seq) for every
+	// tensor the registry has ever published, resident or not, so
+	// provenance chains stay queryable after eviction. Bounded by
+	// maxLineage; oldest records are pruned first.
+	lineage      map[string]*revRecord
+	lineageOrder []string
 }
 
 // tensorEntry is one resident tensor plus its ingest bookkeeping.
@@ -48,7 +57,26 @@ type tensorEntry struct {
 	bytes    int64 // in-memory footprint estimate of the parsed tensor
 	uploaded time.Time
 	elem     *list.Element
-	pins     int // running/queued jobs holding the tensor
+	pins     int    // running/queued jobs holding the tensor
+	parent   string // revision this entry was appended from ("" for uploads)
+}
+
+// maxLineage bounds the provenance index. 4096 records ≈ a few hundred KB;
+// far beyond it the oldest chains are of archaeological interest only.
+const maxLineage = 4096
+
+// revRecord is one revision's provenance: enough to reconstruct the chain
+// and the per-append deltas without keeping the tensors resident.
+type revRecord struct {
+	id      string
+	parent  string // "" for root uploads
+	root    string // first revision of the chain (self for uploads)
+	seq     int    // 0 for uploads, parent.seq+1 for appends
+	dims    []int
+	nnz     int
+	added   int // batch nonzeros accepted by the append (0 for uploads)
+	merged  int // duplicates merged during the append
+	created time.Time
 }
 
 // NewRegistry creates a registry bounded by maxEntries resident tensors
@@ -62,6 +90,23 @@ func NewRegistry(maxEntries int, maxBytes int64) *Registry {
 		maxBytes:   maxBytes,
 		entries:    make(map[string]*tensorEntry),
 		lru:        list.New(),
+		lineage:    make(map[string]*revRecord),
+	}
+}
+
+// recordLineageLocked publishes one revision's provenance record. Idempotent
+// for re-uploads of the same bytes; prunes the oldest records beyond
+// maxLineage.
+func (rg *Registry) recordLineageLocked(rec *revRecord) {
+	if _, ok := rg.lineage[rec.id]; ok {
+		return
+	}
+	rg.lineage[rec.id] = rec
+	rg.lineageOrder = append(rg.lineageOrder, rec.id)
+	for len(rg.lineage) > maxLineage && len(rg.lineageOrder) > 0 {
+		oldest := rg.lineageOrder[0]
+		rg.lineageOrder = rg.lineageOrder[1:]
+		delete(rg.lineage, oldest)
 	}
 }
 
@@ -135,6 +180,10 @@ func (rg *Registry) Ingest(r io.Reader, maxUpload int64, maxModeLen int) (Ingest
 	e.elem = rg.lru.PushFront(e)
 	rg.entries[id] = e
 	rg.bytes += e.bytes
+	rg.recordLineageLocked(&revRecord{
+		id: id, root: id, dims: append([]int(nil), t.Dims...),
+		nnz: t.NNZ(), created: e.uploaded,
+	})
 	rg.evictLocked()
 	return IngestResult{ID: id, Cached: false, Dims: t.Dims, NNZ: t.NNZ()}, nil
 }
@@ -208,6 +257,14 @@ type TensorInfo struct {
 	NNZ      int       `json:"nnz"`
 	Bytes    int64     `json:"bytes"`
 	Uploaded time.Time `json:"uploaded"`
+	Parent   string    `json:"parent,omitempty"`
+}
+
+func (e *tensorEntry) info() TensorInfo {
+	return TensorInfo{
+		ID: e.id, Dims: e.tensor.Dims, NNZ: e.tensor.NNZ(),
+		Bytes: e.bytes, Uploaded: e.uploaded, Parent: e.parent,
+	}
 }
 
 // Lookup returns metadata for a resident tensor without pinning it.
@@ -218,7 +275,7 @@ func (rg *Registry) Lookup(id string) (TensorInfo, bool) {
 	if !ok {
 		return TensorInfo{}, false
 	}
-	return TensorInfo{ID: e.id, Dims: e.tensor.Dims, NNZ: e.tensor.NNZ(), Bytes: e.bytes, Uploaded: e.uploaded}, true
+	return e.info(), true
 }
 
 // List returns metadata for every resident tensor, most recently used
@@ -228,8 +285,7 @@ func (rg *Registry) List() []TensorInfo {
 	defer rg.mu.Unlock()
 	out := make([]TensorInfo, 0, len(rg.entries))
 	for elem := rg.lru.Front(); elem != nil; elem = elem.Next() {
-		e := elem.Value.(*tensorEntry)
-		out = append(out, TensorInfo{ID: e.id, Dims: e.tensor.Dims, NNZ: e.tensor.NNZ(), Bytes: e.bytes, Uploaded: e.uploaded})
+		out = append(out, elem.Value.(*tensorEntry).info())
 	}
 	return out
 }
@@ -244,6 +300,8 @@ type CacheStats struct {
 	Misses        int64   `json:"misses"`
 	Evictions     int64   `json:"evictions"`
 	IngestSeconds float64 `json:"ingest_seconds"`
+	Appends       int64   `json:"appends"`
+	AppendSeconds float64 `json:"append_seconds"`
 }
 
 // Stats snapshots the registry counters.
@@ -259,6 +317,8 @@ func (rg *Registry) Stats() CacheStats {
 		Misses:        rg.misses,
 		Evictions:     rg.evictions,
 		IngestSeconds: rg.ingestSeconds,
+		Appends:       rg.appends,
+		AppendSeconds: rg.appendSeconds,
 	}
 }
 

@@ -283,6 +283,7 @@ func TestErrorEnvelopeEverywhere(t *testing.T) {
 	}
 	var info model.Info
 	_ = json.Unmarshal(data, &info)
+	up := uploadTensor(t, ts.URL, []byte("1 1 1 1.0\n2 2 2 2.0\n"))
 
 	cases := []struct {
 		name     string
@@ -318,6 +319,15 @@ func TestErrorEnvelopeEverywhere(t *testing.T) {
 			map[string]any{"mode": "zero"}, 400, "bad_request"},
 		{"similar bad index", "POST", "/v1/models/" + info.ID + "/similar",
 			similarRequest{Mode: 0, Index: 99, K: 2}, 400, "bad_request"},
+		{"append 404", "PATCH", "/v1/tensors/deadbeef", nil, 404, "not_found"},
+		{"append empty batch", "PATCH", "/v1/tensors/" + up.ID, nil, 400, "bad_request"},
+		{"append garbage batch", "PATCH", "/v1/tensors/" + up.ID,
+			map[string]any{"not": "a tensor"}, 400, "bad_request"},
+		{"revisions 404", "GET", "/v1/tensors/deadbeef/revisions", nil, 404, "not_found"},
+		{"revisions bad limit", "GET", "/v1/tensors/" + up.ID + "/revisions?limit=-1", nil, 400, "bad_request"},
+		{"revisions bad offset", "GET", "/v1/tensors/" + up.ID + "/revisions?offset=zap", nil, 400, "bad_request"},
+		{"warm start wrong kind", "POST", "/v1/jobs",
+			JobSpec{TensorID: up.ID, Kind: KindComplete, WarmStart: "auto"}, 400, "bad_request"},
 	}
 	for _, c := range cases {
 		resp, data := doJSON(t, c.method, ts.URL+c.path, c.body)

@@ -208,6 +208,8 @@ func (s *Server) Models() *model.Registry { return s.models }
 //	POST   /v1/tensors      — upload a .tns or binary tensor body
 //	GET    /v1/tensors      — list resident tensors (?limit=&offset=)
 //	GET    /v1/tensors/{id}
+//	PATCH  /v1/tensors/{id} — append a batch of nonzeros, creating a new revision
+//	GET    /v1/tensors/{id}/revisions — the revision chain (?limit=&offset=)
 //	DELETE /v1/tensors/{id} — evict (409 while pinned by active jobs)
 //	POST   /v1/jobs         — submit a decomposition (JobSpec JSON)
 //	GET    /v1/jobs         — list jobs (?limit=&offset=&status=)
@@ -248,6 +250,8 @@ func (s *Server) Handler() http.Handler {
 	route("POST", "/tensors", upT, s.cfg.MaxUploadBytes, s.handleUpload)
 	route("GET", "/tensors", reqT, 0, s.handleListTensors)
 	route("GET", "/tensors/{id}", reqT, 0, s.handleGetTensor)
+	route("PATCH", "/tensors/{id}", upT, s.cfg.MaxUploadBytes, s.handleAppendTensor)
+	route("GET", "/tensors/{id}/revisions", reqT, 0, s.handleTensorRevisions)
 	route("DELETE", "/tensors/{id}", reqT, 0, s.handleDeleteTensor)
 	route("POST", "/jobs", reqT, 1<<20, s.handleSubmitJob)
 	route("GET", "/jobs", reqT, 0, s.handleListJobs)
@@ -636,6 +640,8 @@ type Metrics struct {
 		// Published counts models published into the registry by completed
 		// jobs (publish:true).
 		Published int64 `json:"published"`
+		// WarmStarted counts jobs seeded from a published model.
+		WarmStarted int64 `json:"warm_started"`
 		// ByFormat counts completed jobs per resolved storage backend
 		// ("csf", "alto", or "coo" for completion jobs).
 		ByFormat map[string]int64 `json:"by_format,omitempty"`
@@ -680,6 +686,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	m.Jobs.Failed = int64(s.met.jobsFailed.Value())
 	m.Jobs.Cancelled = int64(s.met.jobsCancelled.Value())
 	m.Jobs.Published = int64(s.met.published.Value())
+	m.Jobs.WarmStarted = int64(s.met.warmStarted.Value())
 
 	s.met.mu.Lock()
 	m.Jobs.ByFormat = make(map[string]int64, len(s.met.formats))

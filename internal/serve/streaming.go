@@ -1,0 +1,42 @@
+package serve
+
+import (
+	"errors"
+	"net/http"
+)
+
+// handleAppendTensor is PATCH /v1/tensors/{id}: merge a batch of nonzeros
+// into the resident tensor, publishing the result as a new revision. 201
+// with the revision's AppendResult on success, 200 when the merged state
+// already exists (append replay), 404 for an unknown or evicted base, and
+// the upload status mapping (400/413) for malformed or oversized batches.
+func (s *Server) handleAppendTensor(w http.ResponseWriter, r *http.Request) {
+	res, err := s.registry.Append(r.PathValue("id"), r.Body, s.cfg.MaxUploadBytes, s.cfg.MaxModeLength)
+	switch {
+	case errors.Is(err, ErrTensorNotFound):
+		writeError(w, http.StatusNotFound, err)
+	case err != nil:
+		writeError(w, uploadStatus(err), err)
+	case res.Cached:
+		writeJSON(w, http.StatusOK, res)
+	default:
+		writeJSON(w, http.StatusCreated, res)
+	}
+}
+
+// handleTensorRevisions is GET /v1/tensors/{id}/revisions: the provenance
+// chain containing the revision, in sequence order, under the standard
+// pagination contract (?limit=&offset=, X-Total-Count).
+func (s *Server) handleTensorRevisions(w http.ResponseWriter, r *http.Request) {
+	revs, ok := s.registry.Revisions(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound,
+			errors.New("serve: tensor has no recorded revisions"))
+		return
+	}
+	lo, hi, ok := listWindow(w, r, len(revs))
+	if !ok {
+		return
+	}
+	writeJSON(w, http.StatusOK, revs[lo:hi])
+}

@@ -10,7 +10,9 @@ import (
 	"repro/internal/core"
 	"repro/internal/dist"
 	"repro/internal/model"
+	"repro/internal/obs"
 	"repro/internal/perf"
+	"repro/internal/sketch"
 )
 
 // worker is one pool goroutine: it drains the priority queue and runs
@@ -65,6 +67,11 @@ func (s *Server) execute(j *Job) {
 			opts.Timers = timers
 			opts.Trace = j.trace
 			opts.Spans = j.spans
+			if j.Spec.WarmStart != "" {
+				if err = s.seedWarmStart(j, &opts, res); err != nil {
+					return
+				}
+			}
 			k, report, runErr := core.CPD(tensor, opts)
 			kruskal, err = k, runErr
 			if report != nil {
@@ -128,6 +135,53 @@ func (s *Server) execute(j *Job) {
 		s.tallyFormat(res.Format)
 		s.tallySolver(res.Solver)
 	}
+}
+
+// seedWarmStart resolves the job's warm-start model, expands its factors to
+// the (possibly grown) tensor dims, and retargets the run at absorbing the
+// delta: unset knobs become ARLS with the short absorb iteration budget
+// instead of the cold-run defaults, so a small append converges in a
+// fraction of a cold run. The resolution is recorded as a PhaseWarmStart
+// span so job profiles attribute the seeding cost.
+func (s *Server) seedWarmStart(j *Job, opts *core.Options, res *JobResult) error {
+	rec := j.spans.Recorder(0)
+	start := rec.Start()
+	defer rec.End(obs.PhaseWarmStart, start)
+
+	modelID := j.Spec.WarmStart
+	if modelID == "auto" {
+		info, ok := s.models.LatestForTensors(s.registry.Ancestors(j.Spec.TensorID))
+		if !ok {
+			return fmt.Errorf("serve: warm_start auto found no published model for tensor %s or its ancestors",
+				shortID(j.Spec.TensorID))
+		}
+		modelID = info.ID
+	}
+	m, err := s.models.Pin(modelID)
+	if err != nil {
+		return err
+	}
+	seed := m.Kruskal()
+	s.models.Unpin(modelID)
+
+	expanded, err := seed.ExpandTo(j.tensor.Dims, j.Spec.Seed)
+	if err != nil {
+		return fmt.Errorf("serve: warm-start model %s: %w", shortID(modelID), err)
+	}
+	opts.Init = expanded
+	if j.Spec.Rank == 0 {
+		opts.Rank = expanded.Rank()
+	}
+	if j.Spec.Solver == "" {
+		opts.Solver = sketch.ARLS
+	}
+	if j.Spec.MaxIters == 0 {
+		opts.MaxIters = sketch.AbsorbMaxIters
+	}
+	res.WarmStart = true
+	res.WarmStartModel = modelID
+	s.met.warmStarted.Inc()
+	return nil
 }
 
 // publishModel builds the read-optimized serving layout from a completed

@@ -68,6 +68,17 @@ func Parse(s string) (Solver, error) {
 // trajectory (the fit-parity guarantee the tests enforce).
 const DefaultRefineIters = 2
 
+// AbsorbMaxIters is the default iteration budget of a warm-started
+// (seeded) run absorbing an appended batch: a few sampled ARLS iterations
+// pull the carried-over factors onto the new revision's trajectory, then
+// DefaultRefineIters exact passes restore exact-fit semantics. Sized so a
+// ≤1% nnz append reaches the cold run's converged fit in well under a
+// third of the cold iteration budget (the paper-configuration 20).
+const AbsorbMaxIters = 6
+
+// AbsorbSampledIters is the sampled prefix of the absorb schedule.
+const AbsorbSampledIters = AbsorbMaxIters - DefaultRefineIters
+
 // AutoNNZThreshold is the nonzero count below which Auto keeps the exact
 // solver: under it a full MTTKRP is already cheap, and the sampled system's
 // fixed per-update overhead (leverage scores + drawing) does not pay.

@@ -1,0 +1,103 @@
+package sptensor
+
+import (
+	"math"
+	"testing"
+)
+
+func tensorFrom(t *testing.T, dims []int, coords [][]int, vals []float64) *Tensor {
+	t.Helper()
+	tt := New(dims, len(vals))
+	for x, c := range coords {
+		for m := range dims {
+			tt.Inds[m][x] = Index(c[m])
+		}
+		tt.Vals[x] = vals[x]
+	}
+	if err := tt.Validate(); err != nil {
+		t.Fatalf("fixture tensor invalid: %v", err)
+	}
+	return tt
+}
+
+func TestAppendBatchMergesAcrossBoundary(t *testing.T) {
+	base := tensorFrom(t, []int{3, 3, 3},
+		[][]int{{0, 0, 0}, {1, 1, 1}, {2, 2, 2}}, []float64{1, 2, 3})
+	// One batch nonzero collides with base's (1,1,1), one is new, and the
+	// batch itself repeats (0,2,1) twice — both kinds of duplicate must
+	// collapse onto summed survivors.
+	batch := tensorFrom(t, []int{3, 3, 3},
+		[][]int{{1, 1, 1}, {0, 2, 1}, {0, 2, 1}}, []float64{10, 4, 6})
+
+	merged, dups, err := AppendBatch(base, batch)
+	if err != nil {
+		t.Fatalf("AppendBatch: %v", err)
+	}
+	if dups != 2 {
+		t.Errorf("merged duplicates = %d, want 2", dups)
+	}
+	if merged.NNZ() != 4 {
+		t.Fatalf("merged nnz = %d, want 4", merged.NNZ())
+	}
+	want := map[[3]int]float64{
+		{0, 0, 0}: 1, {1, 1, 1}: 12, {2, 2, 2}: 3, {0, 2, 1}: 10,
+	}
+	for x := 0; x < merged.NNZ(); x++ {
+		key := [3]int{int(merged.Inds[0][x]), int(merged.Inds[1][x]), int(merged.Inds[2][x])}
+		v, ok := want[key]
+		if !ok {
+			t.Fatalf("unexpected coordinate %v", key)
+		}
+		if math.Abs(merged.Vals[x]-v) > 1e-12 {
+			t.Errorf("value at %v = %g, want %g", key, merged.Vals[x], v)
+		}
+		delete(want, key)
+	}
+	if len(want) != 0 {
+		t.Errorf("missing coordinates: %v", want)
+	}
+	// Snapshot isolation: the inputs are untouched.
+	if base.NNZ() != 3 || math.Abs(base.Vals[1]-2) > 0 {
+		t.Errorf("base mutated by append: nnz=%d vals=%v", base.NNZ(), base.Vals)
+	}
+	if batch.NNZ() != 3 {
+		t.Errorf("batch mutated by append: nnz=%d", batch.NNZ())
+	}
+}
+
+func TestAppendBatchGrowsModes(t *testing.T) {
+	base := tensorFrom(t, []int{2, 2, 2}, [][]int{{0, 0, 0}, {1, 1, 1}}, []float64{1, 2})
+	batch := tensorFrom(t, []int{5, 2, 7}, [][]int{{4, 0, 6}}, []float64{9})
+	merged, dups, err := AppendBatch(base, batch)
+	if err != nil {
+		t.Fatalf("AppendBatch: %v", err)
+	}
+	if dups != 0 {
+		t.Errorf("dups = %d, want 0", dups)
+	}
+	wantDims := []int{5, 2, 7}
+	for m, d := range merged.Dims {
+		if d != wantDims[m] {
+			t.Errorf("merged dim %d = %d, want %d", m, d, wantDims[m])
+		}
+	}
+	if merged.NNZ() != 3 {
+		t.Errorf("merged nnz = %d, want 3", merged.NNZ())
+	}
+	// Base dims must be unchanged (the old revision keeps its shape).
+	if base.Dims[0] != 2 || base.Dims[2] != 2 {
+		t.Errorf("base dims mutated: %v", base.Dims)
+	}
+}
+
+func TestAppendBatchRejectsEmptyAndOrderMismatch(t *testing.T) {
+	base := tensorFrom(t, []int{2, 2, 2}, [][]int{{0, 0, 0}}, []float64{1})
+	empty := New([]int{2, 2, 2}, 0)
+	if _, _, err := AppendBatch(base, empty); err == nil {
+		t.Error("empty batch: want error, got nil")
+	}
+	matrix := tensorFrom(t, []int{2, 2}, [][]int{{0, 0}}, []float64{1})
+	if _, _, err := AppendBatch(base, matrix); err == nil {
+		t.Error("order mismatch: want error, got nil")
+	}
+}

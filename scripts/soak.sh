@@ -1,0 +1,70 @@
+#!/usr/bin/env bash
+# soak.sh — build splatt-serve with the race detector, run it for
+# SOAK_SECONDS under concurrent append/job/query traffic from splatt-soak,
+# and fail on any of:
+#   * a data race or panic in the server log,
+#   * a non-zero soak driver exit (500 response, envelope-less error body,
+#     transport failure, or Prometheus conformance violation at exit),
+#   * the server dying before the drain.
+#
+# Environment knobs:
+#   SOAK_SECONDS   soak duration                       (default: 300)
+#   SOAK_PORT      server listen port                  (default: 18321)
+#   SOAK_WORKERS   concurrent traffic generators       (default: 8)
+#   SOAK_SEED      traffic randomness seed             (default: 1)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+SECONDS_BUDGET="${SOAK_SECONDS:-300}"
+PORT="${SOAK_PORT:-18321}"
+WORKERS="${SOAK_WORKERS:-8}"
+SEED="${SOAK_SEED:-1}"
+
+TMP="$(mktemp -d)"
+LOG="$TMP/splatt-serve.log"
+cleanup() {
+    if [ -n "${SERVER_PID:-}" ] && kill -0 "$SERVER_PID" 2>/dev/null; then
+        kill "$SERVER_PID" 2>/dev/null || true
+        wait "$SERVER_PID" 2>/dev/null || true
+    fi
+    rm -rf "$TMP"
+}
+trap cleanup EXIT
+
+echo "building race-instrumented splatt-serve and soak driver ..."
+go build -race -o "$TMP/splatt-serve" ./cmd/splatt-serve
+go build -o "$TMP/splatt-soak" ./cmd/splatt-soak
+
+echo "starting splatt-serve on :$PORT (log: $LOG) ..."
+GORACE="halt_on_error=1" "$TMP/splatt-serve" -addr "localhost:$PORT" -log-json >"$LOG" 2>&1 &
+SERVER_PID=$!
+
+echo "soaking for ${SECONDS_BUDGET}s with $WORKERS workers ..."
+SOAK_STATUS=0
+"$TMP/splatt-soak" -base "http://localhost:$PORT" \
+    -seconds "$SECONDS_BUDGET" -workers "$WORKERS" -seed "$SEED" || SOAK_STATUS=$?
+
+# The server must still be alive after the barrage — a dead server means a
+# crash the driver saw only as transport errors.
+if ! kill -0 "$SERVER_PID" 2>/dev/null; then
+    echo "FAIL: splatt-serve exited during the soak; last log lines:" >&2
+    tail -n 40 "$LOG" >&2
+    exit 1
+fi
+kill "$SERVER_PID"
+wait "$SERVER_PID" 2>/dev/null || true
+SERVER_PID=""
+
+# Race-detector reports and recovered panic stacks both land in the log.
+if grep -E -q 'DATA RACE|panic:' "$LOG"; then
+    echo "FAIL: race or panic in server log:" >&2
+    grep -E -n -m 5 -A 20 'DATA RACE|panic:' "$LOG" >&2
+    exit 1
+fi
+
+if [ "$SOAK_STATUS" -ne 0 ]; then
+    echo "FAIL: soak driver exited $SOAK_STATUS" >&2
+    exit "$SOAK_STATUS"
+fi
+
+echo "soak passed: ${SECONDS_BUDGET}s clean under -race"
