@@ -22,12 +22,23 @@ import (
 	"strconv"
 	"strings"
 
+	"repro/internal/alto"
 	"repro/internal/bench"
+	"repro/internal/cpu"
+	"repro/internal/dense"
 )
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("splatt-bench: ")
+
+	// Numbers from two hosts are only comparable if the same kernels ran,
+	// so every report records the dispatch decision up front.
+	altoWalker := "tables"
+	if alto.NativeExtract() {
+		altoWalker = "pext"
+	}
+	log.Printf("kernels: cpu=%s dense=%s alto=%s", cpu.Summary(), dense.KernelISA(), altoWalker)
 
 	def := bench.DefaultConfig()
 	var (

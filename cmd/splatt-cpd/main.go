@@ -17,8 +17,11 @@ import (
 	"log"
 	"os"
 
+	"repro/internal/alto"
 	"repro/internal/core"
+	"repro/internal/cpu"
 	"repro/internal/csf"
+	"repro/internal/dense"
 	"repro/internal/format"
 	"repro/internal/locks"
 	"repro/internal/mttkrp"
@@ -93,8 +96,13 @@ func main() {
 
 	stats := sptensor.ComputeStats(name, t)
 	fmt.Printf("Tensor: %s\n", stats.Row())
-	fmt.Printf("Config: profile=%v access=%v locks=%v sort=%v alloc=%v format=%v solver=%v rank=%d iters=%d tasks=%d\n\n",
+	fmt.Printf("Config: profile=%v access=%v locks=%v sort=%v alloc=%v format=%v solver=%v rank=%d iters=%d tasks=%d\n",
 		prof, opts.Access, opts.LockKind, opts.SortVariant, opts.Alloc, opts.Format, opts.Solver, opts.Rank, opts.MaxIters, opts.Tasks)
+	altoWalker := "tables"
+	if alto.NativeExtract() {
+		altoWalker = "pext"
+	}
+	fmt.Printf("Kernels: cpu=%s dense=%s alto=%s\n\n", cpu.Summary(), dense.KernelISA(), altoWalker)
 
 	timers := perf.NewRegistry()
 	opts.Timers = timers

@@ -1,0 +1,27 @@
+// Command splatt-cpuinfo prints the detected CPU feature set and the
+// kernel paths the dispatch layer resolved to, one key=value triple on a
+// single line:
+//
+//	cpu=amd64:avx2+fma+bmi2 dense=avx2+fma alto=pext
+//
+// scripts/bench.sh stamps this line into every benchmark record so
+// scripts/bench_compare.sh can refuse to quietly compare numbers produced
+// by different kernel sets (e.g. a purego or SPLATT_DISABLE_SIMD run
+// against an AVX2 baseline).
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/alto"
+	"repro/internal/cpu"
+	"repro/internal/dense"
+)
+
+func main() {
+	altoWalker := "tables"
+	if alto.NativeExtract() {
+		altoWalker = "pext"
+	}
+	fmt.Printf("cpu=%s dense=%s alto=%s\n", cpu.Summary(), dense.KernelISA(), altoWalker)
+}

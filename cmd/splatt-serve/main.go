@@ -42,6 +42,9 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/alto"
+	"repro/internal/cpu"
+	"repro/internal/dense"
 	"repro/internal/serve"
 )
 
@@ -73,6 +76,13 @@ func main() {
 		logHandler = slog.NewJSONHandler(os.Stderr, &handlerOpts)
 	}
 	logger := slog.New(logHandler).With(slog.String("service", "splatt-serve"))
+
+	// One line at startup saying which kernels this process will actually
+	// run — the same facts the splatt_cpu_features metric exports.
+	logger.Info("kernel dispatch",
+		slog.String("cpu", cpu.Summary()),
+		slog.String("dense_isa", dense.KernelISA()),
+		slog.Bool("alto_pext", alto.NativeExtract()))
 
 	srv := serve.NewServer(serve.Config{
 		Workers:          *workers,

@@ -62,7 +62,27 @@ type Encoding struct {
 	// This is what DelinearizeRange and the MTTKRP walker exploit between
 	// consecutive sorted keys, which share their high bytes almost always.
 	chunkDeltas [][]uint64 // [chunk][256*order] contribution rows
+
+	// Native pdep/pext masks, 3 words per mode: the low-word extraction
+	// mask, the high-word extraction mask, and the shift placing the
+	// high-word bits above the low-word ones (= number of mode bits in the
+	// low word). Mode m's index is
+	//   pext(lo, masks[3m]) | pext(hi, masks[3m+1]) << masks[3m+2],
+	// which is what the BMI2 kernels execute directly; linearization is the
+	// mirrored pdep. Always built (they also serve as the ground truth for
+	// the parity fuzz); used on the hot path only when native is true.
+	pextMasks []uint64
+	// native selects the BMI2 assembly for ExtractAll/Step/Linearize/
+	// DelinearizeRange and the operator's tile walker. Set from
+	// NativeExtract() at construction, overridable per encoding in tests.
+	native bool
 }
+
+// NativeExtract reports whether the BMI2 pdep/pext kernels are live on
+// this build (amd64 with BMI2, not purego, not disabled by env). The auto
+// format heuristic consults this: with native extraction ALTO's MTTKRP
+// reaches CSF parity, so the choice can flip to the half-memory format.
+func NativeExtract() bool { return nativeBitExtract }
 
 // NewEncoding builds the bit-interleaved encoding for the given mode
 // lengths. Bit positions are assigned round-robin across modes from the
@@ -108,7 +128,29 @@ func NewEncoding(dims []int) (*Encoding, error) {
 		e.segs[m] = compress(pos[m])
 	}
 	e.buildByteTables(pos)
+	e.buildPextMasks(pos)
+	e.native = nativeBitExtract
 	return e, nil
+}
+
+// buildPextMasks derives the per-mode pdep/pext mask triples from the
+// global-position lists.
+func (e *Encoding) buildPextMasks(pos [][]int) {
+	e.pextMasks = make([]uint64, 3*len(pos))
+	for m := range pos {
+		var loMask, hiMask, loBits uint64
+		for _, p := range pos[m] {
+			if p < 64 {
+				loMask |= uint64(1) << uint(p)
+				loBits++
+			} else {
+				hiMask |= uint64(1) << uint(p-64)
+			}
+		}
+		e.pextMasks[3*m] = loMask
+		e.pextMasks[3*m+1] = hiMask
+		e.pextMasks[3*m+2] = loBits
+	}
 }
 
 // buildByteTables precomputes the per-byte extraction tables from the
@@ -166,6 +208,21 @@ func (e *Encoding) Wide() bool { return e.TotalBits > 64 }
 
 // Linearize packs one coordinate tuple into a (lo, hi) linearized index.
 func (e *Encoding) Linearize(coord []sptensor.Index) (lo, hi uint64) {
+	if e.native {
+		var buf [32]uint64
+		if len(coord) <= len(buf) {
+			cur := buf[:len(coord)]
+			for m, c := range coord {
+				cur[m] = uint64(c)
+			}
+			return pdepKey(cur, e.pextMasks)
+		}
+	}
+	return e.linearizeSegs(coord)
+}
+
+// linearizeSegs is the portable segment-walk linearization.
+func (e *Encoding) linearizeSegs(coord []sptensor.Index) (lo, hi uint64) {
 	for m, segs := range e.segs {
 		idx := uint64(coord[m])
 		for _, s := range segs {
@@ -208,8 +265,18 @@ const ChangedAll = ^uint32(0)
 
 // ExtractAll recovers the full coordinate tuple into cur (len = order) as
 // raw uint64 indices — the walker-state initializer of the incremental
-// paths. One chunk-row OR per byte of the key covers every mode at once.
+// paths. Native builds run one pext per (mode, word); the portable body
+// does one chunk-row OR per byte of the key, covering every mode at once.
 func (e *Encoding) ExtractAll(lo, hi uint64, cur []uint64) {
+	if e.native {
+		pextAll(lo, hi, e.pextMasks, cur)
+		return
+	}
+	e.extractAllTables(lo, hi, cur)
+}
+
+// extractAllTables is the portable byte-table ExtractAll.
+func (e *Encoding) extractAllTables(lo, hi uint64, cur []uint64) {
 	order := len(e.Dims)
 	for m := range cur {
 		cur[m] = 0
@@ -235,8 +302,18 @@ func (e *Encoding) ExtractAll(lo, hi uint64, cur []uint64) {
 // replacement is exact). Returns the change mask (mode i ↦ bit min(i,31)):
 // exact for modes 0..30, with every mode ≥ 31 folded onto bit 31.
 // Consecutive sorted keys share their high bytes almost always, so the
-// byte loop typically runs once or twice.
+// byte loop typically runs once or twice. Native builds re-extract every
+// mode with pext and diff against cur instead — the full re-extraction is
+// cheaper than the table walk there, and it never reads the prev key.
 func (e *Encoding) Step(prevLo, prevHi, lo, hi uint64, cur []uint64) uint32 {
+	if e.native {
+		return pextAll(lo, hi, e.pextMasks, cur)
+	}
+	return e.stepTables(prevLo, prevHi, lo, hi, cur)
+}
+
+// stepTables is the portable incremental byte-table Step.
+func (e *Encoding) stepTables(prevLo, prevHi, lo, hi uint64, cur []uint64) uint32 {
 	var mask uint32
 	if diff := lo ^ prevLo; diff != 0 {
 		mask = e.patchWord(diff, prevLo, lo, 0, cur)

@@ -57,7 +57,18 @@ type taskKernel struct {
 	cur   []uint64  // incremental walker state: current coordinate per mode
 	acc   []float64 // output-row accumulator (rank)
 	hprod []float64 // cached non-target Hadamard product (rank)
+
+	// Tile buffers for the native (BMI2) order-3 walker: pext3Tile batch-
+	// delinearizes tileN keys per assembly call, amortizing the call
+	// overhead to a fraction of a nanosecond per nonzero. Allocated only
+	// when that walker is selected.
+	idxT, idxA, idxB []uint32
 }
+
+// tileN is the nonzeros-per-pext3Tile-call batch size of the native
+// order-3 walker: large enough to amortize the assembly call, small enough
+// that the three uint32 buffers (3×4·tileN = 6 KiB) stay L1-resident.
+const tileN = 512
 
 // NewOperator builds an operator for the given ALTO tensor. rank is the
 // decomposition rank R; team may be nil for serial execution. Workspace
@@ -85,6 +96,7 @@ func NewOperator(t *Tensor, team *parallel.Team, rank int, opts mttkrp.Options) 
 		arena = parallel.NewArena(tasks)
 	}
 	order := t.Order()
+	native3 := order == 3 && t.Hi == nil && t.Enc.native
 	o.kernels = make([]taskKernel, tasks)
 	for tid := range o.kernels {
 		ta := arena.Task(tid)
@@ -92,15 +104,23 @@ func NewOperator(t *Tensor, team *parallel.Team, rank int, opts mttkrp.Options) 
 		k.cur = make([]uint64, order)
 		k.acc = ta.F64(rank)
 		k.hprod = ta.F64(rank)
+		if native3 {
+			k.idxT = make([]uint32, tileN)
+			k.idxA = make([]uint32, tileN)
+			k.idxB = make([]uint32, tileN)
+		}
 	}
 	o.runBody = func(tid int) {
 		begin, end := o.bounds[tid], o.bounds[tid+1]
 		if begin >= end {
 			return
 		}
-		if order == 3 && o.t.Hi == nil {
+		switch {
+		case native3:
+			o.runRange3Native(tid, begin, end)
+		case order == 3 && o.t.Hi == nil:
 			o.runRange3(tid, begin, end)
-		} else {
+		default:
 			o.runRange(tid, begin, end)
 		}
 	}
@@ -355,6 +375,165 @@ func (o *Operator) runRange3(tid, begin, end int) {
 	o.flushRun(strategy, out, privBuf, curRow, acc, hprod, vpend, pendValid, accUsed)
 }
 
+// runRange3Native is the BMI2 variant of runRange3: instead of patching
+// walker registers from per-byte delta tables, it batch-delinearizes tileN
+// keys at a time with pext3Tile (one pext per mode per key, no tables, no
+// branches) into L1-resident index buffers, then drives the lazy-run
+// accumulation off plain value compares (equivalent to the XOR-delta flags
+// of the portable walker, both being exact). Unlike the portable walker it
+// never materializes the Hadamard product: a run's pending value flushes
+// straight from the factor rows with the fused scaled-Hadamard kernels
+// (dst (+)= v·(ra⊙rb)), saving two rank-length load/store passes per
+// coordinate change — in the dense-tensor regime where nearly every
+// nonzero starts a new run, that is per nonzero.
+func (o *Operator) runRange3Native(tid, begin, end int) {
+	enc := o.t.Enc
+	mode := o.curMode
+	factors, out, strategy := o.curFactors, o.curOut, o.curStrategy
+	lo, vals := o.t.Lo, o.t.Vals
+	k := &o.kernels[tid]
+	acc := k.acc
+	idxT, idxA, idxB := k.idxT, k.idxA, k.idxB
+
+	var ma, mb int // the two non-target modes
+	switch mode {
+	case 0:
+		ma, mb = 1, 2
+	case 1:
+		ma, mb = 0, 2
+	default:
+		ma, mb = 0, 1
+	}
+	fa, fb := factors[ma], factors[mb]
+	// Narrow encoding: each mode's bits live entirely in the low word, so
+	// the low-word pext mask alone extracts the full index.
+	mT := enc.pextMasks[3*mode]
+	mA := enc.pextMasks[3*ma]
+	mB := enc.pextMasks[3*mb]
+
+	var privBuf []float64
+	if strategy == mttkrp.StrategyPrivatize {
+		privBuf = o.priv.Buf(tid)
+	}
+	// Lock-free strategies write rank-strided rows of one flat array
+	// (task-private or the output itself), so the dominant dense-tensor
+	// step — new row on an unmaterialized single-value run — can flush with
+	// ONE fused kernel call, no flushRunRows dispatch. Under locks the
+	// flush must stay inside the pool's critical section.
+	rank := o.rank
+	var flat []float64
+	switch strategy {
+	case mttkrp.StrategyPrivatize:
+		flat = privBuf
+	case mttkrp.StrategyLock:
+		// flat stays nil: fused fast path disabled
+	default:
+		flat = out.Data
+	}
+
+	var curT, curA, curB uint32
+	var curRow sptensor.Index
+	var vpend float64
+	var pendValid, accUsed bool
+	first := true
+
+	for base := begin; base < end; base += tileN {
+		n := end - base
+		if n > tileN {
+			n = tileN
+		}
+		pext3Tile(lo[base:base+n], mT, mA, mB, idxT, idxA, idxB)
+		x := 0
+		if first {
+			curT, curA, curB = idxT[0], idxA[0], idxB[0]
+			curRow = sptensor.Index(curT)
+			vpend = vals[base]
+			pendValid = true
+			first = false
+			x = 1
+		}
+		for ; x < n; x++ {
+			nT, nA, nB := idxT[x], idxA[x], idxB[x]
+			if nT == curT {
+				if nA == curA && nB == curB {
+					// Merged keys share row and Hadamard coordinates.
+					if pendValid {
+						vpend += vals[base+x]
+					} else {
+						vpend = vals[base+x]
+						pendValid = true
+					}
+					continue
+				}
+				// Same row, new coordinates: materialize the pending value
+				// into the accumulator under the OLD rows.
+				if pendValid {
+					ra, rb := fa.Row(int(curA)), fb.Row(int(curB))
+					if accUsed {
+						dense.VecMulAxpy(acc, ra, rb, vpend)
+					} else {
+						dense.VecMulScaleSet(acc, ra, rb, vpend)
+						accUsed = true
+					}
+				}
+				curA, curB = nA, nB
+				vpend = vals[base+x]
+				pendValid = true
+				continue
+			}
+			// Row change: flush the finished run.
+			if flat != nil && pendValid && !accUsed {
+				id := int(curT) * rank
+				dense.VecMulAxpy(flat[id:id+rank], fa.Row(int(curA)), fb.Row(int(curB)), vpend)
+			} else {
+				o.flushRunRows(strategy, out, privBuf, curRow,
+					acc, fa.Row(int(curA)), fb.Row(int(curB)), vpend, pendValid, accUsed)
+				accUsed = false
+			}
+			curT, curA, curB = nT, nA, nB
+			curRow = sptensor.Index(curT)
+			vpend = vals[base+x]
+			pendValid = true
+		}
+	}
+	o.flushRunRows(strategy, out, privBuf, curRow,
+		acc, fa.Row(int(curA)), fb.Row(int(curB)), vpend, pendValid, accUsed)
+}
+
+// flushRunRows is flushRun for the hprod-free native walker: the pending
+// value flushes directly from the factor rows via the fused scaled-Hadamard
+// kernel.
+func (o *Operator) flushRunRows(strategy mttkrp.ConflictStrategy, out *dense.Matrix,
+	privBuf []float64, row sptensor.Index, acc, ra, rb []float64, vpend float64,
+	pendValid, accUsed bool) {
+
+	id := int(row)
+	var target []float64
+	locked := false
+	switch strategy {
+	case mttkrp.StrategyLock:
+		o.pool.Lock(id)
+		locked = true
+		target = out.Row(id)
+	case mttkrp.StrategyPrivatize:
+		target = privBuf[id*o.rank : id*o.rank+o.rank]
+	default:
+		target = out.Row(id)
+	}
+	if accUsed {
+		dense.VecAdd(target, acc)
+	}
+	if pendValid {
+		dense.VecMulAxpy(target, ra, rb, vpend)
+	}
+	if locked {
+		o.pool.Unlock(id)
+	}
+	if accUsed {
+		dense.VecZero(acc)
+	}
+}
+
 // flushRun commits one output row's run: the materialized accumulator (if
 // any) plus the pending value under the current Hadamard product.
 func (o *Operator) flushRun(strategy mttkrp.ConflictStrategy, out *dense.Matrix,
@@ -388,10 +567,27 @@ func (o *Operator) flushRun(strategy mttkrp.ConflictStrategy, out *dense.Matrix,
 	}
 }
 
-// vecMaterializeMulSet fuses a pending-run materialization with the
+// vecMaterializeMulSet / vecMaterializeMul materialize a pending run and
+// recompute the Hadamard product. On generic builds the fused single-pass
+// bodies below win (one loop instead of two); when the dense package has
+// native SIMD kernels, two vectorized passes beat one scalar pass and the
+// pointers are repointed at dense-kernel pairs.
+var (
+	vecMaterializeMulSet = vecMaterializeMulSetGeneric
+	vecMaterializeMul    = vecMaterializeMulGeneric
+)
+
+func init() {
+	if dense.Native() {
+		vecMaterializeMulSet = dense.VecScaleMulSet
+		vecMaterializeMul = dense.VecAxpyMulSet
+	}
+}
+
+// vecMaterializeMulSetGeneric fuses a pending-run materialization with the
 // Hadamard recompute in one pass: acc[i] = v·hprod[i], then hprod[i] =
 // a[i]·b[i]. Unrolled by 4 like the dense vector kernels.
-func vecMaterializeMulSet(acc, hprod, a, b []float64, v float64) {
+func vecMaterializeMulSetGeneric(acc, hprod, a, b []float64, v float64) {
 	n := len(acc)
 	i := 0
 	for ; i+4 <= n; i += 4 {
@@ -410,9 +606,9 @@ func vecMaterializeMulSet(acc, hprod, a, b []float64, v float64) {
 	}
 }
 
-// vecMaterializeMul is vecMaterializeMulSet with accumulation:
-// acc[i] += v·hprod[i], then hprod[i] = a[i]·b[i].
-func vecMaterializeMul(acc, hprod, a, b []float64, v float64) {
+// vecMaterializeMulGeneric is vecMaterializeMulSetGeneric with
+// accumulation: acc[i] += v·hprod[i], then hprod[i] = a[i]·b[i].
+func vecMaterializeMulGeneric(acc, hprod, a, b []float64, v float64) {
 	n := len(acc)
 	i := 0
 	for ; i+4 <= n; i += 4 {

@@ -1,0 +1,26 @@
+//go:build amd64 && !purego
+
+package alto
+
+import "repro/internal/cpu"
+
+// nativeBitExtract gates the BMI2 kernels; SHLX rides on the same feature
+// bit as PDEP/PEXT, so one flag covers all three instructions.
+var nativeBitExtract = cpu.HasBMI2
+
+// pextAll extracts every mode's index from the (lo, hi) key into cur
+// (len = order), returning a change mask relative to cur's previous
+// contents: bit min(m, 31) is set for every mode whose value changed —
+// the same folding the byte-table Step reports. masks is the Encoding's
+// 3-words-per-mode pext mask table. Implemented in pext_amd64.s.
+func pextAll(lo, hi uint64, masks []uint64, cur []uint64) uint32
+
+// pext3Tile delinearizes a tile of narrow (single-word) order-3 keys with
+// one pext per mode per key: outT/outA/outB receive the indices extracted
+// under the three masks for every key. Lengths of the out slices must be
+// at least len(keys). Implemented in pext_amd64.s.
+func pext3Tile(keys []uint64, mT, mA, mB uint64, outT, outA, outB []uint32)
+
+// pdepKey linearizes one coordinate tuple (cur, len = order) into a
+// (lo, hi) key — the pdep mirror of pextAll. Implemented in pext_amd64.s.
+func pdepKey(cur []uint64, masks []uint64) (lo, hi uint64)

@@ -1,0 +1,85 @@
+// Package cpu detects the instruction-set extensions the arch-specific
+// kernel fast paths need: AVX2, FMA, and BMI2 (pdep/pext) on amd64, NEON
+// (ASIMD) on arm64. Detection runs once at init; the dense and alto
+// packages consult the flags when installing their dispatch tables.
+//
+// Two escape hatches force the pure-Go fallback everywhere:
+//
+//   - the `purego` build tag compiles the detectors (and every assembly
+//     kernel gated on them) out entirely, and
+//   - the SPLATT_DISABLE_SIMD environment variable (any non-empty value
+//     other than "0"), read once at init, reports every feature as absent
+//     without recompiling.
+//
+// Both exist so the fallback path stays first-class: CI exercises them,
+// and a bad interaction with the native kernels can be ruled out in the
+// field with an env var instead of a rebuild.
+package cpu
+
+import (
+	"os"
+	"runtime"
+	"strings"
+)
+
+// Feature flags, fixed after package init. On platforms other than the
+// one compiled for — and under the purego tag or SPLATT_DISABLE_SIMD —
+// all are false.
+var (
+	// HasAVX2 reports AVX2 with OS-enabled YMM state (amd64).
+	HasAVX2 bool
+	// HasFMA reports FMA3 (amd64).
+	HasFMA bool
+	// HasBMI2 reports BMI2, i.e. PDEP/PEXT/SHLX (amd64).
+	HasBMI2 bool
+	// HasNEON reports Advanced SIMD (arm64; architecturally mandatory
+	// there, so it is true on every arm64 build unless disabled).
+	HasNEON bool
+
+	// DisabledByEnv records that SPLATT_DISABLE_SIMD suppressed features
+	// that the hardware actually has.
+	DisabledByEnv bool
+)
+
+// simdDisabled reports whether SPLATT_DISABLE_SIMD asks for the pure-Go
+// fallback. Any non-empty value except "0" disables.
+func simdDisabled() bool {
+	v := os.Getenv("SPLATT_DISABLE_SIMD")
+	return v != "" && v != "0"
+}
+
+// Features lists the detected feature names in a fixed order. Empty when
+// nothing native is available.
+func Features() []string {
+	var fs []string
+	if HasAVX2 {
+		fs = append(fs, "avx2")
+	}
+	if HasFMA {
+		fs = append(fs, "fma")
+	}
+	if HasBMI2 {
+		fs = append(fs, "bmi2")
+	}
+	if HasNEON {
+		fs = append(fs, "neon")
+	}
+	return fs
+}
+
+// Summary renders the detection result for logs and perf artifacts, e.g.
+// "amd64:avx2+fma+bmi2", "arm64:neon", or "amd64:generic" (with a
+// "(simd disabled by env)" suffix when the override fired).
+func Summary() string {
+	fs := Features()
+	s := runtime.GOARCH + ":"
+	if len(fs) == 0 {
+		s += "generic"
+	} else {
+		s += strings.Join(fs, "+")
+	}
+	if DisabledByEnv {
+		s += " (simd disabled by env)"
+	}
+	return s
+}

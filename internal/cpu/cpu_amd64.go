@@ -1,0 +1,44 @@
+//go:build amd64 && !purego
+
+package cpu
+
+// cpuid executes CPUID with the given leaf/subleaf (implemented in
+// cpu_amd64.s).
+func cpuid(eaxArg, ecxArg uint32) (eax, ebx, ecx, edx uint32)
+
+// xgetbv reads XCR0 (only valid when CPUID.1:ECX.OSXSAVE is set).
+func xgetbv() (eax, edx uint32)
+
+func init() {
+	maxID, _, _, _ := cpuid(0, 0)
+	if maxID < 1 {
+		return
+	}
+	_, _, ecx1, _ := cpuid(1, 0)
+	hasFMA := ecx1&(1<<12) != 0
+	hasOSXSAVE := ecx1&(1<<27) != 0
+	hasAVX := ecx1&(1<<28) != 0
+
+	// AVX/FMA need the OS to have enabled XMM+YMM state (XCR0 bits 1|2).
+	osAVX := false
+	if hasOSXSAVE {
+		xcr0, _ := xgetbv()
+		osAVX = xcr0&0x6 == 0x6
+	}
+
+	hasAVX2, hasBMI2 := false, false
+	if maxID >= 7 {
+		_, ebx7, _, _ := cpuid(7, 0)
+		hasAVX2 = ebx7&(1<<5) != 0
+		hasBMI2 = ebx7&(1<<8) != 0
+	}
+
+	avx2 := hasAVX && osAVX && hasAVX2
+	fma := hasAVX && osAVX && hasFMA
+	bmi2 := hasBMI2
+	if simdDisabled() {
+		DisabledByEnv = avx2 || fma || bmi2
+		return
+	}
+	HasAVX2, HasFMA, HasBMI2 = avx2, fma, bmi2
+}

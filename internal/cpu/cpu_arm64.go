@@ -1,0 +1,14 @@
+//go:build arm64 && !purego
+
+package cpu
+
+// Advanced SIMD (NEON) is architecturally mandatory on AArch64, and the Go
+// runtime already requires it, so no probing is needed — only the env
+// override can turn it off.
+func init() {
+	if simdDisabled() {
+		DisabledByEnv = true
+		return
+	}
+	HasNEON = true
+}

@@ -1,0 +1,6 @@
+//go:build purego || (!amd64 && !arm64)
+
+package cpu
+
+// No native kernels on this build: either an architecture without fast
+// paths or an explicit purego build. All feature flags stay false.

@@ -1,0 +1,44 @@
+package cpu
+
+import (
+	"runtime"
+	"strings"
+	"testing"
+)
+
+func TestSummaryShape(t *testing.T) {
+	s := Summary()
+	if !strings.HasPrefix(s, runtime.GOARCH+":") {
+		t.Fatalf("Summary %q does not start with %q", s, runtime.GOARCH+":")
+	}
+	fs := Features()
+	if len(fs) == 0 && !strings.Contains(s, "generic") {
+		t.Fatalf("no features but Summary %q lacks generic", s)
+	}
+	for _, f := range fs {
+		if !strings.Contains(s, f) {
+			t.Fatalf("feature %q missing from Summary %q", f, s)
+		}
+	}
+}
+
+func TestFeatureConsistency(t *testing.T) {
+	// NEON and the x86 features are mutually exclusive: one arch each.
+	if HasNEON && (HasAVX2 || HasFMA || HasBMI2) {
+		t.Fatal("NEON and x86 features both set")
+	}
+	switch runtime.GOARCH {
+	case "amd64":
+		if HasNEON {
+			t.Fatal("NEON reported on amd64")
+		}
+	case "arm64":
+		if HasAVX2 || HasFMA || HasBMI2 {
+			t.Fatal("x86 features reported on arm64")
+		}
+	default:
+		if len(Features()) != 0 {
+			t.Fatalf("features %v reported on %s", Features(), runtime.GOARCH)
+		}
+	}
+}

@@ -1,0 +1,106 @@
+//go:build arm64 && !purego
+
+package dense
+
+import "repro/internal/cpu"
+
+// Assembly bodies (vec_arm64.s); each requires len(dst) (len(x) for the
+// dot) to be a non-zero multiple of 4. The wrappers below split off the
+// scalar tail, which the Go compiler already turns into fused FMADDD
+// scalars on arm64.
+func vecAxpyNEONBody(dst, x []float64, a float64)
+func vecAddNEONBody(dst, x []float64)
+func vecMulNEONBody(dst, x []float64)
+func vecMulAddNEONBody(dst, x, y []float64)
+func vecMulSetNEONBody(dst, x, y []float64)
+func vecScaleSetNEONBody(dst, x []float64, a float64)
+func vecDotNEONBody(x, y []float64) float64
+
+func vecAxpyNEON(dst, x []float64, a float64) {
+	n := len(dst) &^ 3
+	if n > 0 {
+		vecAxpyNEONBody(dst[:n], x, a)
+	}
+	for i := n; i < len(dst); i++ {
+		dst[i] += a * x[i]
+	}
+}
+
+func vecAddNEON(dst, x []float64) {
+	n := len(dst) &^ 3
+	if n > 0 {
+		vecAddNEONBody(dst[:n], x)
+	}
+	for i := n; i < len(dst); i++ {
+		dst[i] += x[i]
+	}
+}
+
+func vecMulNEON(dst, x []float64) {
+	n := len(dst) &^ 3
+	if n > 0 {
+		vecMulNEONBody(dst[:n], x)
+	}
+	for i := n; i < len(dst); i++ {
+		dst[i] *= x[i]
+	}
+}
+
+func vecMulAddNEON(dst, x, y []float64) {
+	n := len(dst) &^ 3
+	if n > 0 {
+		vecMulAddNEONBody(dst[:n], x, y)
+	}
+	for i := n; i < len(dst); i++ {
+		dst[i] += x[i] * y[i]
+	}
+}
+
+func vecMulSetNEON(dst, x, y []float64) {
+	n := len(dst) &^ 3
+	if n > 0 {
+		vecMulSetNEONBody(dst[:n], x, y)
+	}
+	for i := n; i < len(dst); i++ {
+		dst[i] = x[i] * y[i]
+	}
+}
+
+func vecScaleSetNEON(dst, x []float64, a float64) {
+	n := len(dst) &^ 3
+	if n > 0 {
+		vecScaleSetNEONBody(dst[:n], x, a)
+	}
+	for i := n; i < len(dst); i++ {
+		dst[i] = a * x[i]
+	}
+}
+
+func vecDotNEON(x, y []float64) float64 {
+	n := len(x) &^ 3
+	var s float64
+	if n > 0 {
+		s = vecDotNEONBody(x[:n], y)
+	}
+	for i := n; i < len(x); i++ {
+		s += x[i] * y[i]
+	}
+	return s
+}
+
+// The Syrk row block keeps the generic j-loop but its inner VecAxpy calls
+// go through the dispatched pointer, so it picks up the NEON body without
+// an arm64-specific routine.
+func init() {
+	if !cpu.HasNEON {
+		return
+	}
+	vecAxpy = vecAxpyNEON
+	vecAdd = vecAddNEON
+	vecMul = vecMulNEON
+	vecMulAdd = vecMulAddNEON
+	vecMulSet = vecMulSetNEON
+	vecScaleSet = vecScaleSetNEON
+	vecDot = vecDotNEON
+	kernelISA = "neon"
+}

@@ -1,0 +1,138 @@
+//go:build arm64 && !purego
+
+#include "textflag.h"
+
+// NEON (ASIMD) kernel bodies. The Go assembler exposes no vector FADD/FMUL
+// for float64, so every kernel is built from VFMLA (fused multiply-add)
+// against a zeroed or ones-filled register — dst+x becomes dst+x*1.0 and
+// x*y becomes 0+x*y, both of which are exact, so only genuinely fused
+// multiply-adds differ from the generic bodies (by contraction rounding).
+// Each body requires len(dst) (len(x) for the dot) to be a non-zero
+// multiple of 4; the Go wrappers in simd_arm64.go run the scalar tail.
+
+// func vecAxpyNEONBody(dst, x []float64, a float64)
+TEXT ·vecAxpyNEONBody(SB), NOSPLIT, $0-56
+	MOVD dst_base+0(FP), R0
+	MOVD dst_len+8(FP), R1
+	MOVD x_base+24(FP), R2
+	FMOVD a+48(FP), F0
+	VDUP V0.D[0], V8.D2
+axpy_loop:
+	VLD1.P 32(R2), [V1.D2, V2.D2]
+	VLD1 (R0), [V3.D2, V4.D2]
+	VFMLA V8.D2, V1.D2, V3.D2
+	VFMLA V8.D2, V2.D2, V4.D2
+	VST1.P [V3.D2, V4.D2], 32(R0)
+	SUBS $4, R1, R1
+	BNE axpy_loop
+	RET
+
+// func vecAddNEONBody(dst, x []float64)
+TEXT ·vecAddNEONBody(SB), NOSPLIT, $0-48
+	MOVD dst_base+0(FP), R0
+	MOVD dst_len+8(FP), R1
+	MOVD x_base+24(FP), R2
+	FMOVD $1.0, F0
+	VDUP V0.D[0], V8.D2
+add_loop:
+	VLD1.P 32(R2), [V1.D2, V2.D2]
+	VLD1 (R0), [V3.D2, V4.D2]
+	VFMLA V8.D2, V1.D2, V3.D2
+	VFMLA V8.D2, V2.D2, V4.D2
+	VST1.P [V3.D2, V4.D2], 32(R0)
+	SUBS $4, R1, R1
+	BNE add_loop
+	RET
+
+// func vecMulNEONBody(dst, x []float64)
+TEXT ·vecMulNEONBody(SB), NOSPLIT, $0-48
+	MOVD dst_base+0(FP), R0
+	MOVD dst_len+8(FP), R1
+	MOVD x_base+24(FP), R2
+mul_loop:
+	VLD1.P 32(R2), [V1.D2, V2.D2]
+	VLD1 (R0), [V3.D2, V4.D2]
+	VEOR V5.B16, V5.B16, V5.B16
+	VEOR V6.B16, V6.B16, V6.B16
+	VFMLA V1.D2, V3.D2, V5.D2
+	VFMLA V2.D2, V4.D2, V6.D2
+	VST1.P [V5.D2, V6.D2], 32(R0)
+	SUBS $4, R1, R1
+	BNE mul_loop
+	RET
+
+// func vecMulAddNEONBody(dst, x, y []float64)
+TEXT ·vecMulAddNEONBody(SB), NOSPLIT, $0-72
+	MOVD dst_base+0(FP), R0
+	MOVD dst_len+8(FP), R1
+	MOVD x_base+24(FP), R2
+	MOVD y_base+48(FP), R3
+muladd_loop:
+	VLD1.P 32(R2), [V1.D2, V2.D2]
+	VLD1.P 32(R3), [V5.D2, V6.D2]
+	VLD1 (R0), [V3.D2, V4.D2]
+	VFMLA V5.D2, V1.D2, V3.D2
+	VFMLA V6.D2, V2.D2, V4.D2
+	VST1.P [V3.D2, V4.D2], 32(R0)
+	SUBS $4, R1, R1
+	BNE muladd_loop
+	RET
+
+// func vecMulSetNEONBody(dst, x, y []float64)
+TEXT ·vecMulSetNEONBody(SB), NOSPLIT, $0-72
+	MOVD dst_base+0(FP), R0
+	MOVD dst_len+8(FP), R1
+	MOVD x_base+24(FP), R2
+	MOVD y_base+48(FP), R3
+mulset_loop:
+	VLD1.P 32(R2), [V1.D2, V2.D2]
+	VLD1.P 32(R3), [V5.D2, V6.D2]
+	VEOR V3.B16, V3.B16, V3.B16
+	VEOR V4.B16, V4.B16, V4.B16
+	VFMLA V5.D2, V1.D2, V3.D2
+	VFMLA V6.D2, V2.D2, V4.D2
+	VST1.P [V3.D2, V4.D2], 32(R0)
+	SUBS $4, R1, R1
+	BNE mulset_loop
+	RET
+
+// func vecScaleSetNEONBody(dst, x []float64, a float64)
+TEXT ·vecScaleSetNEONBody(SB), NOSPLIT, $0-56
+	MOVD dst_base+0(FP), R0
+	MOVD dst_len+8(FP), R1
+	MOVD x_base+24(FP), R2
+	FMOVD a+48(FP), F0
+	VDUP V0.D[0], V8.D2
+scaleset_loop:
+	VLD1.P 32(R2), [V1.D2, V2.D2]
+	VEOR V3.B16, V3.B16, V3.B16
+	VEOR V4.B16, V4.B16, V4.B16
+	VFMLA V8.D2, V1.D2, V3.D2
+	VFMLA V8.D2, V2.D2, V4.D2
+	VST1.P [V3.D2, V4.D2], 32(R0)
+	SUBS $4, R1, R1
+	BNE scaleset_loop
+	RET
+
+// func vecDotNEONBody(x, y []float64) float64
+TEXT ·vecDotNEONBody(SB), NOSPLIT, $0-56
+	MOVD x_base+0(FP), R0
+	MOVD x_len+8(FP), R1
+	MOVD y_base+24(FP), R2
+	VEOR V1.B16, V1.B16, V1.B16
+	VEOR V2.B16, V2.B16, V2.B16
+dot_loop:
+	VLD1.P 32(R0), [V3.D2, V4.D2]
+	VLD1.P 32(R2), [V5.D2, V6.D2]
+	VFMLA V5.D2, V3.D2, V1.D2
+	VFMLA V6.D2, V4.D2, V2.D2
+	SUBS $4, R1, R1
+	BNE dot_loop
+	// Fold V2 into V1 (V1 += V2*1.0), then the two lanes into a scalar.
+	FMOVD $1.0, F9
+	VDUP V9.D[0], V9.D2
+	VFMLA V9.D2, V2.D2, V1.D2
+	VMOV V1.D[1], V3.D[0]
+	FADDD F3, F1, F0
+	FMOVD F0, ret+48(FP)
+	RET

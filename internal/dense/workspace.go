@@ -132,19 +132,12 @@ func (w *Workspace) run(body func(tid int)) {
 }
 
 // syrkBlock accumulates the upper-triangle Gram partial of rows
-// [begin, end) into part (overwritten).
+// [begin, end) into part (overwritten). The row kernel dispatches to the
+// broadcast-FMA assembly block when the CPU has it.
 func syrkBlock(a *Matrix, part []float64, begin, end int) {
-	r := a.Cols
 	VecZero(part)
 	for i := begin; i < end; i++ {
-		row := a.Row(i)
-		for j := 0; j < r; j++ {
-			vj := row[j]
-			if vj == 0 {
-				continue
-			}
-			VecAxpy(part[j*r+j:j*r+r], row[j:], vj)
-		}
+		syrkRow(part, a.Row(i))
 	}
 }
 

@@ -137,9 +137,14 @@ func Rebuild(t *sptensor.Tensor, spec Spec, cfg Config) (Backend, error) {
 // heuristic thresholds for Choose, exported for tests and documentation.
 const (
 	// AutoSkewThreshold is the longest-mode slice-population skew
-	// (max/mean) beyond which auto prefers ALTO on 3rd-order tensors.
+	// (max/mean) beyond which auto prefers ALTO on 3rd-order tensors when
+	// only the pure-Go walkers are available.
 	AutoSkewThreshold = 8.0
 )
+
+// nativeExtract gates the native-extraction branch of Choose; a variable
+// so tests can pin either decision table regardless of the build host.
+var nativeExtract = alto.NativeExtract
 
 // Choose picks a storage format for a tensor, returning the choice and a
 // human-readable reason. The documented heuristic, in order:
@@ -149,13 +154,22 @@ const (
 //  2. Order ≥ 4 → ALTO: the CSF kernels' specialized fast paths (and the
 //     tile schedule) are 3rd-order, and a mode-agnostic single
 //     representation replaces the multi-CSF set's per-root copies.
-//  3. Order 3, encoding fits one 64-bit word (max-dim bit-widths summing
-//     to ≤ 64), and the longest mode's slice-population skew (max/mean
-//     nonzeros per slice) ≥ AutoSkewThreshold → ALTO: hub slices are what
-//     contend CSF's lock pool, while the linearized order spreads a hub's
-//     nonzeros across tasks with run-buffered flushes.
-//  4. Otherwise → CSF (the paper's format; its fiber tree wins on regular
-//     3rd-order tensors, and a two-word ALTO pays double index traffic).
+//  3. Order 3, encoding fits one 64-bit word, and the CPU has native
+//     bit-extraction (BMI2 pdep/pext — see alto.NativeExtract) → ALTO:
+//     with the pext tile walker and the fused scaled-Hadamard flush
+//     kernels, linearized MTTKRP matches or beats the CSF fiber tree on
+//     both the regular and hub-skewed twins (re-measured at 0.92x–0.98x of
+//     CSF wall time), and the single representation halves memory against
+//     the multi-CSF set.
+//  4. Order 3, narrow encoding, pure-Go walkers only: prefer ALTO only
+//     when the longest mode's slice-population skew (max/mean nonzeros per
+//     slice) ≥ AutoSkewThreshold — hub slices are what contend CSF's lock
+//     pool, while the linearized order spreads a hub's nonzeros across
+//     tasks with run-buffered flushes. The byte-table walker loses to CSF
+//     on regular tensors (1.2–1.4x), so skew must buy the difference.
+//  5. Otherwise → CSF (the paper's format; its fiber tree wins on regular
+//     3rd-order tensors without native extraction, and a two-word ALTO
+//     pays double index traffic).
 func Choose(t *sptensor.Tensor) (Spec, string) {
 	enc, err := alto.NewEncoding(t.Dims)
 	if err != nil {
@@ -166,6 +180,9 @@ func Choose(t *sptensor.Tensor) (Spec, string) {
 	}
 	if enc.Wide() {
 		return CSF, fmt.Sprintf("csf: %d-bit linearized index needs two words", enc.TotalBits)
+	}
+	if nativeExtract() {
+		return ALTO, fmt.Sprintf("alto: native bit-extraction (%d-bit keys, pext tile walker) at CSF parity, half the memory", enc.TotalBits)
 	}
 	longest := 0
 	for m, d := range t.Dims {

@@ -38,26 +38,28 @@ func TestParseAndString(t *testing.T) {
 	}
 }
 
-func TestChooseHeuristic(t *testing.T) {
-	// Order ≥ 4 → ALTO.
-	t4 := sptensor.Random([]int{10, 9, 8, 7}, 200, 3)
-	if got, reason := Choose(t4); got != ALTO {
-		t.Errorf("order-4 chose %v (%s), want alto", got, reason)
-	}
-	// Unencodable (5 × 31 bits) → CSF even at high order. Dims only need
-	// declaring; a single in-range nonzero keeps validation happy.
-	huge := sptensor.New([]int{1 << 31, 1 << 31, 1 << 31, 1 << 31, 1 << 31}, 1)
-	if got, reason := Choose(huge); got != CSF {
-		t.Errorf("unencodable chose %v (%s), want csf", got, reason)
-	}
-	// Regular 3rd-order → CSF.
-	uniform := sptensor.Random([]int{40, 40, 40}, 2000, 5)
-	if got, reason := Choose(uniform); got != CSF {
-		t.Errorf("uniform 3rd-order chose %v (%s), want csf", got, reason)
-	}
-	// Hub-skewed 3rd-order, narrow encoding → ALTO: one slice of the
-	// longest mode holds most nonzeros.
-	hub := sptensor.New([]int{8, 8, 64}, 256)
+// withNativeExtract pins the Choose native-extraction branch for the
+// duration of the test, so both decision tables are verified regardless of
+// the build host's CPU.
+func withNativeExtract(t *testing.T, v bool) {
+	t.Helper()
+	old := nativeExtract
+	nativeExtract = func() bool { return v }
+	t.Cleanup(func() { nativeExtract = old })
+}
+
+func chooseCases(t *testing.T) (t4, huge, uniform, hub, wide *sptensor.Tensor) {
+	t.Helper()
+	// Order ≥ 4.
+	t4 = sptensor.Random([]int{10, 9, 8, 7}, 200, 3)
+	// Unencodable (5 × 31 bits). Dims only need declaring; a single
+	// in-range nonzero keeps validation happy.
+	huge = sptensor.New([]int{1 << 31, 1 << 31, 1 << 31, 1 << 31, 1 << 31}, 1)
+	// Regular (uniform) 3rd-order.
+	uniform = sptensor.Random([]int{40, 40, 40}, 2000, 5)
+	// Hub-skewed 3rd-order, narrow encoding: one slice of the longest mode
+	// holds most nonzeros.
+	hub = sptensor.New([]int{8, 8, 64}, 256)
 	rng := rand.New(rand.NewSource(7))
 	for x := 0; x < 256; x++ {
 		hub.Inds[0][x] = sptensor.Index(rng.Intn(8))
@@ -69,17 +71,58 @@ func TestChooseHeuristic(t *testing.T) {
 		}
 		hub.Vals[x] = 1
 	}
-	if got, reason := Choose(hub); got != ALTO {
-		t.Errorf("hub-skewed chose %v (%s), want alto", got, reason)
-	}
-	// Same skew but a two-word encoding → CSF.
-	wide := sptensor.New([]int{1 << 24, 1 << 24, 1 << 24}, 64)
+	// Same skew but a two-word encoding.
+	wide = sptensor.New([]int{1 << 24, 1 << 24, 1 << 24}, 64)
 	for x := 0; x < 64; x++ {
 		wide.Inds[0][x] = sptensor.Index(x)
 		wide.Inds[1][x] = sptensor.Index(x)
 		wide.Inds[2][x] = 0
 		wide.Vals[x] = 1
 	}
+	return
+}
+
+func TestChooseHeuristicPureGo(t *testing.T) {
+	withNativeExtract(t, false)
+	t4, huge, uniform, hub, wide := chooseCases(t)
+	if got, reason := Choose(t4); got != ALTO {
+		t.Errorf("order-4 chose %v (%s), want alto", got, reason)
+	}
+	if got, reason := Choose(huge); got != CSF {
+		t.Errorf("unencodable chose %v (%s), want csf", got, reason)
+	}
+	// Without native bit extraction the byte-table walker loses to CSF on
+	// regular tensors, so uniform stays CSF and only skew flips to ALTO.
+	if got, reason := Choose(uniform); got != CSF {
+		t.Errorf("uniform 3rd-order chose %v (%s), want csf", got, reason)
+	}
+	if got, reason := Choose(hub); got != ALTO {
+		t.Errorf("hub-skewed chose %v (%s), want alto", got, reason)
+	}
+	if got, reason := Choose(wide); got != CSF {
+		t.Errorf("wide-encoding chose %v (%s), want csf", got, reason)
+	}
+}
+
+func TestChooseHeuristicNative(t *testing.T) {
+	withNativeExtract(t, true)
+	t4, huge, uniform, hub, wide := chooseCases(t)
+	if got, reason := Choose(t4); got != ALTO {
+		t.Errorf("order-4 chose %v (%s), want alto", got, reason)
+	}
+	if got, reason := Choose(huge); got != CSF {
+		t.Errorf("unencodable chose %v (%s), want csf", got, reason)
+	}
+	// With the pext tile walker, narrow order-3 prefers ALTO regardless of
+	// skew: measured at CSF parity with half the memory.
+	if got, reason := Choose(uniform); got != ALTO {
+		t.Errorf("uniform 3rd-order chose %v (%s), want alto", got, reason)
+	}
+	if got, reason := Choose(hub); got != ALTO {
+		t.Errorf("hub-skewed chose %v (%s), want alto", got, reason)
+	}
+	// Wide two-word encodings still pay double index traffic and have no
+	// pext3 tile path — CSF keeps them.
 	if got, reason := Choose(wide); got != CSF {
 		t.Errorf("wide-encoding chose %v (%s), want csf", got, reason)
 	}

@@ -30,13 +30,16 @@ func TestFormatRoundTrip(t *testing.T) {
 		t.Fatal(err)
 	}
 
+	// Auto on a regular narrow order-3 tensor resolves by walker
+	// capability: ALTO with native bit-extraction, CSF on pure-Go builds.
+	wantAuto, _ := format.Choose(tensor)
 	cases := []struct {
 		spec       JobSpec
 		wantFormat string
 	}{
 		{JobSpec{TensorID: res.ID, Kind: KindCPD, Rank: 6, MaxIters: 8, Seed: 5, Format: "alto"}, "alto"},
 		{JobSpec{TensorID: res.ID, Kind: KindCPD, Rank: 6, MaxIters: 8, Seed: 5}, "csf"},
-		{JobSpec{TensorID: res.ID, Kind: KindCPD, Rank: 6, MaxIters: 8, Seed: 5, Format: "auto"}, "csf"},
+		{JobSpec{TensorID: res.ID, Kind: KindCPD, Rank: 6, MaxIters: 8, Seed: 5, Format: "auto"}, wantAuto.String()},
 		{JobSpec{TensorID: res.ID, Kind: KindDistributed, Rank: 6, MaxIters: 8, Seed: 5, Locales: 2, Format: "alto"}, "alto"},
 	}
 	for _, c := range cases {
@@ -57,9 +60,13 @@ func TestFormatRoundTrip(t *testing.T) {
 		}
 	}
 
+	wantAltoJobs, wantCSFJobs := int64(2), int64(2)
+	if wantAuto == format.ALTO {
+		wantAltoJobs, wantCSFJobs = 3, 1
+	}
 	m := getMetrics(t, ts.URL)
-	if m.Jobs.ByFormat["alto"] != 2 || m.Jobs.ByFormat["csf"] != 2 {
-		t.Errorf("metrics by_format = %v, want alto:2 csf:2", m.Jobs.ByFormat)
+	if m.Jobs.ByFormat["alto"] != wantAltoJobs || m.Jobs.ByFormat["csf"] != wantCSFJobs {
+		t.Errorf("metrics by_format = %v, want alto:%d csf:%d", m.Jobs.ByFormat, wantAltoJobs, wantCSFJobs)
 	}
 }
 

@@ -6,6 +6,9 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/alto"
+	"repro/internal/cpu"
+	"repro/internal/dense"
 	"repro/internal/obs"
 )
 
@@ -111,6 +114,21 @@ func newServerMetrics(s *Server) *serverMetrics {
 		commLatency:  make(map[string]*obs.Histogram),
 	}
 	obs.RegisterProcess(reg, "splatt")
+
+	// Info-style gauge (constant 1): the CPU feature set this process
+	// detected and the kernel paths the dispatch layer resolved to. A
+	// fleet dashboard groups by these labels to spot nodes silently
+	// running the pure-Go fallback (wrong build tag, SPLATT_DISABLE_SIMD
+	// left set, or an unexpected microarchitecture).
+	altoWalker := "tables"
+	if alto.NativeExtract() {
+		altoWalker = "pext"
+	}
+	reg.Gauge("splatt_cpu_features",
+		"Detected CPU features and resolved kernel dispatch (info gauge, value is always 1).",
+		obs.Label{Name: "cpu", Value: cpu.Summary()},
+		obs.Label{Name: "dense_isa", Value: dense.KernelISA()},
+		obs.Label{Name: "alto_walker", Value: altoWalker}).Set(1)
 
 	reg.Func("splatt_queue_depth",
 		"Jobs waiting in the priority queue.", obs.KindGauge,

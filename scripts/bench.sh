@@ -34,8 +34,16 @@ ALLOCGROWTH="${BENCH_MAX_ALLOC_GROWTH:-8}"
 MINNSOP="${BENCH_MIN_NSOP:-1000000}"
 
 mkdir -p benchmarks
+# Stamp the kernel dispatch decision into the record: ns/op from an AVX2
+# host and a pure-Go fallback run are different experiments, and the
+# compare step warns when the feature strings disagree.
+FEATURES="$(go run ./cmd/splatt-cpuinfo)"
 echo "running benchmarks (pattern=$PATTERN benchtime=$BENCHTIME count=$COUNT) ..."
-go test -run '^$' -bench "$PATTERN" -benchtime "$BENCHTIME" -count "$COUNT" -benchmem ./... | tee benchmarks/latest.txt
+echo "kernels: $FEATURES"
+{
+    echo "# cpu-features: $FEATURES"
+    go test -run '^$' -bench "$PATTERN" -benchtime "$BENCHTIME" -count "$COUNT" -benchmem ./...
+} | tee benchmarks/latest.txt
 
 if [ ! -f benchmarks/baseline.txt ]; then
     echo "no benchmarks/baseline.txt committed; skipping regression gate."

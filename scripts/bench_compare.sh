@@ -39,6 +39,25 @@ if [ $# -ne 2 ]; then
 fi
 BASE="$1"
 CUR="$2"
+
+# Records made by scripts/bench.sh open with "# cpu-features: ..." naming
+# the kernel set that produced the numbers. Comparing across different
+# kernel sets (AVX2 baseline vs purego run, or vice versa) is comparing
+# different code — warn loudly rather than let a "regression" or
+# "improvement" that is really a dispatch change slip through. Records
+# without the stamp (pre-stamp baselines) skip the check.
+basefeat="$(sed -n 's/^# cpu-features: //p' "$BASE" | head -n 1)"
+curfeat="$(sed -n 's/^# cpu-features: //p' "$CUR" | head -n 1)"
+if [ -n "$basefeat" ] && [ -n "$curfeat" ] && [ "$basefeat" != "$curfeat" ]; then
+    echo "##################################################################" >&2
+    echo "WARNING: CPU feature sets differ between baseline and fresh run:"   >&2
+    echo "  baseline: $basefeat"                                              >&2
+    echo "  fresh:    $curfeat"                                               >&2
+    echo "ns/op deltas below reflect different kernels, not a code change."   >&2
+    echo "Re-pin the baseline on this host before trusting the gate."         >&2
+    echo "##################################################################" >&2
+fi
+
 MAXPCT="${BENCH_MAX_REGRESSION_PCT:-5}"
 ALLOCGROWTH="${BENCH_MAX_ALLOC_GROWTH:-8}"
 MINNSOP="${BENCH_MIN_NSOP:-100000}"
